@@ -1,0 +1,222 @@
+#include "arch/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace defa::arch {
+
+namespace {
+
+[[nodiscard]] std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+DefaAccelerator::DefaAccelerator(const ModelConfig& m, const HwConfig& hw)
+    : m_(m), hw_(hw), msgs_engine_(m_, hw_), window_(m_, hw_) {
+  hw_.validate(m_);
+}
+
+std::uint64_t DefaAccelerator::wall_of(const PhaseStats& p) const noexcept {
+  const std::uint64_t compute =
+      ceil_div(p.cycles, static_cast<std::uint64_t>(hw_.tiles));
+  if (hw_.dram_gbps <= 0.0) return compute;  // bandwidth-unconstrained bound
+  const std::uint64_t dram = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(p.dram_bytes()) / dram_bytes_per_cycle()));
+  return std::max(compute, dram);
+}
+
+PhaseStats DefaAccelerator::phase_attn_proj(const LayerTrace&) const {
+  const double bpa = hw_.bytes_per_act();
+  const std::uint64_t n = static_cast<std::uint64_t>(m_.n_in());
+  const std::uint64_t d = static_cast<std::uint64_t>(m_.d_model);
+  const std::uint64_t cols =
+      static_cast<std::uint64_t>(m_.n_heads) * m_.points_per_head();
+  const std::uint64_t k_chunks = ceil_div(d, static_cast<std::uint64_t>(hw_.pe_macs_per_lane));
+  const std::uint64_t col_tiles = ceil_div(cols, static_cast<std::uint64_t>(hw_.pe_lanes));
+
+  PhaseStats p;
+  p.name = "attn-proj";
+  p.cycles = n * k_chunks * col_tiles;
+  p.macs = n * d * cols;
+  const std::uint64_t act_stream = static_cast<std::uint64_t>(n * d * bpa);
+  p.dram_read_bytes =
+      (hw_.act_streaming == ActStreaming::kRestreamPerColTile ? act_stream * col_tiles
+                                                              : act_stream) +
+      static_cast<std::uint64_t>(d * cols * bpa);  // weights
+  // Per MM cycle: one 16-act chunk (broadcast) + one 16x16 weight tile.
+  const std::uint64_t act_word = static_cast<std::uint64_t>(hw_.pe_macs_per_lane * bpa);
+  const std::uint64_t w_tile =
+      static_cast<std::uint64_t>(hw_.pe_lanes * hw_.pe_macs_per_lane * bpa);
+  p.sram_read_bytes = p.cycles * (act_word + w_tile);
+  p.sram_write_bytes = static_cast<std::uint64_t>(n * cols * bpa);  // logits buffer
+  return p;
+}
+
+PhaseStats DefaAccelerator::phase_softmax(const LayerTrace& trace) const {
+  const double bpa = hw_.bytes_per_act();
+  const std::uint64_t n = static_cast<std::uint64_t>(m_.n_in());
+  const std::uint64_t heads = static_cast<std::uint64_t>(m_.n_heads);
+  const std::uint64_t lp = static_cast<std::uint64_t>(m_.points_per_head());
+  const std::uint64_t kept = static_cast<std::uint64_t>(trace.pmask->kept_count());
+
+  PhaseStats p;
+  p.name = "softmax+pap";
+  p.cycles = n * heads * ceil_div(lp, 16);
+  p.sram_read_bytes = static_cast<std::uint64_t>(n * heads * lp * bpa);
+  p.sram_write_bytes = static_cast<std::uint64_t>(kept * bpa);
+  // Surviving probabilities and the point bitmask round-trip through DRAM
+  // (they are consumed again by the BA phase after two full MM phases).
+  p.dram_write_bytes =
+      static_cast<std::uint64_t>(kept * bpa) + n * heads * lp / 8;
+  return p;
+}
+
+PhaseStats DefaAccelerator::phase_offset_proj(const LayerTrace& trace) const {
+  const double bpa = hw_.bytes_per_act();
+  const std::uint64_t n = static_cast<std::uint64_t>(m_.n_in());
+  const std::uint64_t d = static_cast<std::uint64_t>(m_.d_model);
+  const std::uint64_t k_chunks = ceil_div(d, static_cast<std::uint64_t>(hw_.pe_macs_per_lane));
+
+  // Column tiles per query depend on its surviving point count (the
+  // compression unit packs the 2*kept offset columns).
+  std::uint64_t cycles = 0;
+  std::uint64_t kept_total = 0;
+  std::uint64_t col_tiles_total = 0;
+  for (std::int64_t q = 0; q < m_.n_in(); ++q) {
+    std::uint64_t kept_q = 0;
+    for (int h = 0; h < m_.n_heads; ++h) {
+      for (int l = 0; l < m_.n_levels; ++l) {
+        kept_q += static_cast<std::uint64_t>(trace.pmask->kept_in_level(q, h, l));
+      }
+    }
+    const std::uint64_t tiles =
+        ceil_div(2 * kept_q, static_cast<std::uint64_t>(hw_.pe_lanes));
+    cycles += tiles * k_chunks;
+    col_tiles_total += tiles;
+    kept_total += kept_q;
+  }
+
+  PhaseStats p;
+  p.name = "offset-proj";
+  p.cycles = cycles;
+  p.macs = kept_total * 2 * d;
+  const std::uint64_t act_stream = static_cast<std::uint64_t>(n * d * bpa);
+  p.dram_read_bytes =
+      (hw_.act_streaming == ActStreaming::kRestreamPerColTile
+           ? static_cast<std::uint64_t>(col_tiles_total * d * bpa)
+           : act_stream) +
+      static_cast<std::uint64_t>(d * 2 * m_.n_heads * m_.points_per_head() * bpa);
+  p.dram_write_bytes = static_cast<std::uint64_t>(kept_total * 2 * bpa);
+  const std::uint64_t act_word = static_cast<std::uint64_t>(hw_.pe_macs_per_lane * bpa);
+  const std::uint64_t w_tile =
+      static_cast<std::uint64_t>(hw_.pe_lanes * hw_.pe_macs_per_lane * bpa);
+  p.sram_read_bytes = p.cycles * (act_word + w_tile);
+  p.sram_write_bytes = static_cast<std::uint64_t>(kept_total * 2 * bpa);
+  return p;
+}
+
+PhaseStats DefaAccelerator::phase_value_proj(const LayerTrace& trace) const {
+  const double bpa = hw_.bytes_per_act();
+  const std::uint64_t d = static_cast<std::uint64_t>(m_.d_model);
+  const std::uint64_t kept = static_cast<std::uint64_t>(trace.fmask->kept_count());
+  const std::uint64_t k_chunks = ceil_div(d, static_cast<std::uint64_t>(hw_.pe_macs_per_lane));
+  const std::uint64_t col_tiles = ceil_div(d, static_cast<std::uint64_t>(hw_.pe_lanes));
+
+  PhaseStats p;
+  p.name = "value-proj";
+  p.cycles = kept * k_chunks * col_tiles;
+  p.macs = kept * d * d;
+  const std::uint64_t x_stream = static_cast<std::uint64_t>(kept * d * bpa);
+  p.dram_read_bytes =
+      (hw_.act_streaming == ActStreaming::kRestreamPerColTile ? x_stream * col_tiles
+                                                              : x_stream) +
+      static_cast<std::uint64_t>(d * d * bpa);
+  p.dram_write_bytes = static_cast<std::uint64_t>(kept * d * bpa);  // V to DRAM
+  const std::uint64_t act_word = static_cast<std::uint64_t>(hw_.pe_macs_per_lane * bpa);
+  const std::uint64_t w_tile =
+      static_cast<std::uint64_t>(hw_.pe_lanes * hw_.pe_macs_per_lane * bpa);
+  p.sram_read_bytes = p.cycles * (act_word + w_tile);
+  p.sram_write_bytes = static_cast<std::uint64_t>(kept * d * bpa);
+  return p;
+}
+
+PhaseStats DefaAccelerator::phase_msgs(const LayerTrace& trace, MsgsPerf* msgs_out) const {
+  const double bpa = hw_.bytes_per_act();
+  const std::uint64_t n = static_cast<std::uint64_t>(m_.n_in());
+  const std::uint64_t d = static_cast<std::uint64_t>(m_.d_model);
+  const std::uint64_t dh = static_cast<std::uint64_t>(m_.d_head());
+  const int word_bytes = hw_.sram_word_bytes(m_);
+
+  const MsgsPerf msgs = msgs_engine_.run(*trace.locs, *trace.pmask);
+  if (msgs_out != nullptr) *msgs_out = msgs;
+  const WindowTraffic wt =
+      window_.run(*trace.ref_norm, *trace.fmask, hw_.enable_fmap_reuse);
+  const std::uint64_t kept = static_cast<std::uint64_t>(trace.pmask->kept_count());
+
+  PhaseStats p;
+  p.name = "msgs+ag";
+  p.cycles = msgs.total_cycles;
+  const std::uint64_t ideal =
+      msgs.groups * ceil_div(dh, static_cast<std::uint64_t>(hw_.ba_channels_per_cycle));
+  p.stall_cycles = msgs.total_cycles > ideal ? msgs.total_cycles - ideal : 0;
+  // Horner BI (3 multiplies) + aggregation multiply, per channel per point.
+  p.macs = msgs.points * dh * 4;
+
+  // SRAM: 16-bank fmap fetches, probability/offset operand reads, output
+  // accumulation writes, and the sampled-frequency counters of FWP.
+  p.sram_read_bytes = msgs.sram_word_reads * static_cast<std::uint64_t>(word_bytes) +
+                      static_cast<std::uint64_t>(kept * 3 * bpa);
+  p.sram_write_bytes = wt.sram_write_bytes + static_cast<std::uint64_t>(n * d * bpa);
+  // FWP frequency counters: 4 read-modify-write per surviving point (2B).
+  p.sram_read_bytes += kept * 4 * 2;
+  p.sram_write_bytes += kept * 4 * 2 + n / 8;
+
+  // DRAM: window streams in, surviving probs/offsets back in, output out.
+  p.dram_read_bytes = wt.dram_read_bytes + static_cast<std::uint64_t>(kept * 3 * bpa);
+  p.dram_write_bytes = static_cast<std::uint64_t>(n * d * bpa);
+
+  if (!hw_.enable_operator_fusion) {
+    // Without fusion the sampling values leave the chip after BI and are
+    // read back for a separate aggregation pass (Sec. 5.3.2).
+    const std::uint64_t value_bytes = static_cast<std::uint64_t>(kept * dh * bpa);
+    p.dram_write_bytes += value_bytes;
+    p.dram_read_bytes += value_bytes +
+                         static_cast<std::uint64_t>(kept * bpa);  // probs again
+    p.sram_write_bytes += 2 * value_bytes;  // staging out + staging in
+    p.sram_read_bytes += 2 * value_bytes;
+    // Separate aggregation pass on the PE array (1 MAC/channel/point).
+    p.cycles += ceil_div(kept * dh, static_cast<std::uint64_t>(hw_.total_macs()));
+  }
+  return p;
+}
+
+LayerPerf DefaAccelerator::simulate_layer(const LayerTrace& trace) const {
+  DEFA_CHECK(trace.locs != nullptr && trace.pmask != nullptr && trace.fmask != nullptr &&
+                 trace.ref_norm != nullptr,
+             "incomplete layer trace");
+  LayerPerf perf;
+  perf.phases.push_back(phase_attn_proj(trace));
+  perf.phases.push_back(phase_softmax(trace));
+  perf.phases.push_back(phase_offset_proj(trace));
+  perf.phases.push_back(phase_value_proj(trace));
+  perf.phases.push_back(phase_msgs(trace, &perf.msgs));
+
+  std::uint64_t wall = 0;
+  for (const PhaseStats& p : perf.phases) wall += wall_of(p);
+  // Two reconfigurations per block: MM -> BA and back.
+  wall += 2 * static_cast<std::uint64_t>(hw_.mode_switch_cycles);
+  perf.wall_cycles = wall;
+  return perf;
+}
+
+RunPerf DefaAccelerator::simulate_run(std::span<const LayerTrace> traces) const {
+  RunPerf run;
+  run.layers.reserve(traces.size());
+  for (const LayerTrace& t : traces) run.layers.push_back(simulate_layer(t));
+  return run;
+}
+
+}  // namespace defa::arch

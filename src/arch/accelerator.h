@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file accelerator.h
+/// Top-level DEFA accelerator model (Fig. 3).
+///
+/// One MSDeformAttn block executes as four phases on the reconfigurable PE
+/// array (Sec. 4.1):
+///   1. attn-proj  : A = Q W_A        (MM mode) + softmax + PAP mask gen
+///   2. offset-proj: dP = Q W_S       (MM mode, PAP-masked output columns)
+///   3. value-proj : V = X W_V        (MM mode, FWP-masked input rows)
+///   4. msgs+ag    : fused grid-sampling + aggregation (BA mode), with the
+///                   sliding-window streamer feeding the 16 fmap banks and
+///                   the fmap-mask generator counting sampled frequency.
+///
+/// MM-mode cycle model: a 16-element activation chunk meets a 16x16 weight
+/// tile per cycle (output stationary), so Y = A(N x K) W(K x M) costs
+/// N * ceil(K/16) * ceil(M/16) cycles; masked rows/columns are gathered by
+/// the compression unit and skip whole rows/tiles.  The BA-mode/MSGS cycle
+/// model is simulated per group by MsgsEngine.
+///
+/// Per-phase wall-clock applies the DRAM roofline:
+///   wall = max(compute_cycles / tiles, dram_bytes / dram_bytes_per_cycle)
+/// (`tiles` > 1 only in the GPU-scale study, Fig. 9).
+
+#include <span>
+
+#include "arch/msgs_engine.h"
+#include "arch/phase_stats.h"
+#include "arch/window.h"
+#include "config/hw_config.h"
+#include "config/model_config.h"
+#include "prune/masks.h"
+#include "tensor/tensor.h"
+
+namespace defa::arch {
+
+/// Inputs the simulator needs for one block (produced by the functional
+/// pipeline so both see identical masks and sampling geometry).
+struct LayerTrace {
+  const Tensor* locs = nullptr;              ///< (N,H,L,P,2), range-narrowed
+  const prune::PointMask* pmask = nullptr;   ///< PAP survivors
+  const prune::FmapMask* fmask = nullptr;    ///< FWP mask applied at this block
+  const Tensor* ref_norm = nullptr;          ///< (N,2) reference points
+};
+
+class DefaAccelerator {
+ public:
+  DefaAccelerator(const ModelConfig& m, const HwConfig& hw);
+
+  /// Simulate one MSDeformAttn block.
+  [[nodiscard]] LayerPerf simulate_layer(const LayerTrace& trace) const;
+
+  /// Simulate a sequence of blocks (one encoder pass).
+  [[nodiscard]] RunPerf simulate_run(std::span<const LayerTrace> traces) const;
+
+  [[nodiscard]] const HwConfig& hw() const noexcept { return hw_; }
+  [[nodiscard]] const ModelConfig& model() const noexcept { return m_; }
+
+  /// DRAM bytes transferable per datapath cycle.
+  [[nodiscard]] double dram_bytes_per_cycle() const noexcept {
+    return hw_.dram_gbps * 1e9 / (hw_.freq_mhz * 1e6);
+  }
+
+ private:
+  [[nodiscard]] PhaseStats phase_attn_proj(const LayerTrace& trace) const;
+  [[nodiscard]] PhaseStats phase_softmax(const LayerTrace& trace) const;
+  [[nodiscard]] PhaseStats phase_offset_proj(const LayerTrace& trace) const;
+  [[nodiscard]] PhaseStats phase_value_proj(const LayerTrace& trace) const;
+  [[nodiscard]] PhaseStats phase_msgs(const LayerTrace& trace, MsgsPerf* msgs_out) const;
+
+  [[nodiscard]] std::uint64_t wall_of(const PhaseStats& p) const noexcept;
+
+  ModelConfig m_;
+  HwConfig hw_;
+  MsgsEngine msgs_engine_;
+  WindowStreamer window_;
+};
+
+}  // namespace defa::arch

@@ -1,0 +1,60 @@
+#include "arch/bankmap.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace defa::arch {
+
+ConflictReport analyze_group(std::span<const BankAccess> accesses, int n_banks) {
+  DEFA_CHECK(n_banks > 0 && n_banks <= 64, "bank count");
+  DEFA_CHECK(accesses.size() <= 16, "a group issues at most 16 accesses");
+
+  // Tiny fixed-size bookkeeping: per bank, the distinct addresses seen.
+  std::array<std::array<std::int64_t, 16>, 64> seen{};
+  std::array<int, 64> n_seen{};
+  n_seen.fill(0);
+
+  ConflictReport report;
+  for (const BankAccess& a : accesses) {
+    DEFA_DCHECK(a.bank >= 0 && a.bank < n_banks, "bank out of range");
+    auto& bank_seen = seen[static_cast<std::size_t>(a.bank)];
+    int& n = n_seen[static_cast<std::size_t>(a.bank)];
+    bool duplicate = false;
+    for (int i = 0; i < n; ++i) {
+      if (bank_seen[static_cast<std::size_t>(i)] == a.addr) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bank_seen[static_cast<std::size_t>(n)] = a.addr;
+      ++n;
+    }
+  }
+  int worst = 1;
+  for (int b = 0; b < n_banks; ++b) {
+    worst = std::max(worst, n_seen[static_cast<std::size_t>(b)]);
+  }
+  report.serialization_cycles = worst;
+  report.conflict = worst > 1;
+  return report;
+}
+
+int collect_point_accesses(const ModelConfig& m, int level, const nn::BiPoint& p,
+                           bool inter_level, std::array<BankAccess, 16>& out,
+                           int out_pos) {
+  const LevelShape& lv = m.levels[static_cast<std::size_t>(level)];
+  int added = 0;
+  for (const auto& d : nn::kBiNeighborOffsets) {
+    const int x = p.x0 + d[0];
+    const int y = p.y0 + d[1];
+    if (x < 0 || x >= lv.w || y < 0 || y >= lv.h) continue;  // zero padding
+    out[static_cast<std::size_t>(out_pos + added)] =
+        inter_level ? map_inter_level(m, level, y, x) : map_intra_level(m, level, y, x);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace defa::arch

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file bankmap.h
+/// SRAM bank mapping for multi-scale parallel MSGS (Sec. 4.2, Fig. 5).
+///
+/// The PE array processes 4 sampling points per cycle; each needs its 2x2
+/// bilinear neighborhood, i.e. 16 pixel words per cycle from 16 banks.
+///
+/// * Inter-level mapping (DEFA): each pyramid level owns 4 of the 16 banks;
+///   within a level, the 2x2 "neighbor window" at (y, x) maps to bank
+///   4*level + 2*(y&1) + (x&1).  A bilinear neighborhood always spans
+///   banks {0,1,2,3} of its level's quadruple, and concurrent points come
+///   from different levels, so the mapping is conflict-free by construction.
+/// * Intra-level mapping (baseline for Fig. 7a): all 16 banks hold one
+///   level; pixel (y, x) maps to bank 4*(y&3) + (x&3).  Four concurrent
+///   points of the same level can collide (same bank, different address).
+///
+/// Addresses returned here are word addresses inside a bank; two accesses
+/// conflict iff same bank AND different address (same-address reads are a
+/// broadcast, served in one cycle).
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "config/model_config.h"
+#include "nn/bilinear.h"
+
+namespace defa::arch {
+
+/// One pixel-word request against the banked fmap SRAM.
+struct BankAccess {
+  int bank = 0;
+  std::int64_t addr = 0;
+};
+
+/// Inter-level mapping of pixel (y, x) of `level` (Fig. 5b).
+[[nodiscard]] inline BankAccess map_inter_level(const ModelConfig& m, int level, int y,
+                                                int x) noexcept {
+  const int w = m.levels[static_cast<std::size_t>(level)].w;
+  const int bank = 4 * level + 2 * (y & 1) + (x & 1);
+  // Word address: position of the 2x2 neighbor window in the level grid.
+  const std::int64_t addr =
+      static_cast<std::int64_t>(y >> 1) * ((w + 1) / 2) + (x >> 1);
+  return BankAccess{bank, addr};
+}
+
+/// Intra-level mapping of pixel (y, x) (Fig. 5a); level data fills all banks.
+[[nodiscard]] inline BankAccess map_intra_level(const ModelConfig& m, int level, int y,
+                                                int x) noexcept {
+  const int w = m.levels[static_cast<std::size_t>(level)].w;
+  const int bank = 4 * (y & 3) + (x & 3);
+  const std::int64_t addr =
+      static_cast<std::int64_t>(y >> 2) * ((w + 3) / 4) + (x >> 2);
+  return BankAccess{bank, addr};
+}
+
+/// Conflict analysis of one parallel access group.
+struct ConflictReport {
+  int serialization_cycles = 1;  ///< max distinct addresses on one bank
+  bool conflict = false;         ///< any bank with >1 distinct address
+};
+
+/// Analyze up to 16 concurrent accesses: per bank, distinct addresses must
+/// be served serially; identical addresses broadcast.
+[[nodiscard]] ConflictReport analyze_group(std::span<const BankAccess> accesses,
+                                           int n_banks);
+
+/// Collect the in-bounds neighbor accesses of a sampling point under the
+/// given mapping.  Returns the number of accesses appended (0..4).
+int collect_point_accesses(const ModelConfig& m, int level, const nn::BiPoint& p,
+                           bool inter_level, std::array<BankAccess, 16>& out,
+                           int out_pos);
+
+}  // namespace defa::arch

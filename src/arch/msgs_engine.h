@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file msgs_engine.h
+/// Cycle-accurate model of the fused MSGS + aggregation phase (BA mode).
+///
+/// The engine walks every (query, head) pair, forms parallel groups of up
+/// to 4 surviving sampling points and simulates, group by group, the
+/// two-stage pipeline:
+///   fetch  — 16 pixel words from 16 SRAM banks; conflict-free in one
+///            cycle under inter-level mapping, serialized (plus a
+///            pipeline-restart penalty) under intra-level mapping;
+///   compute — 4 point-units finish ba_channels_per_cycle channels of
+///            Horner BI + aggregation per cycle (ceil(D_h/16) = 2 cycles
+///            for the paper's configuration).
+/// Steady state costs max(fetch, compute) per group (double-buffered
+/// operand registers); the fill/drain of the two-stage pipeline is charged
+/// once per layer.
+///
+/// Grouping policy:
+/// * inter-level — group g takes the g-th surviving point of each level;
+///   group count per (q,h) = max_l survivors(l).  Partial groups idle some
+///   point-units (modeled: they still cost a slot).
+/// * intra-level — per level, survivors are chunked into groups of <= 4.
+
+#include "arch/bankmap.h"
+#include "arch/phase_stats.h"
+#include "config/hw_config.h"
+#include "config/model_config.h"
+#include "prune/masks.h"
+#include "tensor/tensor.h"
+
+namespace defa::arch {
+
+class MsgsEngine {
+ public:
+  MsgsEngine(const ModelConfig& m, const HwConfig& hw);
+
+  /// Simulate the MSGS stream for the given (possibly pruned) sampling
+  /// locations.  `locs` is (N, H, L, P, 2) in per-level pixel coordinates
+  /// (already range-narrowed); `pmask` marks PAP survivors.
+  [[nodiscard]] MsgsPerf run(const Tensor& locs, const prune::PointMask& pmask) const;
+
+ private:
+  // Stored by value: engines are frequently constructed from temporaries
+  // (config structs are small), and a dangling reference here would be a
+  // silent correctness bug.
+  ModelConfig m_;
+  HwConfig hw_;
+  int compute_cycles_per_group_;
+};
+
+}  // namespace defa::arch

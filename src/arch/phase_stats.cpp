@@ -1,0 +1,47 @@
+#include "arch/phase_stats.h"
+
+namespace defa::arch {
+
+PhaseStats& PhaseStats::operator+=(const PhaseStats& o) noexcept {
+  cycles += o.cycles;
+  stall_cycles += o.stall_cycles;
+  macs += o.macs;
+  sram_read_bytes += o.sram_read_bytes;
+  sram_write_bytes += o.sram_write_bytes;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  return *this;
+}
+
+MsgsPerf& MsgsPerf::operator+=(const MsgsPerf& o) noexcept {
+  groups += o.groups;
+  conflict_groups += o.conflict_groups;
+  fetch_cycles += o.fetch_cycles;
+  compute_cycles += o.compute_cycles;
+  total_cycles += o.total_cycles;
+  points += o.points;
+  sram_word_reads += o.sram_word_reads;
+  return *this;
+}
+
+PhaseStats LayerPerf::total() const {
+  PhaseStats t;
+  t.name = "layer-total";
+  for (const auto& p : phases) t += p;
+  return t;
+}
+
+PhaseStats RunPerf::total() const {
+  PhaseStats t;
+  t.name = "run-total";
+  for (const auto& l : layers) t += l.total();
+  return t;
+}
+
+std::uint64_t RunPerf::wall_cycles() const {
+  std::uint64_t c = 0;
+  for (const auto& l : layers) c += l.wall_cycles;
+  return c;
+}
+
+}  // namespace defa::arch

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file phase_stats.h
+/// Per-phase activity counters produced by the cycle-accurate model.
+/// Cycles determine latency; the activity counts (MACs, SRAM/DRAM bytes)
+/// are consumed by the energy model (src/energy) — the simulator itself is
+/// energy-agnostic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace defa::arch {
+
+/// Activity of one dataflow phase of one MSDeformAttn block.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t cycles = 0;        ///< datapath cycles (excl. DRAM stall)
+  std::uint64_t stall_cycles = 0;  ///< extra cycles lost to bank conflicts
+  std::uint64_t macs = 0;
+  std::uint64_t sram_read_bytes = 0;
+  std::uint64_t sram_write_bytes = 0;
+  std::uint64_t dram_read_bytes = 0;
+  std::uint64_t dram_write_bytes = 0;
+
+  PhaseStats& operator+=(const PhaseStats& o) noexcept;
+  [[nodiscard]] std::uint64_t dram_bytes() const noexcept {
+    return dram_read_bytes + dram_write_bytes;
+  }
+};
+
+/// MSGS-specific counters (Fig. 7a instrumentation).
+struct MsgsPerf {
+  std::uint64_t groups = 0;           ///< 4-point parallel groups issued
+  std::uint64_t conflict_groups = 0;  ///< groups that hit >=1 bank conflict
+  std::uint64_t fetch_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t total_cycles = 0;  ///< pipelined max(fetch, compute) stream
+  std::uint64_t points = 0;        ///< sampling points processed
+  std::uint64_t sram_word_reads = 0;
+
+  [[nodiscard]] double points_per_cycle() const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(points) / static_cast<double>(total_cycles);
+  }
+
+  MsgsPerf& operator+=(const MsgsPerf& o) noexcept;
+};
+
+/// One block's simulation result.
+struct LayerPerf {
+  std::vector<PhaseStats> phases;
+  MsgsPerf msgs;
+
+  [[nodiscard]] PhaseStats total() const;
+  /// Wall-clock cycles including the per-phase DRAM roofline.  Filled by
+  /// the accelerator (depends on tiling and bandwidth).
+  std::uint64_t wall_cycles = 0;
+};
+
+/// Whole-encoder simulation result.
+struct RunPerf {
+  std::vector<LayerPerf> layers;
+
+  [[nodiscard]] PhaseStats total() const;
+  [[nodiscard]] std::uint64_t wall_cycles() const;
+};
+
+}  // namespace defa::arch

@@ -1,0 +1,114 @@
+#include "arch/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace defa::arch {
+
+namespace {
+
+/// Inclusive-rectangle kept-pixel counting over one level's mask grid.
+class KeptPrefix {
+ public:
+  KeptPrefix(const ModelConfig& m, const prune::FmapMask& fmask, int level)
+      : h_(m.levels[static_cast<std::size_t>(level)].h),
+        w_(m.levels[static_cast<std::size_t>(level)].w),
+        sum_(static_cast<std::size_t>((h_ + 1) * (w_ + 1)), 0) {
+    const std::int64_t base = m.level_offset(level);
+    for (int y = 0; y < h_; ++y) {
+      for (int x = 0; x < w_; ++x) {
+        const int kept = fmask.keep(base + static_cast<std::int64_t>(y) * w_ + x) ? 1 : 0;
+        at(y + 1, x + 1) = at(y, x + 1) + at(y + 1, x) - at(y, x) + kept;
+      }
+    }
+  }
+
+  /// Kept pixels in [y0, y1] x [x0, x1], clipped to the grid.
+  [[nodiscard]] std::int64_t count(int y0, int x0, int y1, int x1) const noexcept {
+    y0 = std::max(y0, 0);
+    x0 = std::max(x0, 0);
+    y1 = std::min(y1, h_ - 1);
+    x1 = std::min(x1, w_ - 1);
+    if (y0 > y1 || x0 > x1) return 0;
+    return at(y1 + 1, x1 + 1) - at(y0, x1 + 1) - at(y1 + 1, x0) + at(y0, x0);
+  }
+
+ private:
+  [[nodiscard]] std::int64_t& at(int y, int x) noexcept {
+    return sum_[static_cast<std::size_t>(y) * (w_ + 1) + x];
+  }
+  [[nodiscard]] std::int64_t at(int y, int x) const noexcept {
+    return sum_[static_cast<std::size_t>(y) * (w_ + 1) + x];
+  }
+  int h_, w_;
+  std::vector<std::int64_t> sum_;
+};
+
+struct Rect {
+  int y0 = 0, x0 = 0, y1 = -1, x1 = -1;  // inclusive; empty when y1 < y0
+  [[nodiscard]] bool operator==(const Rect&) const = default;
+  [[nodiscard]] bool empty() const noexcept { return y1 < y0 || x1 < x0; }
+};
+
+[[nodiscard]] Rect intersect(const Rect& a, const Rect& b) noexcept {
+  return Rect{std::max(a.y0, b.y0), std::max(a.x0, b.x0), std::min(a.y1, b.y1),
+              std::min(a.x1, b.x1)};
+}
+
+}  // namespace
+
+WindowStreamer::WindowStreamer(const ModelConfig& m, const HwConfig& hw)
+    : m_(m), hw_(hw) {
+  hw.validate(m);
+}
+
+WindowTraffic WindowStreamer::run(const Tensor& ref_norm, const prune::FmapMask& fmask,
+                                  bool reuse) const {
+  DEFA_CHECK(ref_norm.rank() == 2 && ref_norm.dim(0) == m_.n_in(), "ref shape");
+  const std::int64_t pixel_bytes =
+      (static_cast<std::int64_t>(m_.d_model) * hw_.act_bits + 7) / 8;
+
+  std::vector<KeptPrefix> prefix;
+  prefix.reserve(static_cast<std::size_t>(m_.n_levels));
+  for (int l = 0; l < m_.n_levels; ++l) prefix.emplace_back(m_, fmask, l);
+
+  std::vector<Rect> prev(static_cast<std::size_t>(m_.n_levels));
+  WindowTraffic t;
+
+  for (std::int64_t q = 0; q < m_.n_in(); ++q) {
+    const float rx = ref_norm(q, 0);
+    const float ry = ref_norm(q, 1);
+    for (int l = 0; l < m_.n_levels; ++l) {
+      const LevelShape& lv = m_.levels[static_cast<std::size_t>(l)];
+      const int r = hw_.ranges.radius(l);
+      const int cx = static_cast<int>(std::floor(rx * static_cast<float>(lv.w) - 0.5f));
+      const int cy = static_cast<int>(std::floor(ry * static_cast<float>(lv.h) - 0.5f));
+      // Window covers the neighbors of any point within +/-r of the center.
+      const Rect cur{cy - r, cx - r, cy + r + 1, cx + r + 1};
+      Rect& last = prev[static_cast<std::size_t>(l)];
+      if (cur == last) continue;
+
+      std::int64_t fetched = 0;
+      if (reuse && !last.empty()) {
+        const Rect overlap = intersect(cur, last);
+        fetched = prefix[static_cast<std::size_t>(l)].count(cur.y0, cur.x0, cur.y1, cur.x1) -
+                  (overlap.empty()
+                       ? 0
+                       : prefix[static_cast<std::size_t>(l)].count(overlap.y0, overlap.x0,
+                                                                   overlap.y1, overlap.x1));
+      } else {
+        fetched = prefix[static_cast<std::size_t>(l)].count(cur.y0, cur.x0, cur.y1, cur.x1);
+      }
+      last = cur;
+      t.pixels_fetched += static_cast<std::uint64_t>(fetched);
+      t.dram_read_bytes += static_cast<std::uint64_t>(fetched * pixel_bytes);
+      t.sram_write_bytes += static_cast<std::uint64_t>(fetched * pixel_bytes);
+    }
+  }
+  return t;
+}
+
+}  // namespace defa::arch

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file window.h
+/// Sliding bounded-range window streamer (Fig. 4 right).
+///
+/// During MSGS each query samples inside a bounded range centered on its
+/// reference point, one window per pyramid level.  As the reference point
+/// rasters across the grid, the window slides; with *fmap reuse* enabled
+/// only newly-exposed pixels are fetched from DRAM (and written to the
+/// bank SRAM); without it the full window is refetched whenever it moves.
+/// FWP-pruned pixels are never fetched (their memory access is eliminated,
+/// Sec. 3.1) — counted exactly via per-level prefix sums over the mask.
+
+#include <cstdint>
+
+#include "config/hw_config.h"
+#include "config/model_config.h"
+#include "prune/masks.h"
+#include "tensor/tensor.h"
+
+namespace defa::arch {
+
+struct WindowTraffic {
+  std::uint64_t dram_read_bytes = 0;   ///< fmap pixels fetched from DRAM
+  std::uint64_t sram_write_bytes = 0;  ///< fetched pixels written to banks
+  std::uint64_t pixels_fetched = 0;
+};
+
+/// Simulates the per-level window streams over the encoder query sequence.
+class WindowStreamer {
+ public:
+  WindowStreamer(const ModelConfig& m, const HwConfig& hw);
+
+  /// `ref_norm` is the (N, 2) normalized reference-point tensor; `fmask`
+  /// the fmap mask applied at this block (all-keep when FWP is off).
+  [[nodiscard]] WindowTraffic run(const Tensor& ref_norm, const prune::FmapMask& fmask,
+                                  bool reuse) const;
+
+ private:
+  ModelConfig m_;  ///< by value; see MsgsEngine note
+  HwConfig hw_;
+};
+
+}  // namespace defa::arch

@@ -1,0 +1,16 @@
+#include "baseline/asic_table.h"
+
+namespace defa::baseline {
+
+std::vector<AsicRecord> attention_asic_records() {
+  return {
+      AsicRecord{"ELSA [11]", "ISCA'21", "Attention", 40, 1.26, 1000.0, "INT9", 969.4,
+                 1088.0, 1120.0},
+      AsicRecord{"SpAtten [10]", "HPCA'21", "Attention", 40, 1.55, 1000.0, "INT12",
+                 294.0, 360.0, 1224.0},
+      AsicRecord{"BESAPU [12]", "JSSC'22", "Attention", 28, 6.82, 500.0, "INT12", 272.8,
+                 522.0, 1910.0},
+  };
+}
+
+}  // namespace defa::baseline

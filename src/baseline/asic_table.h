@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file asic_table.h
+/// Literature records for Table 1: the attention accelerators DEFA is
+/// compared against.  These rows are constants quoted from the respective
+/// papers (via DEFA's Table 1); the DEFA row is computed by our simulator.
+
+#include <string>
+#include <vector>
+
+namespace defa::baseline {
+
+struct AsicRecord {
+  std::string name;
+  std::string venue;
+  std::string function;   ///< "Attention" or "DeformAttn"
+  int tech_nm = 0;
+  double area_mm2 = 0.0;
+  double freq_mhz = 0.0;
+  std::string precision;
+  double power_mw = 0.0;
+  double throughput_gops = 0.0;
+  double ee_gops_per_w = 0.0;
+};
+
+/// ELSA (Ham et al., ISCA'21), SpAtten (Wang et al., HPCA'21),
+/// BESAPU (Wang et al., JSSC'22) — in the paper's column order.
+[[nodiscard]] std::vector<AsicRecord> attention_asic_records();
+
+}  // namespace defa::baseline

@@ -1,0 +1,78 @@
+#include "baseline/gpu_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace defa::baseline {
+
+GpuSpec GpuSpec::rtx2080ti() {
+  GpuSpec g;
+  g.name = "RTX 2080Ti";
+  g.fp32_tflops = 13.45;
+  g.dram_gbps = 616.0;
+  g.tdp_w = 250.0;
+  g.mm_efficiency = 0.38;  // smaller SM count is easier to fill with skinny GEMMs
+  g.gather_gbps = 490.0;   // latency-bound achieved gather rate (calibrated)
+  return g;
+}
+
+GpuSpec GpuSpec::rtx3090ti() {
+  GpuSpec g;
+  g.name = "RTX 3090Ti";
+  g.fp32_tflops = 40.0;
+  g.dram_gbps = 1008.0;
+  g.tdp_w = 450.0;
+  g.mm_efficiency = 0.25;  // more SMs are harder to fill with skinny GEMMs
+  g.gather_gbps = 620.0;   // barely above the 2080Ti: latency, not bandwidth
+  return g;
+}
+
+GpuLayerTime gpu_layer_time(const ModelConfig& m, const GpuSpec& gpu) {
+  DEFA_CHECK(gpu.fp32_tflops > 0 && gpu.dram_gbps > 0 && gpu.gather_gbps > 0,
+             "GPU spec incomplete");
+  const double n = static_cast<double>(m.n_in());
+  const double d = static_cast<double>(m.d_model);
+  const double hlp = static_cast<double>(m.n_heads) * m.points_per_head();
+  const double fp32 = 4.0;  // bytes per element on the GPU
+  const double launch = gpu.launch_overhead_us * 1e-6;
+
+  GpuLayerTime t;
+
+  // Projections W_A (D x HLP), W_S (D x 2HLP), W_V (D x D) and the output
+  // projection of the real module: roofline of compute vs streaming.
+  const double mm_flops = 2.0 * n * d * (hlp + 2.0 * hlp + d + d);
+  const double mm_bytes = fp32 * (4.0 * n * d /*X re-reads*/ + n * (4.0 * hlp + 2.0 * d) +
+                                  d * (3.0 * hlp + 2.0 * d) /*weights*/);
+  t.mm_s = std::max(mm_flops / (gpu.fp32_tflops * 1e12 * gpu.mm_efficiency),
+                    mm_bytes / (gpu.dram_gbps * 1e9)) +
+           4.0 * launch;
+
+  // Softmax over L*P per (query, head): bandwidth-bound elementwise pass.
+  const double softmax_bytes = fp32 * 2.0 * n * hlp;
+  t.softmax_s = softmax_bytes / (gpu.dram_gbps * 1e9) + launch;
+
+  // MSGS + aggregation: every surviving... on the GPU, every point (dense)
+  // gathers its 2x2 neighborhood of D_h channels.  Transactions are
+  // unordered across the multi-scale fmaps; achieved bandwidth is the
+  // calibrated latency-bound gather rate.
+  const double points = n * hlp;
+  const double gather_bytes = points * 4.0 * m.d_head() * fp32;
+  const double out_bytes = fp32 * n * d;
+  t.msgs_ag_s = (gather_bytes + out_bytes) / (gpu.gather_gbps * 1e9) + launch;
+
+  // Residual/norm/layout glue: a few streaming passes over X.
+  const double elementwise_bytes = fp32 * 5.0 * n * d;
+  t.elementwise_s = elementwise_bytes / (gpu.dram_gbps * 1e9) + 2.0 * launch;
+  return t;
+}
+
+double gpu_encoder_time_s(const ModelConfig& m, const GpuSpec& gpu) {
+  return gpu_layer_time(m, gpu).total() * m.n_layers;
+}
+
+double gpu_encoder_energy_j(const ModelConfig& m, const GpuSpec& gpu) {
+  return gpu_encoder_time_s(m, gpu) * gpu.tdp_w * gpu.power_utilization;
+}
+
+}  // namespace defa::baseline

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file gpu_model.h
+/// Analytical GPU execution model for dense MSDeformAttn encoder blocks
+/// (the baselines of Fig. 1b and Fig. 9).
+///
+/// The model is a roofline per phase plus a *gather model* for MSGS:
+/// * MM phases run at `mm_efficiency` of peak fp32 FLOPs (skinny encoder
+///   GEMMs reach 30-40% on consumer parts), bounded by streaming bandwidth;
+/// * softmax / residual / norm phases are bandwidth-bound;
+/// * MSGS + aggregation is a scattered gather of 2x2 neighborhoods across
+///   multi-scale fmaps.  Its achieved bandwidth (`gather_gbps`) is memory-
+///   LATENCY bound: dynamically generated unordered addresses defeat
+///   caching and coalescing (Sec. 2.2), so the achieved rate barely
+///   improves from 2080Ti to 3090Ti despite the 1.6x peak-bandwidth gap —
+///   this is the effect that makes MSGS dominate the layer latency and is
+///   the root of DEFA's speedup shape.
+/// Both calibration constants per GPU are documented against the paper's
+/// measured Fig. 1(b) shares; see EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+#include "config/model_config.h"
+
+namespace defa::baseline {
+
+struct GpuSpec {
+  std::string name;
+  double fp32_tflops = 0.0;
+  double dram_gbps = 0.0;
+  double tdp_w = 0.0;
+  /// Average board power during inference as a fraction of TDP.
+  double power_utilization = 0.7;
+  /// Achieved fraction of peak FLOPs on the encoder GEMMs.
+  double mm_efficiency = 0.35;
+  /// Achieved GB/s of the MSGS gather kernel (latency-bound; calibrated).
+  double gather_gbps = 0.0;
+  /// Per-kernel launch/sync overhead, microseconds.
+  double launch_overhead_us = 8.0;
+
+  [[nodiscard]] static GpuSpec rtx2080ti();
+  [[nodiscard]] static GpuSpec rtx3090ti();
+};
+
+/// Latency breakdown of one dense MSDeformAttn block on a GPU (seconds).
+struct GpuLayerTime {
+  double mm_s = 0.0;       ///< W_A / W_S / W_V projections (+ output proj)
+  double softmax_s = 0.0;
+  double msgs_ag_s = 0.0;  ///< grid-sample + aggregation kernel
+  double elementwise_s = 0.0;  ///< residual/norm/transpose glue
+
+  [[nodiscard]] double total() const noexcept {
+    return mm_s + softmax_s + msgs_ag_s + elementwise_s;
+  }
+  /// Fig. 1(b): share of MSGS + aggregation in the block latency.
+  [[nodiscard]] double msgs_share() const noexcept {
+    return total() > 0 ? msgs_ag_s / total() : 0.0;
+  }
+};
+
+/// Model one dense encoder block in fp32.
+[[nodiscard]] GpuLayerTime gpu_layer_time(const ModelConfig& m, const GpuSpec& gpu);
+
+/// Whole encoder (n_layers blocks), seconds.
+[[nodiscard]] double gpu_encoder_time_s(const ModelConfig& m, const GpuSpec& gpu);
+
+/// Energy of one encoder pass, joules (average power x time).
+[[nodiscard]] double gpu_encoder_energy_j(const ModelConfig& m, const GpuSpec& gpu);
+
+}  // namespace defa::baseline

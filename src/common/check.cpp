@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace defa::detail {
+
+void check_failed(const char* condition, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "DEFA_CHECK failed: (" << condition << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace defa::detail

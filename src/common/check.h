@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file check.h
+/// Precondition / invariant checking used across the DEFA libraries.
+///
+/// Following the C++ Core Guidelines (I.6 / E.12-ish pragmatics) we express
+/// preconditions as always-on checks that throw `defa::CheckError`.  Model
+/// code is simulation-oriented: a violated precondition means the experiment
+/// is meaningless, so failing loudly beats undefined behaviour.  Hot inner
+/// loops use `DEFA_DCHECK`, compiled out in NDEBUG builds.
+
+#include <stdexcept>
+#include <string>
+
+namespace defa {
+
+/// Error thrown when a DEFA_CHECK fails.  Derives from std::logic_error:
+/// a failed check is a programming/configuration error, not an I/O fault.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* condition, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace defa
+
+/// Always-on checked precondition.  `msg` may use string concatenation /
+/// std::to_string; it is only evaluated on failure.
+#define DEFA_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::defa::detail::check_failed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only check for hot loops (bounds checks in tensor indexing etc.).
+#ifdef NDEBUG
+#define DEFA_DCHECK(cond, msg) ((void)0)
+#else
+#define DEFA_DCHECK(cond, msg) DEFA_CHECK(cond, msg)
+#endif

@@ -1,0 +1,37 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace defa {
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 32u));
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& chunk_fn,
+                  std::int64_t min_parallel) {
+  DEFA_CHECK(begin <= end, "parallel_for: inverted range");
+  const std::int64_t n = end - begin;
+  if (n == 0) return;
+  const int threads = hardware_threads();
+  if (n < min_parallel || threads == 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+  const std::int64_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (std::int64_t lo = begin; lo < end; lo += chunk) {
+    const std::int64_t hi = std::min(lo + chunk, end);
+    workers.emplace_back([&chunk_fn, lo, hi] { chunk_fn(lo, hi); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace defa

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file parallel.h
+/// Minimal fork-join parallel loop used to speed up the functional model
+/// (matmuls, grid-sampling sweeps).  Determinism: callers must write to
+/// disjoint output ranges; all reductions are merged in index order.
+
+#include <cstdint>
+#include <functional>
+
+namespace defa {
+
+/// Number of worker threads used by parallel_for (>= 1, capped).
+[[nodiscard]] int hardware_threads();
+
+/// Invoke `chunk_fn(begin, end)` over a partition of [begin, end) across
+/// worker threads.  Runs inline when the range is below `min_parallel`.
+/// `chunk_fn` must be thread-safe for disjoint sub-ranges.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& chunk_fn,
+                  std::int64_t min_parallel = 4096);
+
+}  // namespace defa

@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace defa {
+
+double SmallRng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box-Muller; u clamped away from 0 so log() stays finite.
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  const double v = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * std::numbers::pi * v;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                       std::uint64_t d) noexcept {
+  SmallRng mixer(a);
+  std::uint64_t s = mixer.next() ^ (b * 0x9e3779b97f4a7c15ULL);
+  SmallRng mixer2(s);
+  s = mixer2.next() ^ (c * 0xbf58476d1ce4e5b9ULL);
+  SmallRng mixer3(s);
+  return mixer3.next() ^ (d * 0x94d049bb133111ebULL);
+}
+
+}  // namespace defa

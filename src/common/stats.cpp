@@ -1,0 +1,60 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace defa {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  DEFA_CHECK(a.size() == b.size(), "rmse: size mismatch");
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double nrmse(std::span<const float> reference, std::span<const float> test) {
+  DEFA_CHECK(reference.size() == test.size(), "nrmse: size mismatch");
+  if (reference.empty()) return 0.0;
+  double err = 0.0, ref = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(reference[i]) - static_cast<double>(test[i]);
+    err += d * d;
+    ref += static_cast<double>(reference[i]) * static_cast<double>(reference[i]);
+  }
+  if (ref == 0.0) return err == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::sqrt(err / ref);
+}
+
+double max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  DEFA_CHECK(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+}  // namespace defa

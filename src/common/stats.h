@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file stats.h
+/// Small online/offline summary statistics used throughout the models
+/// (sampled-frequency distributions, error metrics, utilization averages).
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace defa {
+
+/// Streaming accumulator for mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between two equally-sized spans.
+[[nodiscard]] double rmse(std::span<const float> a, std::span<const float> b);
+
+/// RMSE normalized by the RMS magnitude of the reference `a`
+/// (dimensionless; 0 = identical).  Returns 0 when both are all-zero.
+[[nodiscard]] double nrmse(std::span<const float> reference, std::span<const float> test);
+
+/// Maximum absolute elementwise difference.
+[[nodiscard]] double max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace defa

@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace defa {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DEFA_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  DEFA_CHECK(!rows_.empty(), "call new_row() before add()");
+  DEFA_CHECK(rows_.back().size() < header_.size(), "row has more cells than header");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add_num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+TextTable& TextTable::add_int(long long value) { return add(std::to_string(value)); }
+
+std::string TextTable::str(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| " << std::setw(static_cast<int>(width[c])) << cell << " ";
+    }
+    os << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string ratio(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << "x";
+  return os.str();
+}
+
+}  // namespace defa

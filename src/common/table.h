@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.h
+/// Plain-text table formatting used by the benchmark harnesses to print the
+/// rows/series of each paper figure and table.
+
+#include <string>
+#include <vector>
+
+namespace defa {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// with a fixed precision.  Rendering right-aligns numeric-looking cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row.  Cells are appended with `add`/`add_num`.
+  TextTable& new_row();
+  TextTable& add(std::string cell);
+  TextTable& add_num(double value, int precision = 2);
+  /// Convenience: add a count without decimals.
+  TextTable& add_int(long long value);
+
+  /// Render with a title line, header separator and aligned columns.
+  [[nodiscard]] std::string str(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: "12.3%" style percentage from a [0,1] fraction.
+[[nodiscard]] std::string percent(double fraction, int precision = 1);
+
+/// Format helper: "3.06x" style ratio.
+[[nodiscard]] std::string ratio(double value, int precision = 2);
+
+}  // namespace defa

@@ -1,0 +1,70 @@
+#include "config/hw_config.h"
+
+#include <algorithm>
+
+namespace defa {
+
+std::int64_t RangeSpec::window_pixels() const {
+  std::int64_t total = 0;
+  for (int l = 0; l < used_levels; ++l) {
+    const std::int64_t side = window_side(radius(l));
+    total += side * side;
+  }
+  return total;
+}
+
+RangeSpec RangeSpec::level_wise_default(int n_levels) {
+  DEFA_CHECK(n_levels >= 1 && n_levels <= kMaxLevels, "bad level count");
+  RangeSpec spec;
+  spec.used_levels = n_levels;
+  // Fine levels keep the full radius; coarse levels narrow.  With 4 levels
+  // {8,8,6,6} the unified alternative {8,8,8,8} costs +24.6% storage,
+  // reproducing the ~25% figure in Sec. 4.1.
+  constexpr std::array<int, 4> kDefault{8, 8, 6, 6};
+  for (int l = 0; l < n_levels; ++l) {
+    spec.radius_px[static_cast<std::size_t>(l)] =
+        l < 4 ? kDefault[static_cast<std::size_t>(l)] : kDefault.back();
+  }
+  return spec;
+}
+
+RangeSpec RangeSpec::unified(int n_levels, int radius) {
+  DEFA_CHECK(n_levels >= 1 && n_levels <= kMaxLevels, "bad level count");
+  DEFA_CHECK(radius >= 1, "radius must be positive");
+  RangeSpec spec;
+  spec.used_levels = n_levels;
+  spec.radius_px.fill(radius);
+  return spec;
+}
+
+RangeSpec RangeSpec::unified_from(const RangeSpec& level_wise) {
+  int max_r = 1;
+  for (int l = 0; l < level_wise.used_levels; ++l) {
+    max_r = std::max(max_r, level_wise.radius(l));
+  }
+  return unified(level_wise.used_levels, max_r);
+}
+
+void HwConfig::validate(const ModelConfig& m) const {
+  DEFA_CHECK(pe_lanes > 0 && pe_macs_per_lane > 0, "PE array must be non-empty");
+  DEFA_CHECK(sram_banks >= 4 * m.n_levels || parallelism == MsgsParallelism::kIntraLevel,
+             "inter-level parallelism needs 4 banks per level");
+  DEFA_CHECK(ba_point_units > 0 && ba_channels_per_cycle > 0, "BA mode shape");
+  DEFA_CHECK(act_bits > 0 && act_bits <= 16 && weight_bits > 0 && weight_bits <= 16,
+             "precision must fit int16 containers");
+  DEFA_CHECK(ranges.used_levels == m.n_levels, "range spec level count mismatch");
+  DEFA_CHECK(freq_mhz > 0 && dram_gbps >= 0 && dram_pj_per_bit >= 0, "memory system");
+  DEFA_CHECK(tiles >= 1, "tiles must be >= 1");
+  DEFA_CHECK(conflict_penalty_cycles >= 0 && mode_switch_cycles >= 0, "penalties");
+  DEFA_CHECK(m.n_points % ba_point_units == 0 || m.n_points <= ba_point_units,
+             "BA grouping assumes n_points groups map to point units");
+}
+
+HwConfig HwConfig::make_default(const ModelConfig& m) {
+  HwConfig hw;
+  hw.ranges = RangeSpec::level_wise_default(m.n_levels);
+  hw.validate(m);
+  return hw;
+}
+
+}  // namespace defa

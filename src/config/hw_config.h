@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file hw_config.h
+/// DEFA microarchitecture configuration: the reconfigurable PE array,
+/// banked SRAM, external memory system, bounded sampling ranges and the
+/// feature toggles used by the paper's ablations (Figs. 7a/7b).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "config/model_config.h"
+
+namespace defa {
+
+inline constexpr int kMaxLevels = 8;
+
+/// How sampling offsets are bounded around the reference point (Sec. 4.1,
+/// Fig. 4).  Radii are expressed in pixels of each level's own grid.
+struct RangeSpec {
+  std::array<int, kMaxLevels> radius_px{};  ///< per-level clamp radius
+  int used_levels = 0;
+
+  [[nodiscard]] int radius(int level) const {
+    DEFA_CHECK(level >= 0 && level < used_levels, "range level out of bounds");
+    return radius_px[static_cast<std::size_t>(level)];
+  }
+
+  /// Side length of the SRAM window required for a radius-R bounded range:
+  /// fractional sampling at +/-R needs the two pixels straddling each edge.
+  [[nodiscard]] static int window_side(int radius_px) { return 2 * radius_px + 2; }
+
+  /// Total bounded-range pixels buffered on chip across levels.
+  [[nodiscard]] std::int64_t window_pixels() const;
+
+  /// DEFA's level-wise narrowed ranges (coarser levels need smaller pixel
+  /// radii; tuned so the unified alternative costs ~25% extra storage,
+  /// matching Sec. 4.1).
+  [[nodiscard]] static RangeSpec level_wise_default(int n_levels);
+  /// The unified restriction: every level uses the worst-case radius.
+  [[nodiscard]] static RangeSpec unified(int n_levels, int radius);
+  /// Unified spec derived from a level-wise one (max radius everywhere).
+  [[nodiscard]] static RangeSpec unified_from(const RangeSpec& level_wise);
+};
+
+/// Which MSGS parallelization the simulator models (Sec. 4.2, Fig. 5).
+enum class MsgsParallelism {
+  kInterLevel,  ///< 4 concurrent points, one per level; conflict-free banks
+  kIntraLevel,  ///< 4 concurrent points of one level; bank conflicts possible
+};
+
+/// How activations move between DRAM and the MM datapath.
+enum class ActStreaming {
+  kStreamOncePerPhase,   ///< weights resident in SRAM, X/Q streamed once
+  kRestreamPerColTile,   ///< X/Q re-streamed for every 16-column output tile
+};
+
+/// Full hardware parameter set for one DEFA instance.
+struct HwConfig {
+  // Reconfigurable PE array (MM mode: 16-elem vector x 16x16 tile).
+  int pe_lanes = 16;          ///< lanes == output columns per MM step
+  int pe_macs_per_lane = 16;  ///< contraction width per cycle
+  /// BA mode: the array re-forms into point-units that each finish
+  /// `ba_channels_per_cycle` channels of Horner BI + aggregation per cycle.
+  int ba_point_units = 4;
+  int ba_channels_per_cycle = 16;
+
+  int sram_banks = 16;
+  double freq_mhz = 400.0;
+
+  int act_bits = 12;
+  int weight_bits = 12;
+  int accum_bits = 32;
+
+  RangeSpec ranges;  ///< bounded sampling ranges (defaults set by make_default)
+
+  MsgsParallelism parallelism = MsgsParallelism::kInterLevel;
+  ActStreaming act_streaming = ActStreaming::kStreamOncePerPhase;
+  bool enable_operator_fusion = true;  ///< fused MSGS+aggregation (Sec. 4.3)
+  bool enable_fmap_reuse = true;       ///< sliding-window DRAM reuse (Fig. 4)
+
+  /// Pipeline-restart cycles paid whenever an MSGS group hits >=1 bank
+  /// conflict (conflict detection + stall, Sec. 5.3.1).
+  int conflict_penalty_cycles = 4;
+  /// PE-array reconfiguration cost between MM and BA phases.
+  int mode_switch_cycles = 16;
+
+  // External memory system: "a moderate 256GB/s HBM2 ... 1.2 pJ/b" (Sec 5.1.2).
+  // A value of 0 means bandwidth-unconstrained (latency model ignores the
+  // DRAM roofline; energy still charges every byte) — used to bound the
+  // paper's scaling claim from above, see EXPERIMENTS.md Fig. 9.
+  double dram_gbps = 256.0;
+  double dram_pj_per_bit = 1.2;
+
+  /// Query-parallel tiling used only for the GPU-scale comparison (Fig. 9):
+  /// `tiles` identical DEFA tiles share the memory system.
+  int tiles = 1;
+
+  // ---- Derived ------------------------------------------------------------
+
+  [[nodiscard]] int total_macs() const noexcept { return pe_lanes * pe_macs_per_lane; }
+  /// Dense peak throughput in GOPS (1 MAC = 2 ops).
+  [[nodiscard]] double peak_gops() const noexcept {
+    return 2.0 * total_macs() * freq_mhz * 1e-3 * tiles;
+  }
+  [[nodiscard]] double cycle_ns() const noexcept { return 1e3 / freq_mhz; }
+  /// Bytes of one SRAM fmap word: a pixel's per-head channel slice.
+  [[nodiscard]] int sram_word_bytes(const ModelConfig& m) const noexcept {
+    return (m.d_head() * act_bits + 7) / 8;
+  }
+  [[nodiscard]] double bytes_per_act() const noexcept { return act_bits / 8.0; }
+
+  void validate(const ModelConfig& m) const;
+
+  /// Default DEFA configuration for a model (sets ranges for its levels).
+  [[nodiscard]] static HwConfig make_default(const ModelConfig& m);
+};
+
+}  // namespace defa

@@ -1,0 +1,131 @@
+#include "config/model_config.h"
+
+namespace defa {
+
+std::int64_t ModelConfig::n_in() const {
+  std::int64_t n = 0;
+  for (const auto& lv : levels) n += lv.numel();
+  return n;
+}
+
+std::int64_t ModelConfig::level_offset(int l) const {
+  DEFA_CHECK(l >= 0 && l < static_cast<int>(levels.size()), "level out of range");
+  std::int64_t off = 0;
+  for (int i = 0; i < l; ++i) off += levels[static_cast<std::size_t>(i)].numel();
+  return off;
+}
+
+std::int64_t ModelConfig::flat_index(int l, int y, int x) const {
+  const auto& lv = levels[static_cast<std::size_t>(l)];
+  DEFA_DCHECK(y >= 0 && y < lv.h && x >= 0 && x < lv.w, "pixel out of range");
+  return level_offset(l) + static_cast<std::int64_t>(y) * lv.w + x;
+}
+
+ModelConfig::PixelCoord ModelConfig::pixel_of(std::int64_t idx) const {
+  DEFA_CHECK(idx >= 0 && idx < n_in(), "token index out of range");
+  for (int l = 0; l < static_cast<int>(levels.size()); ++l) {
+    const auto& lv = levels[static_cast<std::size_t>(l)];
+    if (idx < lv.numel()) {
+      return PixelCoord{l, static_cast<int>(idx / lv.w), static_cast<int>(idx % lv.w)};
+    }
+    idx -= lv.numel();
+  }
+  DEFA_CHECK(false, "unreachable");
+  return {};
+}
+
+void ModelConfig::validate() const {
+  DEFA_CHECK(d_model > 0 && n_heads > 0 && n_levels > 0 && n_points > 0 && n_layers > 0,
+             "all model dimensions must be positive");
+  DEFA_CHECK(d_model % n_heads == 0, "d_model must divide evenly into heads");
+  DEFA_CHECK(static_cast<int>(levels.size()) == n_levels,
+             "levels vector must have n_levels entries");
+  for (const auto& lv : levels) {
+    DEFA_CHECK(lv.h > 0 && lv.w > 0, "level shape must be positive");
+  }
+  // Fine-to-coarse ordering is assumed by the range-narrowing logic.
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    DEFA_CHECK(levels[l].numel() <= levels[l - 1].numel(),
+               "levels must be ordered fine to coarse");
+  }
+}
+
+namespace {
+
+/// Build a 4-level pyramid from the stride-8 (level-0) grid, halving
+/// (rounding up) per level — the shape a ResNet+FPN backbone produces for
+/// MSDeformAttn (strides 8/16/32/64).
+std::vector<LevelShape> pyramid4(int h0, int w0) {
+  std::vector<LevelShape> lv;
+  int h = h0, w = w0;
+  for (int l = 0; l < 4; ++l) {
+    lv.push_back(LevelShape{h, w});
+    h = (h + 1) / 2;
+    w = (w + 1) / 2;
+  }
+  return lv;
+}
+
+}  // namespace
+
+ModelConfig ModelConfig::deformable_detr() {
+  ModelConfig m;
+  m.name = "De DETR";
+  m.levels = pyramid4(100, 134);  // 800x1066 input, stride 8
+  m.baseline_ap = 46.9;
+  m.seed = 2024'0001;
+  m.validate();
+  return m;
+}
+
+ModelConfig ModelConfig::dn_detr() {
+  ModelConfig m;
+  m.name = "DN-DETR";
+  m.levels = pyramid4(96, 128);  // 768x1024 input, stride 8
+  m.baseline_ap = 49.4;
+  m.seed = 2024'0002;
+  m.validate();
+  return m;
+}
+
+ModelConfig ModelConfig::dino() {
+  ModelConfig m;
+  m.name = "DINO";
+  m.levels = pyramid4(104, 140);  // 832x1120 input, stride 8
+  m.baseline_ap = 50.8;
+  m.seed = 2024'0003;
+  m.validate();
+  return m;
+}
+
+std::vector<ModelConfig> ModelConfig::paper_benchmarks() {
+  return {deformable_detr(), dn_detr(), dino()};
+}
+
+ModelConfig ModelConfig::tiny() {
+  ModelConfig m;
+  m.name = "tiny";
+  m.d_model = 16;
+  m.n_heads = 2;
+  m.n_levels = 2;
+  m.n_points = 2;
+  m.n_layers = 2;
+  m.levels = {LevelShape{8, 10}, LevelShape{4, 5}};
+  m.baseline_ap = 40.0;
+  m.seed = 7;
+  m.validate();
+  return m;
+}
+
+ModelConfig ModelConfig::small() {
+  ModelConfig m;
+  m.name = "small";
+  m.levels = pyramid4(32, 40);
+  m.n_layers = 3;
+  m.baseline_ap = 45.0;
+  m.seed = 11;
+  m.validate();
+  return m;
+}
+
+}  // namespace defa

@@ -1,0 +1,391 @@
+#include "core/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defa::core {
+
+namespace {
+
+/// Deployment power overhead of the scaled DEFA instances used in Fig. 9
+/// (HBM PHY + controller, host interface, regulators), W per peak TOPS.
+/// Single documented calibration scalar for the EE magnitude; all relative
+/// behaviour (benchmark/GPU ordering) is model-driven.  See EXPERIMENTS.md.
+constexpr double kSystemOverheadWPerTops = 10.0;
+
+}  // namespace
+
+BenchmarkContext::BenchmarkContext(ModelConfig model) : model_(std::move(model)) {
+  model_.validate();
+}
+
+void BenchmarkContext::ensure_workload() {
+  if (wl_ != nullptr) return;
+  workload::SceneParams params;
+  params.seed = model_.seed;
+  wl_ = std::make_unique<workload::SceneWorkload>(model_, params);
+  pipe_ = std::make_unique<EncoderPipeline>(*wl_);
+}
+
+const workload::SceneWorkload& BenchmarkContext::workload_ref() {
+  ensure_workload();
+  return *wl_;
+}
+
+const EncoderPipeline& BenchmarkContext::pipeline() {
+  ensure_workload();
+  return *pipe_;
+}
+
+void BenchmarkContext::ensure_defa() {
+  ensure_workload();
+  if (defa_ == nullptr) {
+    defa_ = std::make_unique<EncoderResult>(
+        pipe_->run(PruneConfig::defa_default(model_)));
+  }
+}
+
+const EncoderResult& BenchmarkContext::defa_result() {
+  ensure_defa();
+  return *defa_;
+}
+
+void BenchmarkContext::ensure_narrowed_locs() {
+  ensure_workload();
+  if (!narrowed_locs_.empty()) return;
+  const RangeSpec ranges = RangeSpec::level_wise_default(model_.n_levels);
+  narrowed_locs_.reserve(static_cast<std::size_t>(model_.n_layers));
+  for (int l = 0; l < model_.n_layers; ++l) {
+    Tensor locs = pipe_->layer_fields(l).locs;
+    (void)prune::clamp_to_range(model_, wl_->ref_norm(), ranges, locs);
+    narrowed_locs_.push_back(std::move(locs));
+  }
+}
+
+std::vector<arch::LayerTrace> BenchmarkContext::defa_traces() {
+  ensure_defa();
+  ensure_narrowed_locs();
+  std::vector<arch::LayerTrace> traces;
+  for (int l = 0; l < model_.n_layers; ++l) {
+    arch::LayerTrace t;
+    t.locs = &narrowed_locs_[static_cast<std::size_t>(l)];
+    t.pmask = &defa_->point_masks[static_cast<std::size_t>(l)];
+    t.fmask = &defa_->fmap_masks[static_cast<std::size_t>(l)];
+    t.ref_norm = &wl_->ref_norm();
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+std::vector<arch::LayerTrace> BenchmarkContext::dense_traces() {
+  ensure_workload();
+  ensure_narrowed_locs();
+  if (all_keep_points_ == nullptr) {
+    all_keep_points_ = std::make_unique<prune::PointMask>(model_);
+    all_keep_pixels_ = std::make_unique<prune::FmapMask>(model_);
+  }
+  std::vector<arch::LayerTrace> traces;
+  for (int l = 0; l < model_.n_layers; ++l) {
+    arch::LayerTrace t;
+    t.locs = &narrowed_locs_[static_cast<std::size_t>(l)];
+    t.pmask = all_keep_points_.get();
+    t.fmask = all_keep_pixels_.get();
+    t.ref_norm = &wl_->ref_norm();
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+double BenchmarkContext::dense_encoder_flops() const {
+  return dense_flops(model_).total() * model_.n_layers;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<Fig1bRow> run_fig1b() {
+  std::vector<Fig1bRow> rows;
+  const baseline::GpuSpec gpu = baseline::GpuSpec::rtx3090ti();
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    Fig1bRow row;
+    row.benchmark = m.name;
+    row.layer = baseline::gpu_layer_time(m, gpu);
+    row.msgs_latency_share = row.layer.msgs_share();
+    const FlopCount f = dense_flops(m);
+    row.msgs_flop_share = f.msgs_total() / f.total();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig6aRow> run_fig6a() {
+  using accuracy::ApModel;
+  using accuracy::Technique;
+  const ApModel& ap = ApModel::paper_calibrated();
+
+  std::vector<Fig6aRow> rows;
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    BenchmarkContext ctx(m);
+    const EncoderPipeline& pipe = ctx.pipeline();
+
+    Fig6aRow row;
+    row.benchmark = m.name;
+    row.baseline_ap = m.baseline_ap;
+    row.err_fwp = pipe.run(PruneConfig::only_fwp()).final_nrmse;
+    row.err_pap = pipe.run(PruneConfig::only_pap()).final_nrmse;
+    row.err_narrow = pipe.run(PruneConfig::only_narrow(m)).final_nrmse;
+    row.err_int12 = pipe.run(PruneConfig::only_quant(12)).final_nrmse;
+    row.err_int8 = pipe.run(PruneConfig::only_quant(8)).final_nrmse;
+
+    row.drop_fwp = ap.drop(Technique::kFwp, row.err_fwp);
+    row.drop_pap = ap.drop(Technique::kPap, row.err_pap);
+    row.drop_narrow = ap.drop(Technique::kNarrow, row.err_narrow);
+    row.drop_int12 = ap.drop(Technique::kQuant12, row.err_int12);
+    row.drop_int8 = ap.drop(Technique::kQuant8, row.err_int8);
+
+    row.defa_ap = row.baseline_ap -
+                  (row.drop_fwp + row.drop_pap + row.drop_narrow + row.drop_int12);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig6bRow> run_fig6b() {
+  std::vector<Fig6bRow> rows;
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    BenchmarkContext ctx(m);
+    const EncoderResult& r = ctx.defa_result();
+    rows.push_back(Fig6bRow{m.name, r.point_reduction(), r.pixel_reduction(),
+                            r.flop_reduction()});
+  }
+  return rows;
+}
+
+std::vector<Fig7aRow> run_fig7a() {
+  std::vector<Fig7aRow> rows;
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    BenchmarkContext ctx(m);
+
+    HwConfig inter = HwConfig::make_default(m);
+    HwConfig intra = inter;
+    intra.parallelism = MsgsParallelism::kIntraLevel;
+    const arch::MsgsEngine inter_engine(m, inter);
+    const arch::MsgsEngine intra_engine(m, intra);
+
+    // Hardware-only comparison at the same degree of parallelism: dense
+    // sampling (no PAP), all blocks.
+    arch::MsgsPerf inter_perf, intra_perf, inter_pruned, intra_pruned;
+    const auto dense = ctx.dense_traces();
+    const auto pruned = ctx.defa_traces();
+    for (int l = 0; l < m.n_layers; ++l) {
+      inter_perf += inter_engine.run(*dense[static_cast<std::size_t>(l)].locs,
+                                     *dense[static_cast<std::size_t>(l)].pmask);
+      intra_perf += intra_engine.run(*dense[static_cast<std::size_t>(l)].locs,
+                                     *dense[static_cast<std::size_t>(l)].pmask);
+      inter_pruned += inter_engine.run(*pruned[static_cast<std::size_t>(l)].locs,
+                                       *pruned[static_cast<std::size_t>(l)].pmask);
+      intra_pruned += intra_engine.run(*pruned[static_cast<std::size_t>(l)].locs,
+                                       *pruned[static_cast<std::size_t>(l)].pmask);
+    }
+
+    Fig7aRow row;
+    row.benchmark = m.name;
+    row.inter_points_per_cycle = inter_perf.points_per_cycle();
+    row.intra_points_per_cycle = intra_perf.points_per_cycle();
+    row.boost = row.inter_points_per_cycle / row.intra_points_per_cycle;
+    row.intra_conflict_rate = intra_perf.groups > 0
+                                  ? static_cast<double>(intra_perf.conflict_groups) /
+                                        static_cast<double>(intra_perf.groups)
+                                  : 0.0;
+    row.boost_pruned =
+        inter_pruned.points_per_cycle() / intra_pruned.points_per_cycle();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+/// DRAM/SRAM energy of the MSGS phase only (Fig. 7b accounting).
+struct MsgsMemEnergy {
+  double dram_pj = 0;
+  double sram_pj = 0;
+  [[nodiscard]] double total() const noexcept { return dram_pj + sram_pj; }
+};
+
+MsgsMemEnergy msgs_memory_energy(const ModelConfig& m, const HwConfig& hw,
+                                 const arch::RunPerf& run) {
+  const energy::SramPlan plan = energy::build_sram_plan(m, hw);
+  const double read_pj = plan.avg_read_pj_per_byte();
+  const double write_pj = plan.avg_write_pj_per_byte();
+  MsgsMemEnergy e;
+  for (const arch::LayerPerf& layer : run.layers) {
+    for (const arch::PhaseStats& p : layer.phases) {
+      if (p.name != "msgs+ag") continue;
+      e.dram_pj += static_cast<double>(p.dram_bytes()) * hw.dram_pj_per_bit * 8.0;
+      e.sram_pj += static_cast<double>(p.sram_read_bytes) * read_pj +
+                   static_cast<double>(p.sram_write_bytes) * write_pj;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<Fig7bRow> run_fig7b() {
+  std::vector<Fig7bRow> rows;
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    BenchmarkContext ctx(m);
+    // Hardware-tactic isolation (like Fig. 7a): dense sampling, so the
+    // fusion ablation moves the full sampling-value tensor.  The paper's
+    // 73.3% + 88.2% pair is only mutually consistent under this reading
+    // (see EXPERIMENTS.md).
+    const auto traces = ctx.dense_traces();
+
+    auto simulate = [&](bool fusion, bool reuse) {
+      HwConfig hw = HwConfig::make_default(m);
+      hw.enable_operator_fusion = fusion;
+      hw.enable_fmap_reuse = reuse;
+      const arch::DefaAccelerator acc(m, hw);
+      return msgs_memory_energy(m, hw, acc.simulate_run(traces));
+    };
+
+    const MsgsMemEnergy full = simulate(true, true);
+    const MsgsMemEnergy no_fusion = simulate(false, true);
+    const MsgsMemEnergy no_reuse = simulate(true, false);
+
+    Fig7bRow row;
+    row.benchmark = m.name;
+    row.fusion_dram_saving = (no_fusion.dram_pj - full.dram_pj) / no_fusion.total();
+    row.fusion_sram_saving = (no_fusion.sram_pj - full.sram_pj) / no_fusion.total();
+    row.reuse_dram_saving = (no_reuse.dram_pj - full.dram_pj) / no_reuse.total();
+    row.reuse_sram_saving = (no_reuse.sram_pj - full.sram_pj) / no_reuse.total();
+
+    // Sanity rows quoted in the paper's text.
+    HwConfig hw = HwConfig::make_default(m);
+    const energy::SramPlan with_fusion = energy::build_sram_plan(m, hw);
+    HwConfig hw_nf = hw;
+    hw_nf.enable_operator_fusion = false;
+    const energy::SramPlan without_fusion = energy::build_sram_plan(m, hw_nf);
+    row.fusion_extra_sram_frac =
+        static_cast<double>(with_fusion.total_bytes() - without_fusion.total_bytes()) /
+        static_cast<double>(without_fusion.total_bytes());
+
+    const arch::DefaAccelerator acc(m, hw);
+    const arch::RunPerf run = acc.simulate_run(traces);
+    const arch::PhaseStats total = run.total();
+    // Pruning bookkeeping SRAM traffic: frequency counters + masks.
+    double prune_bytes = 0;
+    for (int l = 0; l < m.n_layers; ++l) {
+      const auto kept = static_cast<double>(
+          ctx.defa_result().point_masks[static_cast<std::size_t>(l)].kept_count());
+      prune_bytes += kept * 4 * 2 * 2 + static_cast<double>(m.n_in()) / 8.0;
+    }
+    row.prune_sram_access_frac =
+        prune_bytes /
+        static_cast<double>(total.sram_read_bytes + total.sram_write_bytes);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+Fig8Result run_fig8() {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  BenchmarkContext ctx(m);
+  const auto traces = ctx.defa_traces();
+
+  Fig8Result result;
+  HwConfig hw = HwConfig::make_default(m);
+  result.area = energy::area_breakdown(m, hw);
+  {
+    const arch::DefaAccelerator acc(m, hw);
+    result.energy_default = energy::energy_breakdown(m, hw, acc.simulate_run(traces));
+  }
+  {
+    HwConfig hw_restream = hw;
+    hw_restream.act_streaming = ActStreaming::kRestreamPerColTile;
+    const arch::DefaAccelerator acc(m, hw_restream);
+    result.energy_restream =
+        energy::energy_breakdown(m, hw_restream, acc.simulate_run(traces));
+  }
+  return result;
+}
+
+std::vector<Fig9Row> run_fig9() {
+  std::vector<Fig9Row> rows;
+  const std::vector<baseline::GpuSpec> gpus = {baseline::GpuSpec::rtx2080ti(),
+                                               baseline::GpuSpec::rtx3090ti()};
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    BenchmarkContext ctx(m);
+    const auto traces = ctx.defa_traces();
+    const double dense_ops = ctx.dense_encoder_flops();
+
+    for (const baseline::GpuSpec& gpu : gpus) {
+      HwConfig hw = HwConfig::make_default(m);
+      // Iso-peak-throughput scaling (Sec. 5.4): tile the design up to the
+      // GPU's peak TOPS and provision a GPU-class memory system.
+      hw.tiles = std::max(
+          1, static_cast<int>(std::lround(gpu.fp32_tflops * 1e3 / hw.peak_gops())));
+      hw.dram_gbps = gpu.dram_gbps;
+      const arch::DefaAccelerator acc(m, hw);
+      const arch::RunPerf run = acc.simulate_run(traces);
+      const energy::PerfSummary sum = energy::summarize(m, hw, run, dense_ops);
+
+      Fig9Row row;
+      row.benchmark = m.name;
+      row.gpu = gpu.name;
+      row.tiles = hw.tiles;
+      row.gpu_time_ms = baseline::gpu_encoder_time_s(m, gpu) * 1e3;
+      row.defa_time_ms = sum.time_ms;
+      row.speedup = row.gpu_time_ms / row.defa_time_ms;
+      row.gpu_energy_j = baseline::gpu_encoder_energy_j(m, gpu);
+      const double overhead_w =
+          kSystemOverheadWPerTops * hw.peak_gops() * 1e-3;  // W
+      const double defa_device_j =
+          energy::energy_breakdown(m, hw, run).total_pj() * 1e-12;
+      row.defa_energy_j = defa_device_j + overhead_w * sum.time_ms * 1e-3;
+      row.ee_improvement = row.gpu_energy_j / row.defa_energy_j;
+
+      // Bandwidth-unconstrained upper bound (same energy per byte, no
+      // DRAM latency roofline).
+      HwConfig hw_nolimit = hw;
+      hw_nolimit.dram_gbps = 0.0;
+      const arch::DefaAccelerator acc_nolimit(m, hw_nolimit);
+      const arch::RunPerf run_nolimit = acc_nolimit.simulate_run(traces);
+      const double t_nolimit_ms =
+          static_cast<double>(run_nolimit.wall_cycles()) * hw.cycle_ns() * 1e-6;
+      row.speedup_compute_bound = row.gpu_time_ms / t_nolimit_ms;
+      row.ee_compute_bound =
+          row.gpu_energy_j / (defa_device_j + overhead_w * t_nolimit_ms * 1e-3);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+std::vector<baseline::AsicRecord> run_table1() {
+  std::vector<baseline::AsicRecord> records = baseline::attention_asic_records();
+
+  const ModelConfig m = ModelConfig::deformable_detr();
+  BenchmarkContext ctx(m);
+  const HwConfig hw = HwConfig::make_default(m);
+  const arch::DefaAccelerator acc(m, hw);
+  const arch::RunPerf run = acc.simulate_run(ctx.defa_traces());
+  const energy::PerfSummary sum =
+      energy::summarize(m, hw, run, ctx.dense_encoder_flops());
+
+  baseline::AsicRecord defa;
+  defa.name = "DEFA (ours)";
+  defa.venue = "DAC'24";
+  defa.function = "DeformAttn";
+  defa.tech_nm = 40;
+  defa.area_mm2 = sum.area_mm2;
+  defa.freq_mhz = hw.freq_mhz;
+  defa.precision = "INT12";
+  defa.power_mw = sum.chip_power_mw;
+  defa.throughput_gops = sum.effective_gops;
+  defa.ee_gops_per_w = sum.gops_per_w;
+  records.push_back(defa);
+  return records;
+}
+
+}  // namespace defa::core

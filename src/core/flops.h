@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file flops.h
+/// Operation accounting for one MSDeformAttn block (module boundary of
+/// Eq. 1: W_A/W_S/W_V projections, softmax, MSGS bilinear interpolation and
+/// aggregation — no output projection, matching the paper's Fig. 6(b)).
+///
+/// Conventions: 1 MAC = 2 FLOPs; bilinear interpolation costs 4 MACs per
+/// channel (direct form), aggregation 1 MAC per channel, softmax 5 FLOPs
+/// per element.  The same convention is applied to dense and pruned counts
+/// so reduction ratios are convention-independent.
+
+#include <cstdint>
+
+#include "config/model_config.h"
+
+namespace defa::core {
+
+struct FlopCount {
+  double attn_proj = 0.0;    ///< Q * W_A
+  double offset_proj = 0.0;  ///< Q * W_S (per surviving point)
+  double value_proj = 0.0;   ///< X * W_V (per surviving pixel)
+  double softmax = 0.0;
+  double msgs_bi = 0.0;      ///< bilinear interpolation
+  double aggregation = 0.0;  ///< probability-weighted summation
+
+  [[nodiscard]] double total() const noexcept {
+    return attn_proj + offset_proj + value_proj + softmax + msgs_bi + aggregation;
+  }
+  [[nodiscard]] double msgs_total() const noexcept { return msgs_bi + aggregation; }
+
+  FlopCount& operator+=(const FlopCount& o) noexcept;
+};
+
+/// Dense (unpruned) FLOPs of one block.
+[[nodiscard]] FlopCount dense_flops(const ModelConfig& m);
+
+/// FLOPs of one block after pruning: `kept_points` sampling points survive
+/// PAP (of N*H*L*P) and `kept_pixels` fmap pixels survive FWP (of N_in).
+[[nodiscard]] FlopCount pruned_flops(const ModelConfig& m, std::int64_t kept_points,
+                                     std::int64_t kept_pixels);
+
+}  // namespace defa::core

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file msgs.h
+/// Production MSGS + aggregation engine of the functional model: one code
+/// path that supports point masks (PAP), pruned value rows (FWP pixels are
+/// zeroed before projection) and the INTn hardware datapath (Horner BI on
+/// integer codes, Sec. 4.3).  The unmasked fp32 configuration reproduces
+/// nn::msgs_aggregate_ref bit-for-bit in fp32 (covered by tests).
+
+#include "config/model_config.h"
+#include "prune/masks.h"
+#include "tensor/tensor.h"
+
+namespace defa::core {
+
+struct MsgsOptions {
+  /// Points pruned by PAP are skipped entirely (no BI, no aggregation).
+  const prune::PointMask* point_mask = nullptr;
+  /// Run the integer datapath: values/probs/fractions quantized to the
+  /// given widths, BI in Horner form on codes, aggregation in fixed point.
+  bool quantized = false;
+  int act_bits = 12;   ///< value-code width
+  int frac_bits = 12;  ///< t0/t1 and probability fraction width
+};
+
+/// Grid-sample `values` (N_in x D) at `locs` (N, H, L, P, 2) and aggregate
+/// with `probs` (N, H, L*P).  Returns the (N, D) head-concatenated output.
+[[nodiscard]] Tensor run_msgs(const ModelConfig& m, const Tensor& values,
+                              const Tensor& probs, const Tensor& locs,
+                              const MsgsOptions& options);
+
+}  // namespace defa::core

@@ -1,0 +1,294 @@
+#include "core/pipeline.h"
+#include <cmath>
+
+
+#include "common/stats.h"
+#include "core/msgs.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/softmax.h"
+#include "quant/fixed_point.h"
+
+namespace defa::core {
+
+PruneConfig PruneConfig::baseline() {
+  PruneConfig c;
+  c.label = "baseline";
+  return c;
+}
+
+PruneConfig PruneConfig::defa_default(const ModelConfig& m) {
+  PruneConfig c;
+  c.label = "DEFA";
+  c.pap = true;
+  c.fwp = true;
+  c.narrow = true;
+  c.ranges = RangeSpec::level_wise_default(m.n_levels);
+  c.quantize = true;
+  c.bits = 12;
+  return c;
+}
+
+PruneConfig PruneConfig::only_fwp(double k) {
+  PruneConfig c;
+  c.label = "FWP";
+  c.fwp = true;
+  c.fwp_k = k;
+  return c;
+}
+
+PruneConfig PruneConfig::only_pap(double tau) {
+  PruneConfig c;
+  c.label = "PAP";
+  c.pap = true;
+  c.pap_tau = tau;
+  return c;
+}
+
+PruneConfig PruneConfig::only_narrow(const ModelConfig& m) {
+  PruneConfig c;
+  c.label = "range-narrowing";
+  c.narrow = true;
+  c.ranges = RangeSpec::level_wise_default(m.n_levels);
+  return c;
+}
+
+PruneConfig PruneConfig::only_quant(int bits) {
+  PruneConfig c;
+  c.label = "INT" + std::to_string(bits);
+  c.quantize = true;
+  c.bits = bits;
+  return c;
+}
+
+double EncoderResult::point_reduction() const noexcept {
+  std::int64_t total = 0, kept = 0;
+  for (const auto& l : layers) {
+    total += l.total_points;
+    kept += l.kept_points;
+  }
+  return total > 0 ? 1.0 - static_cast<double>(kept) / static_cast<double>(total) : 0.0;
+}
+
+double EncoderResult::pixel_reduction() const noexcept {
+  std::int64_t total = 0, kept = 0;
+  for (const auto& l : layers) {
+    if (l.layer == 0) continue;  // no incoming mask at the first block
+    total += l.total_pixels;
+    kept += l.kept_pixels;
+  }
+  return total > 0 ? 1.0 - static_cast<double>(kept) / static_cast<double>(total) : 0.0;
+}
+
+EncoderPipeline::EncoderPipeline(const workload::SceneWorkload& workload)
+    : wl_(workload) {}
+
+namespace {
+
+/// Per-layer value-projection weights, deterministic in (model seed, layer).
+Tensor layer_value_weights(const ModelConfig& m, int layer) {
+  Rng rng(mix_seed(m.seed, 0xBEEF, static_cast<std::uint64_t>(layer)));
+  const float std = 1.0f / std::sqrt(static_cast<float>(m.d_model));
+  return Tensor::randn({m.d_model, m.d_model}, rng, 0.0f, std);
+}
+
+/// Zero the value rows of FWP-pruned pixels (their projection is skipped
+/// by the hardware; downstream BI then reads zeros for those pixels).
+void zero_pruned_rows(const ModelConfig& m, const prune::FmapMask& mask, Tensor& v) {
+  for (std::int64_t t = 0; t < m.n_in(); ++t) {
+    if (mask.keep(t)) continue;
+    for (float& x : v.row(t)) x = 0.0f;
+  }
+}
+
+/// Quantize the sampling offsets (deltaP = loc - reference center) with one
+/// per-tensor spec, as the INTn MM datapath that generates them would.
+/// Coarse widths (INT8) visibly shift sampling positions — the dominant
+/// cause of the paper's 9.7-AP INT8 collapse.
+void quantize_offsets(const ModelConfig& m, const Tensor& ref_norm, int bits,
+                      Tensor& locs) {
+  const std::int64_t n = m.n_in();
+  Tensor offsets = locs;  // same layout; convert to offsets in place
+  for (std::int64_t q = 0; q < n; ++q) {
+    const float rx = ref_norm(q, 0);
+    const float ry = ref_norm(q, 1);
+    for (int h = 0; h < m.n_heads; ++h) {
+      for (int l = 0; l < m.n_levels; ++l) {
+        const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+        const float cx = rx * static_cast<float>(lv.w) - 0.5f;
+        const float cy = ry * static_cast<float>(lv.h) - 0.5f;
+        for (int p = 0; p < m.n_points; ++p) {
+          offsets(q, h, l, p, 0) -= cx;
+          offsets(q, h, l, p, 1) -= cy;
+        }
+      }
+    }
+  }
+  const quant::QuantSpec spec = quant::QuantSpec::fit(offsets.data(), bits);
+  for (std::int64_t q = 0; q < n; ++q) {
+    const float rx = ref_norm(q, 0);
+    const float ry = ref_norm(q, 1);
+    for (int h = 0; h < m.n_heads; ++h) {
+      for (int l = 0; l < m.n_levels; ++l) {
+        const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+        const float cx = rx * static_cast<float>(lv.w) - 0.5f;
+        const float cy = ry * static_cast<float>(lv.h) - 0.5f;
+        for (int p = 0; p < m.n_points; ++p) {
+          const float ox = quant::dequantize_value(
+              quant::quantize_value(offsets(q, h, l, p, 0), spec), spec);
+          const float oy = quant::dequantize_value(
+              quant::quantize_value(offsets(q, h, l, p, 1), spec), spec);
+          locs(q, h, l, p, 0) = cx + ox;
+          locs(q, h, l, p, 1) = cy + oy;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void EncoderPipeline::ensure_reference() const {
+  if (ref_built_) return;
+  const ModelConfig& m = wl_.model();
+  Tensor x_ref = wl_.fmap();
+  ref_.reserve(static_cast<std::size_t>(m.n_layers));
+  for (int layer = 0; layer < m.n_layers; ++layer) {
+    LayerRef lr;
+    lr.fields = wl_.layer_fields(layer);
+    lr.probs = nn::softmax_lastdim(lr.fields.logits);
+    const Tensor v_ref = nn::matmul(x_ref, layer_value_weights(m, layer));
+    lr.out_ref = run_msgs(m, v_ref, lr.probs, lr.fields.locs, MsgsOptions{});
+    x_ref.add_(lr.out_ref);
+    nn::rms_norm_rows(x_ref);
+    ref_.push_back(std::move(lr));
+  }
+  x_ref_final_ = std::move(x_ref);
+  ref_built_ = true;
+}
+
+const nn::MsdaFields& EncoderPipeline::layer_fields(int layer) const {
+  ensure_reference();
+  DEFA_CHECK(layer >= 0 && layer < static_cast<int>(ref_.size()), "layer out of range");
+  return ref_[static_cast<std::size_t>(layer)].fields;
+}
+
+const Tensor& EncoderPipeline::layer_probs(int layer) const {
+  ensure_reference();
+  DEFA_CHECK(layer >= 0 && layer < static_cast<int>(ref_.size()), "layer out of range");
+  return ref_[static_cast<std::size_t>(layer)].probs;
+}
+
+EncoderResult EncoderPipeline::run(const PruneConfig& cfg) const {
+  ensure_reference();
+  const ModelConfig& m = wl_.model();
+  EncoderResult result;
+  result.config_label = cfg.label;
+
+  // Baseline short-circuit: with no technique enabled the pruned run is the
+  // dense reference by construction.
+  if (!cfg.any_enabled()) {
+    for (int layer = 0; layer < m.n_layers; ++layer) {
+      LayerRunStats ls;
+      ls.layer = layer;
+      ls.total_points = m.n_in() * m.n_heads * m.n_levels * m.n_points;
+      ls.kept_points = ls.total_points;
+      ls.total_pixels = m.n_in();
+      ls.kept_pixels = ls.total_pixels;
+      ls.flops_dense = dense_flops(m);
+      ls.flops_actual = ls.flops_dense;
+      result.total_dense += ls.flops_dense;
+      result.total_actual += ls.flops_actual;
+      result.point_masks.emplace_back(m);
+      result.fmap_masks.emplace_back(m);
+      result.layers.push_back(std::move(ls));
+    }
+    return result;
+  }
+
+  // The pruned trajectory diverges from the cached dense reference through
+  // the enabled techniques; both share X0 and all scene-driven fields.
+  Tensor x = wl_.fmap();
+
+  prune::FmapMask fmask(m);  // all-keep for the first block
+
+  for (int layer = 0; layer < m.n_layers; ++layer) {
+    const LayerRef& lref = ref_[static_cast<std::size_t>(layer)];
+    const nn::MsdaFields& fields = lref.fields;
+    const Tensor& probs = lref.probs;
+    const Tensor& out_ref = lref.out_ref;
+    const Tensor w_value = layer_value_weights(m, layer);
+
+    // ---------------- DEFA block -------------------------------
+    LayerRunStats ls;
+    ls.layer = layer;
+    ls.total_points = m.n_in() * m.n_heads * m.n_levels * m.n_points;
+    ls.total_pixels = m.n_in();
+
+    // (1) INTn generation of logits and offsets (the MM-mode datapath),
+    // then range narrowing of the resulting sampling locations.
+    Tensor locs = fields.locs;
+    Tensor probs_hw = probs;
+    if (cfg.quantize) {
+      quantize_offsets(m, wl_.ref_norm(), cfg.bits, locs);
+      probs_hw = nn::softmax_lastdim(quant::fake_quantize(fields.logits, cfg.bits));
+    }
+    if (cfg.narrow) {
+      ls.clamp = prune::clamp_to_range(m, wl_.ref_norm(), cfg.ranges, locs);
+    }
+
+    // (2) PAP point mask from the (hardware) softmax probabilities
+    prune::PointMask pmask = cfg.pap ? prune::pap_prune(m, probs_hw, cfg.pap_tau, &ls.pap)
+                                     : prune::PointMask(m);
+    ls.kept_points = pmask.kept_count();
+
+    // (3) FWP-masked value projection (mask from the previous block)
+    ls.kept_pixels = fmask.kept_count();
+    Tensor v;
+    if (cfg.quantize) {
+      const Tensor xq = quant::fake_quantize(x, cfg.bits);
+      const Tensor wq = quant::fake_quantize(w_value, cfg.bits);
+      v = nn::matmul(xq, wq);
+      v = quant::fake_quantize(v, cfg.bits);
+    } else {
+      v = nn::matmul(x, w_value);
+    }
+    if (cfg.fwp) zero_pruned_rows(m, fmask, v);
+
+    // (4) fused MSGS + aggregation (INTn datapath when quantizing)
+    MsgsOptions opt;
+    opt.point_mask = &pmask;
+    opt.quantized = cfg.quantize;
+    opt.act_bits = cfg.bits;
+    opt.frac_bits = cfg.bits;
+    const Tensor out = run_msgs(m, v, probs_hw, locs, opt);
+
+    // (5) frequency counting -> fmap mask for the next block
+    prune::FmapMask next_fmask(m);
+    if (cfg.fwp) {
+      const prune::FreqCounter freq = prune::count_sampled_frequency(m, locs, pmask);
+      next_fmask = prune::fwp_prune(m, freq, cfg.fwp_k, &ls.fwp);
+    }
+
+    // ---------------- bookkeeping ------------------------------
+    ls.flops_dense = dense_flops(m);
+    ls.flops_actual = pruned_flops(m, ls.kept_points, ls.kept_pixels);
+    ls.out_nrmse = nrmse(out_ref.data(), out.data());
+    result.total_dense += ls.flops_dense;
+    result.total_actual += ls.flops_actual;
+
+    result.point_masks.push_back(std::move(pmask));
+    result.fmap_masks.push_back(std::move(fmask));
+    fmask = std::move(next_fmask);
+    result.layers.push_back(std::move(ls));
+
+    // ---------------- residual + norm, advance the pruned trajectory
+    x.add_(out);
+    nn::rms_norm_rows(x);
+  }
+
+  result.final_nrmse = nrmse(x_ref_final_.data(), x.data());
+  return result;
+}
+
+}  // namespace defa::core

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file pipeline.h
+/// The DEFA functional encoder pipeline: N MSDeformAttn blocks with the
+/// paper's four algorithm-level techniques applied in hardware order
+/// (Sec. 4.1) —
+///   softmax -> PAP point mask -> (masked) offset generation ->
+///   FWP-masked value projection -> range-narrowed, fused MSGS+aggregation
+///   (optionally on the INTn datapath) -> frequency counting -> fmap mask
+///   for the next block.
+///
+/// A dense fp32 reference trajectory runs alongside the pruned trajectory;
+/// the divergence between the two feeds the accuracy proxy (Fig. 6a), the
+/// masks feed the cycle-accurate simulator, and the kept/total counts feed
+/// the reduction figures (Fig. 6b).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/hw_config.h"
+#include "core/flops.h"
+#include "prune/fwp.h"
+#include "prune/masks.h"
+#include "prune/pap.h"
+#include "prune/range.h"
+#include "workload/scene.h"
+
+namespace defa::core {
+
+/// Algorithm-level configuration of one pipeline run.
+struct PruneConfig {
+  std::string label = "baseline";
+
+  bool pap = false;
+  double pap_tau = 0.03;  ///< probabilities below tau are pruned
+
+  bool fwp = false;
+  double fwp_k = 0.66;  ///< Eq. 2 multiplier
+
+  bool narrow = false;
+  RangeSpec ranges{};  ///< used when narrow == true
+
+  bool quantize = false;
+  int bits = 12;
+
+  /// Dense fp32 run (no technique enabled).
+  [[nodiscard]] static PruneConfig baseline();
+  /// Full DEFA configuration (all four techniques, INT12).
+  [[nodiscard]] static PruneConfig defa_default(const ModelConfig& m);
+  /// Single-technique configurations for the Fig. 6(a) breakdown.
+  [[nodiscard]] static PruneConfig only_fwp(double k = 0.66);
+  [[nodiscard]] static PruneConfig only_pap(double tau = 0.03);
+  [[nodiscard]] static PruneConfig only_narrow(const ModelConfig& m);
+  [[nodiscard]] static PruneConfig only_quant(int bits);
+
+  [[nodiscard]] bool any_enabled() const noexcept {
+    return pap || fwp || narrow || quantize;
+  }
+};
+
+/// Per-block measurements of one pipeline run.
+struct LayerRunStats {
+  int layer = 0;
+  prune::PapStats pap;
+  prune::FwpStats fwp;      ///< mask generated *by* this layer (for the next)
+  prune::ClampStats clamp;
+
+  std::int64_t total_points = 0;
+  std::int64_t kept_points = 0;
+  std::int64_t total_pixels = 0;
+  std::int64_t kept_pixels = 0;  ///< pixels available to this layer's V-projection
+
+  FlopCount flops_dense;
+  FlopCount flops_actual;
+
+  /// Output divergence vs the dense fp32 reference trajectory.
+  double out_nrmse = 0.0;
+};
+
+/// Everything a pipeline run produces.
+struct EncoderResult {
+  std::string config_label;
+  std::vector<LayerRunStats> layers;
+  /// PAP masks per layer (consumed by the cycle-accurate simulator).
+  std::vector<prune::PointMask> point_masks;
+  /// FWP mask *applied* at each layer (all-keep at layer 0).
+  std::vector<prune::FmapMask> fmap_masks;
+
+  FlopCount total_dense;
+  FlopCount total_actual;
+  /// NRMSE of the final token matrix vs the dense trajectory.
+  double final_nrmse = 0.0;
+
+  /// Fraction of sampling points pruned, across all layers.
+  [[nodiscard]] double point_reduction() const noexcept;
+  /// Fraction of fmap pixels pruned, across layers where a mask applies
+  /// (layer 1 onward — layer 0 has no incoming mask, matching the paper).
+  [[nodiscard]] double pixel_reduction() const noexcept;
+  [[nodiscard]] double flop_reduction() const noexcept {
+    return total_dense.total() > 0 ? 1.0 - total_actual.total() / total_dense.total() : 0.0;
+  }
+};
+
+/// Runs the multi-block encoder on one synthetic workload.
+///
+/// The dense fp32 reference trajectory (sampling fields, probabilities and
+/// block outputs) depends only on the workload, so it is computed once and
+/// cached; successive `run` calls with different configurations reuse it.
+/// Not thread-safe: create one pipeline per thread if needed.
+class EncoderPipeline {
+ public:
+  explicit EncoderPipeline(const workload::SceneWorkload& workload);
+
+  /// Run all blocks under `cfg`.  Deterministic in (workload seed, cfg).
+  [[nodiscard]] EncoderResult run(const PruneConfig& cfg) const;
+
+  [[nodiscard]] const ModelConfig& model() const noexcept { return wl_.model(); }
+
+  /// Cached dense sampling fields of one block (shared with the
+  /// cycle-accurate simulator so both see identical sampling geometry).
+  [[nodiscard]] const nn::MsdaFields& layer_fields(int layer) const;
+  /// Cached dense softmax probabilities of one block.
+  [[nodiscard]] const Tensor& layer_probs(int layer) const;
+
+ private:
+  struct LayerRef {
+    nn::MsdaFields fields;  ///< scene-driven logits + (unclamped) locations
+    Tensor probs;           ///< dense softmax probabilities
+    Tensor out_ref;         ///< dense fp32 block output
+  };
+  void ensure_reference() const;
+
+  const workload::SceneWorkload& wl_;
+  mutable std::vector<LayerRef> ref_;
+  mutable Tensor x_ref_final_;
+  mutable bool ref_built_ = false;
+};
+
+}  // namespace defa::core

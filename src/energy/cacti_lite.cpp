@@ -1,0 +1,57 @@
+#include "energy/cacti_lite.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace defa::energy {
+
+SramMacroModel evaluate_macro(const SramMacro& macro, const Tech40& tech) {
+  DEFA_CHECK(macro.capacity_bytes > 0 && macro.word_bytes > 0 && macro.count > 0,
+             "macro must have positive capacity/word/count");
+  SramMacroModel model;
+  const double bits = static_cast<double>(macro.capacity_bytes) * 8.0;
+  const double cell_mm2 = bits * tech.sram_cell_um2_per_bit * 1e-6;
+  model.area_mm2 =
+      (cell_mm2 * tech.sram_periphery_factor + tech.sram_macro_fixed_mm2) * macro.count;
+  model.read_pj_per_byte =
+      tech.sram_pj_per_byte_base + tech.sram_pj_per_byte_slope * std::sqrt(bits);
+  model.write_pj_per_byte = model.read_pj_per_byte * tech.sram_write_factor;
+  return model;
+}
+
+std::int64_t SramPlan::total_bytes() const {
+  std::int64_t total = 0;
+  for (const SramMacro& m : macros) total += m.total_bytes();
+  return total;
+}
+
+double SramPlan::total_area_mm2(const Tech40& tech) const {
+  double area = 0.0;
+  for (const SramMacro& m : macros) area += evaluate_macro(m, tech).area_mm2;
+  return area;
+}
+
+double SramPlan::avg_read_pj_per_byte(const Tech40& tech) const {
+  double weighted = 0.0;
+  double bytes = 0.0;
+  for (const SramMacro& m : macros) {
+    const double b = static_cast<double>(m.total_bytes());
+    weighted += evaluate_macro(m, tech).read_pj_per_byte * b;
+    bytes += b;
+  }
+  return bytes > 0 ? weighted / bytes : 0.0;
+}
+
+double SramPlan::avg_write_pj_per_byte(const Tech40& tech) const {
+  double weighted = 0.0;
+  double bytes = 0.0;
+  for (const SramMacro& m : macros) {
+    const double b = static_cast<double>(m.total_bytes());
+    weighted += evaluate_macro(m, tech).write_pj_per_byte * b;
+    bytes += b;
+  }
+  return bytes > 0 ? weighted / bytes : 0.0;
+}
+
+}  // namespace defa::energy

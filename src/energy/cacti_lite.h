@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cacti_lite.h
+/// Analytical SRAM macro model in the spirit of CACTI [16]: area from cell
+/// + periphery, access energy growing with the square root of capacity
+/// (word/bit-line length).  The paper used CACTI 6.0 for its SRAM numbers;
+/// this is the closest self-contained stand-in (constants in tech40.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/tech40.h"
+
+namespace defa::energy {
+
+/// One physical SRAM macro.
+struct SramMacro {
+  std::string name;
+  std::int64_t capacity_bytes = 0;
+  int word_bytes = 0;
+  int count = 1;  ///< identical instances (e.g. 16 fmap banks)
+
+  [[nodiscard]] std::int64_t total_bytes() const noexcept {
+    return capacity_bytes * count;
+  }
+};
+
+/// Derived physical characteristics of a macro.
+struct SramMacroModel {
+  double area_mm2 = 0.0;       ///< all instances
+  double read_pj_per_byte = 0.0;
+  double write_pj_per_byte = 0.0;
+};
+
+/// Evaluate one macro under the technology model.
+[[nodiscard]] SramMacroModel evaluate_macro(const SramMacro& macro,
+                                            const Tech40& tech = Tech40::instance());
+
+/// A full on-chip memory plan.
+struct SramPlan {
+  std::vector<SramMacro> macros;
+
+  [[nodiscard]] std::int64_t total_bytes() const;
+  [[nodiscard]] double total_area_mm2(const Tech40& tech = Tech40::instance()) const;
+  /// Capacity-weighted average access energies (used to price aggregate
+  /// SRAM traffic from the simulator).
+  [[nodiscard]] double avg_read_pj_per_byte(const Tech40& tech = Tech40::instance()) const;
+  [[nodiscard]] double avg_write_pj_per_byte(const Tech40& tech = Tech40::instance()) const;
+};
+
+}  // namespace defa::energy

@@ -1,0 +1,102 @@
+#include "energy/chip_model.h"
+
+#include <algorithm>
+
+#include "prune/range.h"
+
+namespace defa::energy {
+
+SramPlan build_sram_plan(const ModelConfig& m, const HwConfig& hw) {
+  hw.validate(m);
+  SramPlan plan;
+
+  // Bounded-range fmap windows, interleaved over the banks (Sec. 4.2).
+  const std::int64_t fmap_bytes = prune::range_window_bytes(m, hw.ranges, hw.act_bits);
+  SramMacro bank;
+  bank.name = "fmap-bank";
+  bank.capacity_bytes = (fmap_bytes + hw.sram_banks - 1) / hw.sram_banks;
+  bank.word_bytes = hw.sram_word_bytes(m);
+  bank.count = hw.sram_banks;
+  plan.macros.push_back(bank);
+
+  // Resident weight buffer: the largest projection matrix (W_S).
+  const std::int64_t w_cols =
+      std::max<std::int64_t>(2LL * m.n_heads * m.points_per_head(), m.d_model);
+  plan.macros.push_back(SramMacro{
+      "weight-buffer",
+      static_cast<std::int64_t>(m.d_model) * w_cols * hw.weight_bits / 8, 48, 1});
+
+  // Streaming buffers (double-buffered activation/logit/offset/output).
+  plan.macros.push_back(SramMacro{"act-buffer", 8 * 1024, 24, 2});
+  plan.macros.push_back(SramMacro{"logit-buffer", 16 * 1024, 24, 1});
+  plan.macros.push_back(SramMacro{"offset-prob-buffer", 16 * 1024, 24, 1});
+  plan.macros.push_back(SramMacro{"output-buffer", 8 * 1024, 48, 2});
+
+  // FWP sampled-frequency counters (one 16-bit counter per token).
+  plan.macros.push_back(SramMacro{"freq-counter", m.n_in() * 2, 8, 1});
+
+  // Fine-grained fusion staging between the BI and AG operators — the
+  // paper's "only 0.5% extra SRAM" (Sec. 5.3.2).
+  if (hw.enable_operator_fusion) {
+    plan.macros.push_back(SramMacro{"fusion-staging", 2 * 1024, 48, 1});
+  }
+  return plan;
+}
+
+AreaBreakdown area_breakdown(const ModelConfig& m, const HwConfig& hw,
+                             const Tech40& tech) {
+  AreaBreakdown a;
+  a.sram_mm2 = build_sram_plan(m, hw).total_area_mm2(tech);
+  a.pe_softmax_mm2 =
+      hw.total_macs() * tech.mac_area_um2 * 1e-6 * tech.pe_array_overhead +
+      tech.softmax_area_mm2;
+  a.others_mm2 = tech.control_area_mm2;
+  return a;
+}
+
+EnergyBreakdown energy_breakdown(const ModelConfig& m, const HwConfig& hw,
+                                 const arch::RunPerf& run, const Tech40& tech) {
+  const SramPlan plan = build_sram_plan(m, hw);
+  const double read_pj = plan.avg_read_pj_per_byte(tech);
+  const double write_pj = plan.avg_write_pj_per_byte(tech);
+  const arch::PhaseStats total = run.total();
+
+  EnergyBreakdown e;
+  e.pe_pj = static_cast<double>(total.macs) * tech.mac_pj * tech.datapath_overhead;
+  e.sram_pj = static_cast<double>(total.sram_read_bytes) * read_pj +
+              static_cast<double>(total.sram_write_bytes) * write_pj;
+  e.dram_pj = static_cast<double>(total.dram_bytes()) * hw.dram_pj_per_bit * 8.0;
+
+  // Softmax: every (query, head) normalizes L*P logits, once per block.
+  const double softmax_elems = static_cast<double>(m.n_in()) * m.n_heads *
+                               m.points_per_head() *
+                               static_cast<double>(run.layers.size());
+  e.softmax_pj = softmax_elems * tech.softmax_elem_pj;
+
+  // Mask generators + compression units: proportional to the bytes they
+  // filter/pack (the SRAM side of pruning is <0.1% of SRAM traffic, which
+  // bench/fig07b verifies).
+  e.other_logic_pj = static_cast<double>(total.sram_read_bytes + total.sram_write_bytes) *
+                     tech.mask_pj_per_byte * 0.1;
+  return e;
+}
+
+PerfSummary summarize(const ModelConfig& m, const HwConfig& hw,
+                      const arch::RunPerf& run, double dense_flops, const Tech40& tech) {
+  const EnergyBreakdown e = energy_breakdown(m, hw, run, tech);
+  PerfSummary s;
+  s.time_ms = static_cast<double>(run.wall_cycles()) * hw.cycle_ns() * 1e-6;
+  const double time_s = s.time_ms * 1e-3;
+  if (time_s > 0) {
+    s.chip_power_mw = e.chip_pj() * 1e-12 / time_s * 1e3;
+    s.system_power_mw = e.total_pj() * 1e-12 / time_s * 1e3;
+    s.effective_gops = dense_flops / time_s * 1e-9;
+  }
+  s.area_mm2 = area_breakdown(m, hw, tech).total();
+  if (s.chip_power_mw > 0) {
+    s.gops_per_w = s.effective_gops / (s.chip_power_mw * 1e-3);
+  }
+  return s;
+}
+
+}  // namespace defa::energy

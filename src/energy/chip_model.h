@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file chip_model.h
+/// DEFA chip model: the on-chip memory plan, the area breakdown (Fig. 8a)
+/// and the energy breakdown / performance report (Fig. 8b, Table 1).
+
+#include <string>
+
+#include "arch/phase_stats.h"
+#include "config/hw_config.h"
+#include "config/model_config.h"
+#include "energy/cacti_lite.h"
+
+namespace defa::energy {
+
+/// Build DEFA's on-chip memory inventory for a model/hardware pair:
+/// 16 banked bounded-range fmap buffers, resident weight buffer, streaming
+/// activation/logit/offset/output buffers, FWP frequency counters and the
+/// small BI->AG fusion staging (the paper's "+0.5% SRAM").
+[[nodiscard]] SramPlan build_sram_plan(const ModelConfig& m, const HwConfig& hw);
+
+/// Area breakdown of one DEFA instance (Fig. 8a categories).
+struct AreaBreakdown {
+  double sram_mm2 = 0.0;
+  double pe_softmax_mm2 = 0.0;
+  double others_mm2 = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return sram_mm2 + pe_softmax_mm2 + others_mm2;
+  }
+};
+
+[[nodiscard]] AreaBreakdown area_breakdown(const ModelConfig& m, const HwConfig& hw,
+                                           const Tech40& tech = Tech40::instance());
+
+/// Energy breakdown of one simulated run (Fig. 8b categories + detail).
+struct EnergyBreakdown {
+  double pe_pj = 0.0;       ///< MM + BI/AG datapath
+  double softmax_pj = 0.0;
+  double sram_pj = 0.0;
+  double other_logic_pj = 0.0;  ///< mask generators, compression, control
+  double dram_pj = 0.0;
+
+  [[nodiscard]] double logic_pj() const noexcept {
+    return pe_pj + softmax_pj + other_logic_pj;
+  }
+  [[nodiscard]] double chip_pj() const noexcept { return logic_pj() + sram_pj; }
+  [[nodiscard]] double total_pj() const noexcept { return chip_pj() + dram_pj; }
+};
+
+[[nodiscard]] EnergyBreakdown energy_breakdown(const ModelConfig& m, const HwConfig& hw,
+                                               const arch::RunPerf& run,
+                                               const Tech40& tech = Tech40::instance());
+
+/// Table-1-style summary of one simulated run.
+struct PerfSummary {
+  double time_ms = 0.0;
+  double chip_power_mw = 0.0;    ///< logic + SRAM (Table 1 convention)
+  double system_power_mw = 0.0;  ///< chip + DRAM interface
+  double area_mm2 = 0.0;
+  /// Effective throughput: dense (unpruned) operations per second — the
+  /// usual sparse-accelerator convention, can exceed the dense peak.
+  double effective_gops = 0.0;
+  double gops_per_w = 0.0;  ///< effective GOPS / chip power
+};
+
+/// `dense_flops` is the dense operation count of the simulated workload
+/// (from core::dense_flops; passed in to keep this module decoupled).
+[[nodiscard]] PerfSummary summarize(const ModelConfig& m, const HwConfig& hw,
+                                    const arch::RunPerf& run, double dense_flops,
+                                    const Tech40& tech = Tech40::instance());
+
+}  // namespace defa::energy

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file tech40.h
+/// 40 nm technology constants for the energy/area models.
+///
+/// Values are Horowitz-style estimates (ISSCC'14 "Computing's energy
+/// problem" numbers at 45 nm, scaled ~0.9x to 40 nm) for the INT12
+/// datapath the paper synthesizes; they are deliberately simple, documented
+/// calibration constants — see DESIGN.md §4 substitution #3.
+
+namespace defa::energy {
+
+struct Tech40 {
+  // --- datapath -------------------------------------------------------------
+  /// One INT12 multiply-accumulate (12x12 multiply ~0.45 pJ + 32b
+  /// accumulate ~0.1 pJ), including local operand registers.
+  double mac_pj = 0.50;
+  /// Pipeline registers, clock tree and control overhead applied to all
+  /// datapath energy.
+  double datapath_overhead = 1.25;
+  /// One softmax element (LUT exponent + normalize share).
+  double softmax_elem_pj = 1.5;
+  /// Mask generation / compression-unit work per byte moved.
+  double mask_pj_per_byte = 0.05;
+
+  // --- SRAM (CACTI-lite; see cacti_lite.h) ----------------------------------
+  /// 6T high-density cell area at 40 nm, um^2 per bit.
+  double sram_cell_um2_per_bit = 0.299;
+  /// Periphery (decoders, sense amps, mux) multiplier on cell area.
+  double sram_periphery_factor = 1.30;
+  /// Fixed per-macro area overhead, mm^2.
+  double sram_macro_fixed_mm2 = 0.003;
+  /// Access energy model: pJ/byte = base + slope * sqrt(capacity_bits).
+  double sram_pj_per_byte_base = 0.13;
+  double sram_pj_per_byte_slope = 0.00030;
+  /// Write premium over read.
+  double sram_write_factor = 1.1;
+
+  // --- logic area ------------------------------------------------------------
+  /// One INT12 MAC PE, um^2 (multiplier + accumulator + pipeline regs).
+  double mac_area_um2 = 2000.0;
+  /// Interconnect/control multiplier on the PE array.
+  double pe_array_overhead = 1.15;
+  /// Softmax unit + BI fraction preparation, mm^2.
+  double softmax_area_mm2 = 0.08;
+  /// Mask generators + compression/decompression + top controller, mm^2.
+  double control_area_mm2 = 0.13;
+
+  [[nodiscard]] static const Tech40& instance() {
+    static const Tech40 t{};
+    return t;
+  }
+};
+
+}  // namespace defa::energy

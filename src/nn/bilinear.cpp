@@ -1,0 +1,31 @@
+#include "nn/bilinear.h"
+
+namespace defa::nn {
+
+void bi_sample_accumulate(const ModelConfig& m, const Tensor& values, int l, float x,
+                          float y, int col0, int c, float weight, std::span<float> out) {
+  DEFA_DCHECK(values.rank() == 2 && values.dim(0) == m.n_in(), "values must be N_in x D");
+  DEFA_DCHECK(col0 >= 0 && col0 + c <= values.dim(1), "channel slice out of range");
+  DEFA_DCHECK(static_cast<std::int64_t>(out.size()) >= c, "output span too small");
+
+  const BiPoint p = bi_locate(x, y);
+  const std::int64_t d = values.dim(1);
+  std::span<const float> data = values.data();
+
+  // Gather the four neighbor channel-slices (nullptr => zero padding).
+  std::array<const float*, 4> nb{nullptr, nullptr, nullptr, nullptr};
+  for_each_neighbor(m, l, p, [&](int which, std::int64_t token) {
+    nb[static_cast<std::size_t>(which)] =
+        &data[static_cast<std::size_t>(token * d + col0)];
+  });
+
+  for (int ch = 0; ch < c; ++ch) {
+    const float n0 = nb[0] != nullptr ? nb[0][ch] : 0.0f;
+    const float n1 = nb[1] != nullptr ? nb[1][ch] : 0.0f;
+    const float n2 = nb[2] != nullptr ? nb[2][ch] : 0.0f;
+    const float n3 = nb[3] != nullptr ? nb[3][ch] : 0.0f;
+    out[static_cast<std::size_t>(ch)] += weight * bi_horner(n0, n1, n2, n3, p.t0, p.t1);
+  }
+}
+
+}  // namespace defa::nn

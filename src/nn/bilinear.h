@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file bilinear.h
+/// Bilinear interpolation (BI) geometry and kernels — the single source of
+/// truth for sampling-point -> neighbor-pixel mapping, shared by the
+/// functional model, the quantized datapath, the FWP frequency counter and
+/// the cycle-accurate MSGS engine.
+///
+/// Conventions follow the paper's Sec. 4.3: a fractional sampling point S at
+/// (x, y) has integer neighbors N0 (x0,y0) top-left, N1 (x1,y0) top-right,
+/// N2 (x0,y1) bottom-left, N3 (x1,y1) bottom-right with x1 = x0+1,
+/// y1 = y0+1, and fractions t0 = y - y0, t1 = x - x0.
+
+#include <array>
+#include <cmath>
+#include <span>
+
+#include "config/model_config.h"
+#include "tensor/tensor.h"
+
+namespace defa::nn {
+
+/// Integer anchor and fractional position of a sampling point.
+struct BiPoint {
+  int x0 = 0;
+  int y0 = 0;
+  float t0 = 0.0f;  ///< vertical fraction  (y - y0)
+  float t1 = 0.0f;  ///< horizontal fraction (x - x0)
+};
+
+/// Locate the 2x2 neighborhood of a fractional point.
+[[nodiscard]] inline BiPoint bi_locate(float x, float y) noexcept {
+  const float fx = std::floor(x);
+  const float fy = std::floor(y);
+  return BiPoint{static_cast<int>(fx), static_cast<int>(fy), y - fy, x - fx};
+}
+
+/// Direct-form BI, Eq. (3): four products of edge distances.
+[[nodiscard]] inline float bi_direct(float n0, float n1, float n2, float n3, float t0,
+                                     float t1) noexcept {
+  return n0 * (1.0f - t1) * (1.0f - t0) + n1 * t1 * (1.0f - t0) +
+         n2 * (1.0f - t1) * t0 + n3 * t1 * t0;
+}
+
+/// Horner-form BI, Eq. (4): 3 multiplies / 7 adds — the form the BI operator
+/// in the reconfigurable PE array implements.
+[[nodiscard]] inline float bi_horner(float n0, float n1, float n2, float n3, float t0,
+                                     float t1) noexcept {
+  return n0 + (n2 - n0) * t0 + ((n1 - n0) + (n3 - n2 - n1 + n0) * t0) * t1;
+}
+
+/// The four neighbor offsets of a BiPoint in (dx, dy) order N0..N3.
+inline constexpr std::array<std::array<int, 2>, 4> kBiNeighborOffsets{
+    {{0, 0}, {1, 0}, {0, 1}, {1, 1}}};
+
+/// Visit the in-bounds neighbors of point `p` in level `l`; `fn` receives
+/// (neighbor index 0..3, flattened token index).  Out-of-bounds neighbors
+/// (zero-padding region) are skipped.
+template <typename Fn>
+void for_each_neighbor(const ModelConfig& m, int l, const BiPoint& p, Fn&& fn) {
+  const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+  const std::int64_t base = m.level_offset(l);
+  for (int nb = 0; nb < 4; ++nb) {
+    const int x = p.x0 + kBiNeighborOffsets[static_cast<std::size_t>(nb)][0];
+    const int y = p.y0 + kBiNeighborOffsets[static_cast<std::size_t>(nb)][1];
+    if (x < 0 || x >= lv.w || y < 0 || y >= lv.h) continue;
+    fn(nb, base + static_cast<std::int64_t>(y) * lv.w + x);
+  }
+}
+
+/// Sample `c` channels starting at column `col0` of the value matrix
+/// `values` (N_in x D) at fractional location (x, y) of level `l`,
+/// accumulating `weight * sample` into `out`.  Out-of-bounds neighbors
+/// contribute zero (zero padding).  Uses the Horner form.
+void bi_sample_accumulate(const ModelConfig& m, const Tensor& values, int l, float x,
+                          float y, int col0, int c, float weight, std::span<float> out);
+
+}  // namespace defa::nn

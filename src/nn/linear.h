@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file linear.h
+/// Dense linear algebra for the functional MSDeformAttn model.
+
+#include "tensor/tensor.h"
+
+namespace defa::nn {
+
+/// C = A (MxK) * B (KxN).  Parallelized over rows of A; deterministic.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Y = X * W (+ bias broadcast over rows).  W is (K x N); bias is (N).
+[[nodiscard]] Tensor linear(const Tensor& x, const Tensor& w, const Tensor* bias = nullptr);
+
+}  // namespace defa::nn

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file norm.h
+/// Per-token RMS normalization.  The encoder pipeline applies it after each
+/// residual (X <- rmsnorm(X + attn(X))) to keep token magnitudes stable
+/// across blocks — the role LayerNorm plays in the real detectors (the
+/// affine parameters are irrelevant to pruning/quantization behaviour, so a
+/// parameter-free RMS norm is used; see DESIGN.md §5).
+
+#include "tensor/tensor.h"
+
+namespace defa::nn {
+
+/// Normalize every row of a rank-2 tensor to unit RMS (with epsilon guard).
+void rms_norm_rows(Tensor& x, float eps = 1e-6f);
+
+}  // namespace defa::nn

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file fwp.h
+/// Frequency-Weighted Fmap Pruning (Sec. 3.1).
+///
+/// During MSGS of block l, the bilinear-interpolation neighbor pixels of
+/// every surviving sampling point are counted into a per-pixel sampled
+/// frequency.  Pixels whose frequency falls below the per-level threshold
+///     T_FWP = k * mean(F)                                   (Eq. 2)
+/// are pruned; the resulting fmap mask eliminates their value projection
+/// and memory access in block l+1.
+
+#include <cstdint>
+#include <vector>
+
+#include "config/model_config.h"
+#include "nn/bilinear.h"
+#include "prune/masks.h"
+#include "tensor/tensor.h"
+
+namespace defa::prune {
+
+/// Per-pixel sampled-frequency counter over the flattened token axis.
+class FreqCounter {
+ public:
+  explicit FreqCounter(const ModelConfig& m)
+      : counts_(static_cast<std::size_t>(m.n_in()), 0) {}
+
+  void add(std::int64_t token) noexcept {
+    DEFA_DCHECK(token >= 0 && token < static_cast<std::int64_t>(counts_.size()),
+                "token out of range");
+    ++counts_[static_cast<std::size_t>(token)];
+  }
+
+  /// Merge another counter (for sharded parallel counting).
+  void merge(const FreqCounter& other);
+
+  [[nodiscard]] std::uint32_t count(std::int64_t token) const noexcept {
+    return counts_[static_cast<std::size_t>(token)];
+  }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+  /// Mean sampled frequency of pixels in level `l`.
+  [[nodiscard]] double level_mean(const ModelConfig& m, int l) const;
+
+ private:
+  std::vector<std::uint32_t> counts_;
+};
+
+/// Count the BI neighbor accesses of every surviving sampling point.
+/// `locs` is the (N, H, L, P, 2) sampling-location tensor (already
+/// range-narrowed if narrowing is enabled); points pruned in `pmask` are
+/// skipped — the hardware's fmap-mask generator sits behind the point mask.
+[[nodiscard]] FreqCounter count_sampled_frequency(const ModelConfig& m, const Tensor& locs,
+                                                  const PointMask& pmask);
+
+struct FwpStats {
+  std::int64_t total_pixels = 0;
+  std::int64_t pruned_pixels = 0;
+  /// Per-level thresholds T_FWP actually applied.
+  std::vector<double> level_threshold;
+
+  [[nodiscard]] double fraction_pruned() const noexcept {
+    return total_pixels == 0
+               ? 0.0
+               : static_cast<double>(pruned_pixels) / static_cast<double>(total_pixels);
+  }
+};
+
+/// Apply Eq. 2 per level: prune pixels with frequency strictly below
+/// k * mean(level frequency).  Returns the fmap mask for the *next* block.
+[[nodiscard]] FmapMask fwp_prune(const ModelConfig& m, const FreqCounter& freq, double k,
+                                 FwpStats* stats = nullptr);
+
+}  // namespace defa::prune

@@ -1,0 +1,38 @@
+#include "prune/masks.h"
+
+#include <numeric>
+
+namespace defa::prune {
+
+PointMask::PointMask(const ModelConfig& m)
+    : nh_(m.n_heads), nl_(m.n_levels), np_(m.n_points) {
+  bits_.assign(static_cast<std::size_t>(m.n_in()) * nh_ * nl_ * np_, 1);
+}
+
+int PointMask::kept_in_level(std::int64_t q, int h, int l) const noexcept {
+  int kept = 0;
+  for (int p = 0; p < np_; ++p) kept += bits_[index(q, h, l, p)];
+  return kept;
+}
+
+std::int64_t PointMask::kept_count() const noexcept {
+  return std::accumulate(bits_.begin(), bits_.end(), std::int64_t{0});
+}
+
+FmapMask::FmapMask(const ModelConfig& m) {
+  bits_.assign(static_cast<std::size_t>(m.n_in()), 1);
+}
+
+std::int64_t FmapMask::kept_count() const noexcept {
+  return std::accumulate(bits_.begin(), bits_.end(), std::int64_t{0});
+}
+
+std::int64_t FmapMask::kept_in_level(const ModelConfig& m, int l) const {
+  const std::int64_t begin = m.level_offset(l);
+  const std::int64_t end = begin + m.levels[static_cast<std::size_t>(l)].numel();
+  std::int64_t kept = 0;
+  for (std::int64_t t = begin; t < end; ++t) kept += bits_[static_cast<std::size_t>(t)];
+  return kept;
+}
+
+}  // namespace defa::prune

@@ -1,0 +1,39 @@
+#include "prune/pap.h"
+
+namespace defa::prune {
+
+PointMask pap_prune(const ModelConfig& m, const Tensor& probs, double tau,
+                    PapStats* stats) {
+  DEFA_CHECK(tau >= 0.0 && tau < 1.0, "PAP threshold must be in [0,1)");
+  DEFA_CHECK(probs.rank() == 3 && probs.dim(0) == m.n_in() &&
+                 probs.dim(1) == m.n_heads && probs.dim(2) == m.points_per_head(),
+             "probs must be (N, H, L*P)");
+
+  PointMask mask(m);
+  std::int64_t pruned = 0;
+  double dropped_mass = 0.0;
+  const std::int64_t n = m.n_in();
+  for (std::int64_t q = 0; q < n; ++q) {
+    for (int h = 0; h < m.n_heads; ++h) {
+      for (int l = 0; l < m.n_levels; ++l) {
+        for (int p = 0; p < m.n_points; ++p) {
+          const float prob = probs(q, h, static_cast<std::int64_t>(l) * m.n_points + p);
+          if (prob < static_cast<float>(tau)) {
+            mask.set_keep(q, h, l, p, false);
+            ++pruned;
+            dropped_mass += prob;
+          }
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->total_points = mask.total();
+    stats->pruned_points = pruned;
+    const double qh = static_cast<double>(n) * m.n_heads;
+    stats->mean_dropped_mass = qh > 0 ? dropped_mass / qh : 0.0;
+  }
+  return mask;
+}
+
+}  // namespace defa::prune

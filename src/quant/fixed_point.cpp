@@ -1,0 +1,47 @@
+#include "quant/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defa::quant {
+
+QuantSpec QuantSpec::fit(std::span<const float> data, int bits) {
+  DEFA_CHECK(bits >= 2 && bits <= 16, "supported widths are 2..16 bits");
+  float max_abs = 0.0f;
+  for (float v : data) max_abs = std::max(max_abs, std::abs(v));
+  QuantSpec spec;
+  spec.bits = bits;
+  spec.scale = max_abs > 0.0f ? max_abs / static_cast<float>(spec.qmax()) : 1.0f;
+  return spec;
+}
+
+std::int32_t quantize_value(float v, const QuantSpec& spec) noexcept {
+  const float scaled = v / spec.scale;
+  const std::int32_t code = static_cast<std::int32_t>(std::lround(scaled));
+  return std::clamp(code, spec.qmin(), spec.qmax());
+}
+
+QTensor::QTensor(const Tensor& t, int bits) : QTensor(t, QuantSpec::fit(t.data(), bits)) {}
+
+QTensor::QTensor(const Tensor& t, const QuantSpec& spec) : shape_(t.shape()), spec_(spec) {
+  codes_.resize(static_cast<std::size_t>(t.numel()));
+  std::span<const float> src = t.data();
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    codes_[i] = static_cast<std::int16_t>(quantize_value(src[i], spec_));
+  }
+}
+
+Tensor QTensor::dequantize() const {
+  Tensor t(shape_);
+  std::span<float> dst = t.data();
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    dst[i] = dequantize_value(codes_[i], spec_);
+  }
+  return t;
+}
+
+Tensor fake_quantize(const Tensor& t, int bits) {
+  return QTensor(t, bits).dequantize();
+}
+
+}  // namespace defa::quant

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file fixed_point.h
+/// Symmetric per-tensor fixed-point quantization.  The paper quantizes the
+/// MSDeformAttn modules to INT12 (Sec. 5.1.1) and reports that INT8 loses
+/// 9.7 AP on average; both widths are supported so the ablation can be
+/// reproduced.
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace defa::quant {
+
+/// Quantization parameters: value = code * scale, codes in
+/// [-(2^(bits-1)-1), 2^(bits-1)-1] (symmetric, no negative-extreme code).
+struct QuantSpec {
+  int bits = 12;
+  float scale = 1.0f;
+
+  [[nodiscard]] std::int32_t qmax() const noexcept { return (1 << (bits - 1)) - 1; }
+  [[nodiscard]] std::int32_t qmin() const noexcept { return -qmax(); }
+
+  /// Spec covering the absolute maximum of `data` with the given width.
+  [[nodiscard]] static QuantSpec fit(std::span<const float> data, int bits);
+};
+
+/// Quantize a single value (round-to-nearest, saturating).
+[[nodiscard]] std::int32_t quantize_value(float v, const QuantSpec& spec) noexcept;
+[[nodiscard]] inline float dequantize_value(std::int32_t code, const QuantSpec& spec) noexcept {
+  return static_cast<float>(code) * spec.scale;
+}
+
+/// Quantized tensor: int16 codes (INT12/INT8 both fit) + the shared spec.
+class QTensor {
+ public:
+  QTensor() = default;
+  /// Quantize `t` with a freshly-fitted per-tensor spec.
+  QTensor(const Tensor& t, int bits);
+  /// Quantize `t` with an externally-chosen spec (e.g. shared across layers).
+  QTensor(const Tensor& t, const QuantSpec& spec);
+
+  [[nodiscard]] const QuantSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(codes_.size());
+  }
+  [[nodiscard]] std::int16_t code(std::int64_t i) const {
+    DEFA_DCHECK(i >= 0 && i < numel(), "code index");
+    return codes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float value(std::int64_t i) const {
+    return dequantize_value(code(i), spec_);
+  }
+  [[nodiscard]] std::span<const std::int16_t> codes() const noexcept { return codes_; }
+
+  /// Dequantize the whole tensor back to fp32 (round-trip helper).
+  [[nodiscard]] Tensor dequantize() const;
+
+ private:
+  std::vector<std::int16_t> codes_;
+  std::vector<std::int64_t> shape_;
+  QuantSpec spec_;
+};
+
+/// Round-trip quantization error helper: dequant(quant(t)).
+[[nodiscard]] Tensor fake_quantize(const Tensor& t, int bits);
+
+/// Quantize a fraction in [0, 1) to `bits`-bit fixed point (used for the
+/// BI fractions t0/t1 in the hardware datapath).
+[[nodiscard]] inline float quantize_fraction(float f, int bits) noexcept {
+  const float steps = static_cast<float>(1 << bits);
+  float q = static_cast<float>(static_cast<std::int64_t>(f * steps + 0.5f)) / steps;
+  return q > 1.0f ? 1.0f : q;
+}
+
+}  // namespace defa::quant

@@ -1,0 +1,41 @@
+#include "quant/qmsgs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace defa::quant {
+
+namespace {
+
+/// Multiply an integer code by a Q0.fb fraction and round to nearest.
+std::int32_t frac_mul(std::int64_t code, std::int64_t frac_q, int frac_bits) noexcept {
+  const std::int64_t prod = code * frac_q;
+  const std::int64_t half = std::int64_t{1} << (frac_bits - 1);
+  return static_cast<std::int32_t>((prod + half) >> frac_bits);
+}
+
+}  // namespace
+
+std::int32_t bi_horner_int(std::int32_t n0, std::int32_t n1, std::int32_t n2,
+                           std::int32_t n3, std::int32_t t0_q, std::int32_t t1_q,
+                           int frac_bits) noexcept {
+  // S = N0 + (N2-N0)*t0 + [(N1-N0) + (N3-N2-N1+N0)*t0] * t1     (Eq. 4)
+  const std::int32_t vertical = frac_mul(n2 - n0, t0_q, frac_bits);
+  const std::int32_t cross = frac_mul(n3 - n2 - n1 + n0, t0_q, frac_bits);
+  const std::int32_t horizontal = frac_mul((n1 - n0) + cross, t1_q, frac_bits);
+  return n0 + vertical + horizontal;
+}
+
+std::int32_t ag_weight_int(std::int32_t value_code, std::int32_t prob_q,
+                           int frac_bits) noexcept {
+  return frac_mul(value_code, prob_q, frac_bits);
+}
+
+std::int32_t to_fraction_code(float f, int frac_bits) noexcept {
+  const float clamped = std::clamp(f, 0.0f, 1.0f);
+  const std::int64_t steps = std::int64_t{1} << frac_bits;
+  const std::int64_t code = std::llround(static_cast<double>(clamped) * steps);
+  return static_cast<std::int32_t>(std::min<std::int64_t>(code, steps - 1));
+}
+
+}  // namespace defa::quant

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file qmsgs.h
+/// Integer-domain MSGS datapath kernels — the bit-level golden model of the
+/// reconfigurable PE array's BA mode (Sec. 4.3): Horner-form bilinear
+/// interpolation on INTn value codes with fixed-point fractions, followed by
+/// the aggregation multiply with a fixed-point attention probability.
+///
+/// The cycle-accurate simulator counts cycles for this exact computation;
+/// the functional pipeline uses it to measure quantization error.
+
+#include <cstdint>
+
+namespace defa::quant {
+
+/// Horner-form BI (Eq. 4) on integer codes.  `t0_q`/`t1_q` are fractions in
+/// Q0.`frac_bits` fixed point (0 <= t < 1).  The result stays at the value
+/// scale.  Matches a datapath with 3 multipliers and 7 adders: products are
+/// truncated back to the value scale after each fraction multiply
+/// (round-to-nearest, as a hardware rounder would).
+[[nodiscard]] std::int32_t bi_horner_int(std::int32_t n0, std::int32_t n1,
+                                         std::int32_t n2, std::int32_t n3,
+                                         std::int32_t t0_q, std::int32_t t1_q,
+                                         int frac_bits) noexcept;
+
+/// Aggregation step: value code times Q0.`frac_bits` probability, rounded
+/// back to the value scale.  Accumulation happens in int32 outside.
+[[nodiscard]] std::int32_t ag_weight_int(std::int32_t value_code, std::int32_t prob_q,
+                                         int frac_bits) noexcept;
+
+/// Quantize a probability/fraction in [0,1] to Q0.`frac_bits` fixed point.
+[[nodiscard]] std::int32_t to_fraction_code(float f, int frac_bits) noexcept;
+
+}  // namespace defa::quant

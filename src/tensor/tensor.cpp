@@ -1,0 +1,82 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+namespace defa {
+
+std::int64_t shape_numel(const std::vector<std::int64_t>& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    DEFA_CHECK(d >= 0, "negative dimension " + std::to_string(d));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+std::int64_t Tensor::dim(int i) const {
+  DEFA_CHECK(i >= 0 && i < rank(), "dim index " + std::to_string(i) + " out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at_flat(std::int64_t idx) {
+  DEFA_CHECK(idx >= 0 && idx < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+float Tensor::at_flat(std::int64_t idx) const {
+  DEFA_CHECK(idx >= 0 && idx < numel(), "flat index out of range");
+  return data_[static_cast<std::size_t>(idx)];
+}
+
+std::span<float> Tensor::row(std::int64_t i) {
+  DEFA_CHECK(rank() == 2, "row() requires a rank-2 tensor");
+  DEFA_CHECK(i >= 0 && i < shape_[0], "row index out of range");
+  return std::span<float>(data_).subspan(static_cast<std::size_t>(i * shape_[1]),
+                                         static_cast<std::size_t>(shape_[1]));
+}
+
+std::span<const float> Tensor::row(std::int64_t i) const {
+  return const_cast<Tensor*>(this)->row(i);
+}
+
+void Tensor::reshape(std::vector<std::int64_t> new_shape) {
+  DEFA_CHECK(shape_numel(new_shape) == numel(), "reshape must preserve numel");
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::add_(const Tensor& other) {
+  DEFA_CHECK(same_shape(other), "add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::scale_(float factor) noexcept {
+  for (float& x : data_) x *= factor;
+}
+
+}  // namespace defa

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file tensor.h
+/// Minimal dense row-major float tensor.
+///
+/// The reproduction only needs a small, predictable container: contiguous
+/// float storage, up to 5 dimensions, checked accessors in debug builds and
+/// unchecked `operator()` in hot loops.  No broadcasting, no views — code
+/// that needs a row takes a `std::span`.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace defa {
+
+/// Dense row-major float tensor with value semantics.
+///
+/// Invariant: `data_.size() == product(shape_)`; shape entries are >= 0.
+class Tensor {
+ public:
+  /// Empty 0-d tensor (numel() == 0 is represented as shape {0}).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  [[nodiscard]] static Tensor zeros(std::vector<std::int64_t> shape);
+  [[nodiscard]] static Tensor full(std::vector<std::int64_t> shape, float value);
+  /// I.i.d. normal entries (used for weight initialization).
+  [[nodiscard]] static Tensor randn(std::vector<std::int64_t> shape, Rng& rng,
+                                    float mean = 0.0f, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  [[nodiscard]] static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng,
+                                      float lo = 0.0f, float hi = 1.0f);
+
+  [[nodiscard]] const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(shape_.size()); }
+  [[nodiscard]] std::int64_t dim(int i) const;
+  [[nodiscard]] std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// Unchecked (DCHECK-only) multi-index accessors for hot loops.
+  [[nodiscard]] float& operator()(std::int64_t i) noexcept {
+    DEFA_DCHECK(rank() == 1 && i >= 0 && i < shape_[0], "1d index");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float operator()(std::int64_t i) const noexcept {
+    return const_cast<Tensor&>(*this)(i);
+  }
+  [[nodiscard]] float& operator()(std::int64_t i, std::int64_t j) noexcept {
+    DEFA_DCHECK(rank() == 2, "2d accessor on non-2d tensor");
+    DEFA_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1], "2d index");
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+  }
+  [[nodiscard]] float operator()(std::int64_t i, std::int64_t j) const noexcept {
+    return const_cast<Tensor&>(*this)(i, j);
+  }
+  [[nodiscard]] float& operator()(std::int64_t i, std::int64_t j, std::int64_t k) noexcept {
+    DEFA_DCHECK(rank() == 3, "3d accessor on non-3d tensor");
+    DEFA_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 && k < shape_[2],
+                "3d index");
+    return data_[static_cast<std::size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  [[nodiscard]] float operator()(std::int64_t i, std::int64_t j, std::int64_t k) const noexcept {
+    return const_cast<Tensor&>(*this)(i, j, k);
+  }
+  [[nodiscard]] float& operator()(std::int64_t i, std::int64_t j, std::int64_t k,
+                                  std::int64_t l) noexcept {
+    DEFA_DCHECK(rank() == 4, "4d accessor on non-4d tensor");
+    DEFA_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                    k < shape_[2] && l >= 0 && l < shape_[3],
+                "4d index");
+    return data_[static_cast<std::size_t>(((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+  [[nodiscard]] float operator()(std::int64_t i, std::int64_t j, std::int64_t k,
+                                 std::int64_t l) const noexcept {
+    return const_cast<Tensor&>(*this)(i, j, k, l);
+  }
+  [[nodiscard]] float& operator()(std::int64_t i, std::int64_t j, std::int64_t k,
+                                  std::int64_t l, std::int64_t m) noexcept {
+    DEFA_DCHECK(rank() == 5, "5d accessor on non-5d tensor");
+    DEFA_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                    k < shape_[2] && l >= 0 && l < shape_[3] && m >= 0 && m < shape_[4],
+                "5d index");
+    return data_[static_cast<std::size_t>(
+        (((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l) * shape_[4] + m)];
+  }
+  [[nodiscard]] float operator()(std::int64_t i, std::int64_t j, std::int64_t k,
+                                 std::int64_t l, std::int64_t m) const noexcept {
+    return const_cast<Tensor&>(*this)(i, j, k, l, m);
+  }
+
+  /// Always-checked element access by flat index.
+  [[nodiscard]] float& at_flat(std::int64_t idx);
+  [[nodiscard]] float at_flat(std::int64_t idx) const;
+
+  /// Row `i` of a rank-2 tensor as a span of length dim(1).
+  [[nodiscard]] std::span<float> row(std::int64_t i);
+  [[nodiscard]] std::span<const float> row(std::int64_t i) const;
+
+  /// In-place reshape; total element count must be preserved.
+  void reshape(std::vector<std::int64_t> new_shape);
+
+  void fill(float value) noexcept;
+
+  /// Elementwise in-place addition; shapes must match exactly.
+  void add_(const Tensor& other);
+  /// Elementwise in-place scaling.
+  void scale_(float factor) noexcept;
+
+  [[nodiscard]] bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of shape dims (0 for empty shape entries, 1 for rank-0).
+[[nodiscard]] std::int64_t shape_numel(const std::vector<std::int64_t>& shape);
+
+}  // namespace defa

@@ -1,0 +1,210 @@
+// Tests for the top-level accelerator model: phase cycle formulas, pruning
+// and feature-toggle effects on cycles/traffic, and tile scaling.
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "nn/softmax.h"
+#include "prune/pap.h"
+#include "workload/scene.h"
+
+namespace defa::arch {
+namespace {
+
+struct AccelFixture {
+  ModelConfig m = ModelConfig::tiny();
+  workload::SceneWorkload wl;
+  Tensor locs;
+  Tensor ref;
+  prune::PointMask dense_points{m};
+  prune::FmapMask dense_pixels{m};
+
+  AccelFixture() : wl(make_wl()) {
+    locs = wl.layer_fields(0).locs;
+    ref = nn::reference_points(m);
+  }
+
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m.seed;
+    return workload::SceneWorkload(m, p);
+  }
+
+  LayerTrace trace() const {
+    return LayerTrace{&locs, &dense_points, &dense_pixels, &ref};
+  }
+};
+
+TEST(Accelerator, AttnProjCyclesMatchClosedForm) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  const LayerPerf perf = acc.simulate_layer(fx.trace());
+  // tiny: D=16 -> 1 chunk; H*L*P=8 cols -> 1 tile; cycles = N.
+  EXPECT_EQ(perf.phases[0].name, "attn-proj");
+  EXPECT_EQ(perf.phases[0].cycles, static_cast<std::uint64_t>(fx.m.n_in()));
+  EXPECT_EQ(perf.phases[0].macs,
+            static_cast<std::uint64_t>(fx.m.n_in()) * fx.m.d_model * 8);
+}
+
+TEST(Accelerator, ValueProjCyclesScaleWithKeptPixels) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  const LayerPerf dense = acc.simulate_layer(fx.trace());
+
+  prune::FmapMask half(fx.m);
+  for (std::int64_t t = 0; t < fx.m.n_in(); t += 2) half.set_keep(t, false);
+  LayerTrace t = fx.trace();
+  t.fmask = &half;
+  const LayerPerf pruned = acc.simulate_layer(t);
+  EXPECT_NEAR(static_cast<double>(pruned.phases[3].cycles),
+              static_cast<double>(dense.phases[3].cycles) / 2.0,
+              static_cast<double>(dense.phases[3].cycles) * 0.05);
+}
+
+TEST(Accelerator, PointPruningReducesOffsetAndMsgsPhases) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  const LayerPerf dense = acc.simulate_layer(fx.trace());
+
+  // Prune every point of every odd query: the compression unit then skips
+  // those queries' offset tiles entirely (the tiny model's 8 points per
+  // query fit one 16-column tile, so only whole-query pruning can shrink
+  // the tile count).
+  prune::PointMask pruned_mask(fx.m);
+  for (std::int64_t q = 1; q < fx.m.n_in(); q += 2) {
+    for (int h = 0; h < fx.m.n_heads; ++h) {
+      for (int l = 0; l < fx.m.n_levels; ++l) {
+        for (int p = 0; p < fx.m.n_points; ++p) pruned_mask.set_keep(q, h, l, p, false);
+      }
+    }
+  }
+  LayerTrace t = fx.trace();
+  t.pmask = &pruned_mask;
+  const LayerPerf pruned = acc.simulate_layer(t);
+  EXPECT_LT(pruned.phases[2].cycles, dense.phases[2].cycles);  // offset-proj
+  EXPECT_LT(pruned.phases[4].cycles, dense.phases[4].cycles);  // msgs+ag
+  EXPECT_LT(pruned.total().macs, dense.total().macs);
+}
+
+TEST(Accelerator, FusionOffAddsSamplingValueRoundTrip) {
+  AccelFixture fx;
+  HwConfig fused = HwConfig::make_default(fx.m);
+  HwConfig unfused = fused;
+  unfused.enable_operator_fusion = false;
+  const LayerPerf a = DefaAccelerator(fx.m, fused).simulate_layer(fx.trace());
+  const LayerPerf b = DefaAccelerator(fx.m, unfused).simulate_layer(fx.trace());
+  EXPECT_GT(b.phases[4].dram_bytes(), a.phases[4].dram_bytes());
+  EXPECT_GT(b.phases[4].sram_read_bytes, a.phases[4].sram_read_bytes);
+  EXPECT_GE(b.phases[4].cycles, a.phases[4].cycles);
+}
+
+TEST(Accelerator, ReuseOffInflatesWindowTraffic) {
+  AccelFixture fx;
+  HwConfig reuse = HwConfig::make_default(fx.m);
+  HwConfig no_reuse = reuse;
+  no_reuse.enable_fmap_reuse = false;
+  const LayerPerf a = DefaAccelerator(fx.m, reuse).simulate_layer(fx.trace());
+  const LayerPerf b = DefaAccelerator(fx.m, no_reuse).simulate_layer(fx.trace());
+  EXPECT_GT(b.phases[4].dram_read_bytes, a.phases[4].dram_read_bytes);
+}
+
+TEST(Accelerator, RestreamInflatesMmDram) {
+  // Needs a model whose projections span multiple 16-column tiles (tiny's
+  // D=16 is a single tile, so restreaming is a no-op there).
+  const ModelConfig m = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const Tensor locs = wl.layer_fields(0).locs;
+  const Tensor ref = nn::reference_points(m);
+  const prune::PointMask points(m);
+  const prune::FmapMask pixels(m);
+  const LayerTrace trace{&locs, &points, &pixels, &ref};
+
+  HwConfig once = HwConfig::make_default(m);
+  HwConfig restream = once;
+  restream.act_streaming = ActStreaming::kRestreamPerColTile;
+  const LayerPerf a = DefaAccelerator(m, once).simulate_layer(trace);
+  const LayerPerf b = DefaAccelerator(m, restream).simulate_layer(trace);
+  EXPECT_GT(b.phases[0].dram_read_bytes, a.phases[0].dram_read_bytes);
+  EXPECT_GT(b.phases[3].dram_read_bytes, a.phases[3].dram_read_bytes);
+  // Compute cycles are unchanged by the streaming policy.
+  EXPECT_EQ(a.phases[3].cycles, b.phases[3].cycles);
+}
+
+TEST(Accelerator, TilesReduceWallMonotonically) {
+  AccelFixture fx;
+  std::uint64_t prev = ~0ull;
+  for (int tiles : {1, 2, 4, 8}) {
+    HwConfig hw = HwConfig::make_default(fx.m);
+    hw.tiles = tiles;
+    const LayerPerf perf = DefaAccelerator(fx.m, hw).simulate_layer(fx.trace());
+    EXPECT_LE(perf.wall_cycles, prev);
+    prev = perf.wall_cycles;
+  }
+}
+
+TEST(Accelerator, DramRooflineBindsAtHighTiles) {
+  AccelFixture fx;
+  HwConfig hw = HwConfig::make_default(fx.m);
+  hw.tiles = 10000;
+  const LayerPerf limited = DefaAccelerator(fx.m, hw).simulate_layer(fx.trace());
+  HwConfig unlimited = hw;
+  unlimited.dram_gbps = 0.0;  // bandwidth-unconstrained
+  const LayerPerf free_bw = DefaAccelerator(fx.m, unlimited).simulate_layer(fx.trace());
+  EXPECT_LT(free_bw.wall_cycles, limited.wall_cycles);
+}
+
+TEST(Accelerator, WallIncludesModeSwitches) {
+  AccelFixture fx;
+  HwConfig hw = HwConfig::make_default(fx.m);
+  hw.tiles = 1000000;  // compute time ~0
+  hw.dram_gbps = 0.0;
+  const LayerPerf perf = DefaAccelerator(fx.m, hw).simulate_layer(fx.trace());
+  EXPECT_GE(perf.wall_cycles, 2ull * static_cast<std::uint64_t>(hw.mode_switch_cycles));
+}
+
+TEST(Accelerator, RunAggregatesLayers) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  const LayerTrace t = fx.trace();
+  const std::vector<LayerTrace> traces{t, t, t};
+  const RunPerf run = acc.simulate_run(traces);
+  ASSERT_EQ(run.layers.size(), 3u);
+  const LayerPerf single = acc.simulate_layer(t);
+  EXPECT_EQ(run.wall_cycles(), 3 * single.wall_cycles);
+  EXPECT_EQ(run.total().macs, 3 * single.total().macs);
+}
+
+TEST(Accelerator, IncompleteTraceThrows) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  LayerTrace t = fx.trace();
+  t.locs = nullptr;
+  EXPECT_THROW((void)acc.simulate_layer(t), CheckError);
+}
+
+TEST(Accelerator, StatsAreInternallyConsistent) {
+  AccelFixture fx;
+  const HwConfig hw = HwConfig::make_default(fx.m);
+  const DefaAccelerator acc(fx.m, hw);
+  const LayerPerf perf = acc.simulate_layer(fx.trace());
+  const PhaseStats total = perf.total();
+  std::uint64_t sum_cycles = 0, sum_macs = 0;
+  for (const auto& p : perf.phases) {
+    sum_cycles += p.cycles;
+    sum_macs += p.macs;
+    EXPECT_GE(p.cycles, 0u);
+  }
+  EXPECT_EQ(total.cycles, sum_cycles);
+  EXPECT_EQ(total.macs, sum_macs);
+  EXPECT_GE(perf.wall_cycles, 2ull * static_cast<std::uint64_t>(hw.mode_switch_cycles));
+}
+
+}  // namespace
+}  // namespace defa::arch

@@ -1,0 +1,86 @@
+// Tests for the calibrated error -> AP-drop proxy (Fig. 6a substitution).
+
+#include <gtest/gtest.h>
+
+#include "accuracy/ap_model.h"
+#include "common/check.h"
+
+namespace defa::accuracy {
+namespace {
+
+TEST(ApModel, ReproducesPaperDropsAtAnchors) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  // At the anchor error, each technique reproduces the paper's average
+  // drop exactly (by construction).
+  EXPECT_NEAR(ap.drop(Technique::kFwp, ap.anchor(Technique::kFwp).ref_error), 0.80, 1e-9);
+  EXPECT_NEAR(ap.drop(Technique::kPap, ap.anchor(Technique::kPap).ref_error), 0.30, 1e-9);
+  EXPECT_NEAR(ap.drop(Technique::kNarrow, ap.anchor(Technique::kNarrow).ref_error), 0.26,
+              1e-9);
+  EXPECT_NEAR(ap.drop(Technique::kQuant12, ap.anchor(Technique::kQuant12).ref_error),
+              0.07, 1e-9);
+  EXPECT_NEAR(ap.drop(Technique::kQuant8, ap.anchor(Technique::kQuant8).ref_error), 9.70,
+              1e-9);
+}
+
+TEST(ApModel, ZeroErrorZeroDrop) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  EXPECT_DOUBLE_EQ(ap.drop(Technique::kFwp, 0.0), 0.0);
+}
+
+class ApMonotone : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(ApMonotone, DropIncreasesWithError) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  const Technique t = GetParam();
+  double prev = -1.0;
+  for (double e : {0.001, 0.01, 0.05, 0.1, 0.3}) {
+    const double d = ap.drop(t, e);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Techniques, ApMonotone,
+                         ::testing::Values(Technique::kFwp, Technique::kPap,
+                                           Technique::kNarrow, Technique::kQuant12,
+                                           Technique::kQuant8));
+
+TEST(ApModel, SuperlinearExponent) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  const Anchor& a = ap.anchor(Technique::kPap);
+  // Doubling the error more than doubles the drop (gamma > 1).
+  EXPECT_GT(ap.drop(Technique::kPap, 2.0 * a.ref_error), 2.0 * a.ref_drop_ap);
+}
+
+TEST(ApModel, DefaApSubtractsSummedDrops) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  const std::vector<std::pair<Technique, double>> errors{
+      {Technique::kFwp, ap.anchor(Technique::kFwp).ref_error},
+      {Technique::kPap, ap.anchor(Technique::kPap).ref_error},
+      {Technique::kNarrow, ap.anchor(Technique::kNarrow).ref_error},
+      {Technique::kQuant12, ap.anchor(Technique::kQuant12).ref_error},
+  };
+  const double ap_value = ap.defa_ap(46.9, errors);
+  // 46.9 - (0.8 + 0.3 + 0.26 + 0.07) = 45.47: the paper reports 45.5.
+  EXPECT_NEAR(ap_value, 45.47, 1e-6);
+}
+
+TEST(ApModel, Int8CollapseDwarfsInt12) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  const double d8 = ap.drop(Technique::kQuant8, ap.anchor(Technique::kQuant8).ref_error);
+  const double d12 =
+      ap.drop(Technique::kQuant12, ap.anchor(Technique::kQuant12).ref_error);
+  EXPECT_GT(d8, 50.0 * d12);  // paper: 9.7 vs 0.07 AP
+}
+
+TEST(ApModel, NegativeErrorThrows) {
+  const ApModel& ap = ApModel::paper_calibrated();
+  EXPECT_THROW((void)ap.drop(Technique::kFwp, -0.1), CheckError);
+}
+
+TEST(ApModel, FasterRcnnReference) {
+  EXPECT_DOUBLE_EQ(ApModel::faster_rcnn_ap(), 42.0);
+}
+
+}  // namespace
+}  // namespace defa::accuracy

@@ -1,0 +1,156 @@
+// Tests for the SRAM bank mappings of Sec. 4.2: the inter-level mapping's
+// conflict-freedom-by-construction property and the conflict analyzer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/bankmap.h"
+#include "common/rng.h"
+
+namespace defa::arch {
+namespace {
+
+TEST(BankMap, InterLevelDisjointBankQuadruples) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  for (int l = 0; l < m.n_levels; ++l) {
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 6; ++x) {
+        const BankAccess a = map_inter_level(m, l, y, x);
+        EXPECT_GE(a.bank, 4 * l);
+        EXPECT_LT(a.bank, 4 * (l + 1));
+      }
+    }
+  }
+}
+
+TEST(BankMap, InterLevelNeighborWindowHitsFourDistinctBanks) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  for (int y0 = 0; y0 < 8; ++y0) {
+    for (int x0 = 0; x0 < 8; ++x0) {
+      std::set<int> banks;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          banks.insert(map_inter_level(m, 1, y0 + dy, x0 + dx).bank);
+        }
+      }
+      EXPECT_EQ(banks.size(), 4u);
+    }
+  }
+}
+
+TEST(BankMap, IntraLevelNeighborWindowHitsFourDistinctBanks) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  for (int y0 = 0; y0 < 8; ++y0) {
+    for (int x0 = 0; x0 < 8; ++x0) {
+      std::set<int> banks;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          banks.insert(map_intra_level(m, 0, y0 + dy, x0 + dx).bank);
+        }
+      }
+      EXPECT_EQ(banks.size(), 4u);
+    }
+  }
+}
+
+TEST(BankMap, AddressesDistinguishWindows) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  // Same bank, different 2x2 window -> different address.
+  const BankAccess a = map_inter_level(m, 0, 0, 0);
+  const BankAccess b = map_inter_level(m, 0, 2, 0);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_NE(a.addr, b.addr);
+}
+
+/// Property (Fig. 5b): any group of up to 4 points from *different* levels
+/// is conflict-free under the inter-level mapping.
+class InterLevelConflictFree : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterLevelConflictFree, RandomGroupsNeverConflict) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  SmallRng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::array<BankAccess, 16> acc{};
+    int n = 0;
+    for (int l = 0; l < m.n_levels; ++l) {
+      const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+      const float x = static_cast<float>(rng.uniform(0.0, lv.w - 1.001));
+      const float y = static_cast<float>(rng.uniform(0.0, lv.h - 1.001));
+      n += collect_point_accesses(m, l, nn::bi_locate(x, y), /*inter_level=*/true,
+                                  acc, n);
+    }
+    const ConflictReport rep =
+        analyze_group(std::span<const BankAccess>(acc.data(), static_cast<std::size_t>(n)), 16);
+    EXPECT_FALSE(rep.conflict);
+    EXPECT_EQ(rep.serialization_cycles, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterLevelConflictFree, ::testing::Range(1, 9));
+
+/// Oracle check: analyze_group agrees with a brute-force bank/address model.
+class ConflictOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflictOracle, MatchesBruteForce) {
+  SmallRng rng(static_cast<std::uint64_t>(GetParam()) * 733);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(16));
+    std::vector<BankAccess> acc(static_cast<std::size_t>(n));
+    for (auto& a : acc) {
+      a.bank = static_cast<int>(rng.below(16));
+      a.addr = static_cast<std::int64_t>(rng.below(4));  // few addresses: collisions likely
+    }
+    const ConflictReport rep = analyze_group(acc, 16);
+    // Brute force: distinct addresses per bank.
+    int worst = 1;
+    bool any = false;
+    for (int b = 0; b < 16; ++b) {
+      std::set<std::int64_t> addrs;
+      for (const auto& a : acc) {
+        if (a.bank == b) addrs.insert(a.addr);
+      }
+      worst = std::max(worst, static_cast<int>(addrs.size()));
+      if (addrs.size() > 1) any = true;
+    }
+    EXPECT_EQ(rep.serialization_cycles, worst);
+    EXPECT_EQ(rep.conflict, any);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictOracle, ::testing::Range(1, 7));
+
+TEST(AnalyzeGroup, SameAddressBroadcastsWithoutConflict) {
+  std::vector<BankAccess> acc{{3, 7}, {3, 7}, {3, 7}};
+  const ConflictReport rep = analyze_group(acc, 16);
+  EXPECT_FALSE(rep.conflict);
+  EXPECT_EQ(rep.serialization_cycles, 1);
+}
+
+TEST(AnalyzeGroup, DifferentAddressesSerialize) {
+  std::vector<BankAccess> acc{{3, 7}, {3, 8}, {3, 9}};
+  const ConflictReport rep = analyze_group(acc, 16);
+  EXPECT_TRUE(rep.conflict);
+  EXPECT_EQ(rep.serialization_cycles, 3);
+}
+
+TEST(AnalyzeGroup, EmptyGroupIsOneCycle) {
+  const ConflictReport rep = analyze_group({}, 16);
+  EXPECT_FALSE(rep.conflict);
+  EXPECT_EQ(rep.serialization_cycles, 1);
+}
+
+TEST(CollectPointAccesses, SkipsOutOfBoundsNeighbors) {
+  const ModelConfig m = ModelConfig::tiny();
+  std::array<BankAccess, 16> acc{};
+  // Point at (-0.5, -0.5): only the (0,0) neighbor is inside.
+  const int n =
+      collect_point_accesses(m, 0, nn::bi_locate(-0.5f, -0.5f), true, acc, 0);
+  EXPECT_EQ(n, 1);
+  // Fully interior point: all four neighbors.
+  const int n2 = collect_point_accesses(m, 0, nn::bi_locate(2.5f, 2.5f), true, acc, 0);
+  EXPECT_EQ(n2, 4);
+}
+
+}  // namespace
+}  // namespace defa::arch

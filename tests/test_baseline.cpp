@@ -1,0 +1,94 @@
+// Tests for the analytical GPU model and the ASIC literature records.
+
+#include <gtest/gtest.h>
+
+#include "baseline/asic_table.h"
+#include "baseline/gpu_model.h"
+
+namespace defa::baseline {
+namespace {
+
+TEST(GpuSpec, PaperCardParameters) {
+  const GpuSpec g2080 = GpuSpec::rtx2080ti();
+  const GpuSpec g3090 = GpuSpec::rtx3090ti();
+  EXPECT_NEAR(g2080.fp32_tflops, 13.45, 0.2);  // paper: 13.5 TFLOPS @FP32
+  EXPECT_NEAR(g3090.fp32_tflops, 40.0, 0.2);   // paper: 40 TFLOPS @FP32
+  EXPECT_DOUBLE_EQ(g2080.tdp_w, 250.0);        // paper: 250 W
+  EXPECT_DOUBLE_EQ(g3090.tdp_w, 450.0);        // paper: 450 W
+  EXPECT_GT(g3090.dram_gbps, g2080.dram_gbps);
+}
+
+TEST(GpuModel, MsgsDominatesLayerLatency) {
+  // Fig. 1(b): MSGS + aggregation is 60-63% of the block latency while its
+  // compute share is tiny.
+  for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
+    const GpuLayerTime t = gpu_layer_time(m, GpuSpec::rtx3090ti());
+    EXPECT_GT(t.msgs_share(), 0.5) << m.name;
+    EXPECT_LT(t.msgs_share(), 0.8) << m.name;
+    EXPECT_GT(t.total(), 0.0);
+  }
+}
+
+TEST(GpuModel, GatherIsLatencyBoundAcrossCards) {
+  // The MSGS kernel barely speeds up from 2080Ti to 3090Ti (achieved
+  // gather bandwidth is latency-bound), which is why DEFA's speedup over
+  // the 3090Ti is much larger than its peak-compute ratio suggests.
+  const ModelConfig m = ModelConfig::deformable_detr();
+  const GpuLayerTime t2080 = gpu_layer_time(m, GpuSpec::rtx2080ti());
+  const GpuLayerTime t3090 = gpu_layer_time(m, GpuSpec::rtx3090ti());
+  const double msgs_ratio = t2080.msgs_ag_s / t3090.msgs_ag_s;
+  EXPECT_GT(msgs_ratio, 1.0);
+  EXPECT_LT(msgs_ratio, 1.4);
+  // While the MM part tracks peak compute more closely.
+  EXPECT_GT(t2080.mm_s / t3090.mm_s, 1.5);
+}
+
+TEST(GpuModel, EncoderTimeScalesWithLayers) {
+  ModelConfig m = ModelConfig::deformable_detr();
+  const GpuSpec gpu = GpuSpec::rtx3090ti();
+  const double t6 = gpu_encoder_time_s(m, gpu);
+  m.n_layers = 3;
+  const double t3 = gpu_encoder_time_s(m, gpu);
+  EXPECT_NEAR(t6 / t3, 2.0, 1e-9);
+}
+
+TEST(GpuModel, EnergyIsPowerTimesTime) {
+  const ModelConfig m = ModelConfig::dino();
+  const GpuSpec gpu = GpuSpec::rtx2080ti();
+  EXPECT_NEAR(gpu_encoder_energy_j(m, gpu),
+              gpu_encoder_time_s(m, gpu) * gpu.tdp_w * gpu.power_utilization, 1e-12);
+}
+
+TEST(GpuModel, LargerModelTakesLonger) {
+  const double t_small =
+      gpu_encoder_time_s(ModelConfig::dn_detr(), GpuSpec::rtx3090ti());
+  const double t_large = gpu_encoder_time_s(ModelConfig::dino(), GpuSpec::rtx3090ti());
+  EXPECT_GT(t_large, t_small);  // DINO has the most tokens
+}
+
+TEST(GpuModel, InvalidSpecThrows) {
+  const ModelConfig m = ModelConfig::tiny();
+  GpuSpec bad = GpuSpec::rtx2080ti();
+  bad.gather_gbps = 0.0;
+  EXPECT_THROW((void)gpu_layer_time(m, bad), CheckError);
+}
+
+TEST(AsicTable, PaperRowsQuotedExactly) {
+  const auto records = attention_asic_records();
+  ASSERT_EQ(records.size(), 3u);
+  // ELSA (ISCA'21)
+  EXPECT_EQ(records[0].tech_nm, 40);
+  EXPECT_DOUBLE_EQ(records[0].area_mm2, 1.26);
+  EXPECT_DOUBLE_EQ(records[0].power_mw, 969.4);
+  EXPECT_DOUBLE_EQ(records[0].ee_gops_per_w, 1120.0);
+  // SpAtten (HPCA'21)
+  EXPECT_DOUBLE_EQ(records[1].throughput_gops, 360.0);
+  EXPECT_DOUBLE_EQ(records[1].ee_gops_per_w, 1224.0);
+  // BESAPU (JSSC'22)
+  EXPECT_EQ(records[2].tech_nm, 28);
+  EXPECT_DOUBLE_EQ(records[2].ee_gops_per_w, 1910.0);
+  for (const auto& r : records) EXPECT_EQ(r.function, "Attention");
+}
+
+}  // namespace
+}  // namespace defa::baseline

@@ -1,0 +1,202 @@
+// Tests for model/hardware configurations and the bounded-range spec.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "config/hw_config.h"
+#include "config/model_config.h"
+
+namespace defa {
+namespace {
+
+// ----------------------------------------------------------------- ModelConfig
+class PaperBenchmarks : public ::testing::TestWithParam<ModelConfig> {};
+
+TEST_P(PaperBenchmarks, ValidatesAndHasPaperShape) {
+  const ModelConfig m = GetParam();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.d_model, 256);
+  EXPECT_EQ(m.n_heads, 8);
+  EXPECT_EQ(m.n_levels, 4);
+  EXPECT_EQ(m.n_points, 4);
+  EXPECT_EQ(m.n_layers, 6);
+  EXPECT_EQ(m.d_head(), 32);
+  EXPECT_EQ(m.points_per_head(), 16);
+  EXPECT_GT(m.baseline_ap, 40.0);
+  // COCO-scale token counts (shortest side 800).
+  EXPECT_GT(m.n_in(), 15000);
+  EXPECT_LT(m.n_in(), 25000);
+}
+
+TEST_P(PaperBenchmarks, PyramidHalves) {
+  const ModelConfig m = GetParam();
+  for (int l = 1; l < m.n_levels; ++l) {
+    EXPECT_EQ(m.levels[static_cast<std::size_t>(l)].h,
+              (m.levels[static_cast<std::size_t>(l - 1)].h + 1) / 2);
+    EXPECT_EQ(m.levels[static_cast<std::size_t>(l)].w,
+              (m.levels[static_cast<std::size_t>(l - 1)].w + 1) / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PaperBenchmarks,
+                         ::testing::ValuesIn(ModelConfig::paper_benchmarks()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ModelConfig, LevelOffsetsPartitionTokens) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  std::int64_t expected = 0;
+  for (int l = 0; l < m.n_levels; ++l) {
+    EXPECT_EQ(m.level_offset(l), expected);
+    expected += m.levels[static_cast<std::size_t>(l)].numel();
+  }
+  EXPECT_EQ(m.n_in(), expected);
+}
+
+TEST(ModelConfig, FlatIndexPixelOfRoundTrip) {
+  const ModelConfig m = ModelConfig::tiny();
+  for (int l = 0; l < m.n_levels; ++l) {
+    const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+    for (int y = 0; y < lv.h; ++y) {
+      for (int x = 0; x < lv.w; ++x) {
+        const std::int64_t idx = m.flat_index(l, y, x);
+        const auto pc = m.pixel_of(idx);
+        EXPECT_EQ(pc.level, l);
+        EXPECT_EQ(pc.y, y);
+        EXPECT_EQ(pc.x, x);
+      }
+    }
+  }
+}
+
+TEST(ModelConfig, PixelOfOutOfRangeThrows) {
+  const ModelConfig m = ModelConfig::tiny();
+  EXPECT_THROW((void)m.pixel_of(m.n_in()), CheckError);
+  EXPECT_THROW((void)m.pixel_of(-1), CheckError);
+}
+
+TEST(ModelConfig, ValidateRejectsBadHeads) {
+  ModelConfig m = ModelConfig::tiny();
+  m.n_heads = 3;  // does not divide d_model=16
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(ModelConfig, ValidateRejectsWrongLevelCount) {
+  ModelConfig m = ModelConfig::tiny();
+  m.levels.pop_back();
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(ModelConfig, ValidateRejectsCoarseToFine) {
+  ModelConfig m = ModelConfig::tiny();
+  std::swap(m.levels[0], m.levels[1]);
+  EXPECT_THROW(m.validate(), CheckError);
+}
+
+TEST(ModelConfig, BenchmarkSeedsDistinct) {
+  const auto b = ModelConfig::paper_benchmarks();
+  EXPECT_NE(b[0].seed, b[1].seed);
+  EXPECT_NE(b[1].seed, b[2].seed);
+}
+
+// ------------------------------------------------------------------- RangeSpec
+TEST(RangeSpec, WindowSide) {
+  EXPECT_EQ(RangeSpec::window_side(8), 18);
+  EXPECT_EQ(RangeSpec::window_side(6), 14);
+  EXPECT_EQ(RangeSpec::window_side(1), 4);
+}
+
+TEST(RangeSpec, LevelWiseDefaultNarrowsCoarseLevels) {
+  const RangeSpec spec = RangeSpec::level_wise_default(4);
+  EXPECT_EQ(spec.used_levels, 4);
+  EXPECT_GE(spec.radius(0), spec.radius(3));
+}
+
+TEST(RangeSpec, UnifiedCostsAbout25PercentMoreStorage) {
+  // The paper: a unified restriction costs ~25% extra storage (Sec. 4.1).
+  const RangeSpec level_wise = RangeSpec::level_wise_default(4);
+  const RangeSpec unified = RangeSpec::unified_from(level_wise);
+  const double extra = static_cast<double>(unified.window_pixels()) /
+                           static_cast<double>(level_wise.window_pixels()) -
+                       1.0;
+  EXPECT_GT(extra, 0.15);
+  EXPECT_LT(extra, 0.35);
+}
+
+TEST(RangeSpec, UnifiedUsesMaxRadius) {
+  RangeSpec spec = RangeSpec::level_wise_default(4);
+  const RangeSpec unified = RangeSpec::unified_from(spec);
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(unified.radius(l), spec.radius(0));
+}
+
+TEST(RangeSpec, RadiusOutOfRangeThrows) {
+  const RangeSpec spec = RangeSpec::level_wise_default(2);
+  EXPECT_THROW((void)spec.radius(2), CheckError);
+  EXPECT_THROW((void)spec.radius(-1), CheckError);
+}
+
+TEST(RangeSpec, BadLevelCountThrows) {
+  EXPECT_THROW((void)RangeSpec::level_wise_default(0), CheckError);
+  EXPECT_THROW((void)RangeSpec::level_wise_default(kMaxLevels + 1), CheckError);
+  EXPECT_THROW((void)RangeSpec::unified(4, 0), CheckError);
+}
+
+// -------------------------------------------------------------------- HwConfig
+TEST(HwConfig, DefaultMatchesPaperDatapath) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  const HwConfig hw = HwConfig::make_default(m);
+  EXPECT_EQ(hw.total_macs(), 256);
+  EXPECT_DOUBLE_EQ(hw.freq_mhz, 400.0);
+  EXPECT_EQ(hw.act_bits, 12);
+  // 256 MACs * 2 ops * 400 MHz = 204.8 GOPS dense peak.
+  EXPECT_NEAR(hw.peak_gops(), 204.8, 1e-9);
+  EXPECT_EQ(hw.sram_word_bytes(m), 48);  // 32 channels x 12b
+  EXPECT_DOUBLE_EQ(hw.dram_gbps, 256.0);
+  EXPECT_DOUBLE_EQ(hw.dram_pj_per_bit, 1.2);
+}
+
+TEST(HwConfig, PeakScalesWithTiles) {
+  const ModelConfig m = ModelConfig::tiny();
+  HwConfig hw = HwConfig::make_default(m);
+  const double base = hw.peak_gops();
+  hw.tiles = 10;
+  EXPECT_NEAR(hw.peak_gops(), base * 10, 1e-9);
+}
+
+TEST(HwConfig, ValidateRejectsRangeMismatch) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  HwConfig hw = HwConfig::make_default(m);
+  hw.ranges = RangeSpec::level_wise_default(2);
+  EXPECT_THROW(hw.validate(m), CheckError);
+}
+
+TEST(HwConfig, ValidateRejectsTooFewBanksForInterLevel) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  HwConfig hw = HwConfig::make_default(m);
+  hw.sram_banks = 8;  // < 4 banks per level with 4 levels
+  EXPECT_THROW(hw.validate(m), CheckError);
+  hw.parallelism = MsgsParallelism::kIntraLevel;
+  EXPECT_NO_THROW(hw.validate(m));
+}
+
+TEST(HwConfig, ValidateRejectsZeroTiles) {
+  const ModelConfig m = ModelConfig::tiny();
+  HwConfig hw = HwConfig::make_default(m);
+  hw.tiles = 0;
+  EXPECT_THROW(hw.validate(m), CheckError);
+}
+
+TEST(HwConfig, BandwidthZeroMeansUnconstrainedAndValidates) {
+  const ModelConfig m = ModelConfig::tiny();
+  HwConfig hw = HwConfig::make_default(m);
+  hw.dram_gbps = 0.0;
+  EXPECT_NO_THROW(hw.validate(m));
+}
+
+}  // namespace
+}  // namespace defa

@@ -1,0 +1,197 @@
+// Cross-module consistency: invariants that tie the functional pipeline,
+// the pruning algorithms, the cycle-accurate simulator and the energy
+// model to each other.  These catch exactly the class of bug where two
+// modules model "the same thing" differently.
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "arch/msgs_engine.h"
+#include "core/experiments.h"
+#include "core/pipeline.h"
+#include "energy/chip_model.h"
+#include "nn/softmax.h"
+#include "prune/fwp.h"
+#include "prune/pap.h"
+
+namespace defa {
+namespace {
+
+struct Shared {
+  ModelConfig m = ModelConfig::small();
+  workload::SceneWorkload wl;
+  core::EncoderPipeline pipe;
+  Shared() : wl(make_wl()), pipe(wl) {}
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m.seed;
+    return workload::SceneWorkload(m, p);
+  }
+};
+
+Shared& shared() {
+  static Shared s;
+  return s;
+}
+
+TEST(Consistency, FreqCounterTotalsMatchMsgsEngineSramReads) {
+  // The FWP frequency counter and the MSGS engine's bank fetch counter
+  // walk the same geometry: total neighbor accesses must agree exactly.
+  Shared& s = shared();
+  const Tensor& locs = s.pipe.layer_fields(0).locs;
+  const prune::PointMask dense(s.m);
+
+  const prune::FreqCounter freq = prune::count_sampled_frequency(s.m, locs, dense);
+  std::int64_t total_accesses = 0;
+  for (std::int64_t t = 0; t < s.m.n_in(); ++t) total_accesses += freq.count(t);
+
+  const HwConfig hw = HwConfig::make_default(s.m);
+  const arch::MsgsEngine engine(s.m, hw);
+  const arch::MsgsPerf perf = engine.run(locs, dense);
+  EXPECT_EQ(static_cast<std::uint64_t>(total_accesses), perf.sram_word_reads);
+}
+
+TEST(Consistency, PipelineKeptCountsDriveFlopRatios) {
+  Shared& s = shared();
+  const core::EncoderResult r = s.pipe.run(core::PruneConfig::defa_default(s.m));
+  for (const auto& l : r.layers) {
+    const double pts = static_cast<double>(l.kept_points) / l.total_points;
+    const double pix = static_cast<double>(l.kept_pixels) / l.total_pixels;
+    EXPECT_NEAR(l.flops_actual.msgs_bi / l.flops_dense.msgs_bi, pts, 1e-9);
+    EXPECT_NEAR(l.flops_actual.offset_proj / l.flops_dense.offset_proj, pts, 1e-9);
+    EXPECT_NEAR(l.flops_actual.value_proj / l.flops_dense.value_proj, pix, 1e-9);
+  }
+}
+
+TEST(Consistency, SimulatorMacsTrackFlopAccounting) {
+  // The simulator's MAC counts for the value projection must equal the
+  // FLOP model's MACs (2 FLOPs per MAC) given the same mask.
+  core::BenchmarkContext ctx(ModelConfig::small());
+  const ModelConfig& m = ctx.model();
+  const HwConfig hw = HwConfig::make_default(m);
+  const arch::DefaAccelerator acc(m, hw);
+  const auto traces = ctx.defa_traces();
+  const arch::LayerPerf perf = acc.simulate_layer(traces[1]);
+  const auto& layer_stats = ctx.defa_result().layers[1];
+  // phases[3] is value-proj.
+  EXPECT_NEAR(static_cast<double>(perf.phases[3].macs),
+              layer_stats.flops_actual.value_proj / 2.0,
+              layer_stats.flops_actual.value_proj * 1e-9);
+  // phases[0] is attn-proj (never masked).
+  EXPECT_NEAR(static_cast<double>(perf.phases[0].macs),
+              layer_stats.flops_dense.attn_proj / 2.0, 1.0);
+}
+
+TEST(Consistency, WindowFetchBoundedByKeptPixelRefetch) {
+  // With reuse, the window stream fetches each kept pixel at least once
+  // and at most window-side times (per querying level).
+  Shared& s = shared();
+  const HwConfig hw = HwConfig::make_default(s.m);
+  const arch::WindowStreamer streamer(s.m, hw);
+  const prune::FmapMask all(s.m);
+  const auto traffic = streamer.run(s.wl.ref_norm(), all, true);
+  const std::uint64_t n = static_cast<std::uint64_t>(s.m.n_in());
+  const std::uint64_t worst_side =
+      static_cast<std::uint64_t>(RangeSpec::window_side(hw.ranges.radius(0)));
+  EXPECT_GE(traffic.pixels_fetched, n);
+  // Each of the n_levels query populations can traverse each level.
+  EXPECT_LE(traffic.pixels_fetched,
+            n * worst_side * static_cast<std::uint64_t>(s.m.n_levels));
+}
+
+TEST(Consistency, EnergyScaleInvarianceUnderTiling) {
+  // Tiling shortens time but moves the same bytes and MACs: total energy
+  // must be identical, power must scale up.
+  core::BenchmarkContext ctx(ModelConfig::small());
+  const ModelConfig& m = ctx.model();
+  const auto traces = ctx.defa_traces();
+
+  HwConfig hw1 = HwConfig::make_default(m);
+  HwConfig hw8 = hw1;
+  hw8.tiles = 8;
+  const arch::RunPerf r1 = arch::DefaAccelerator(m, hw1).simulate_run(traces);
+  const arch::RunPerf r8 = arch::DefaAccelerator(m, hw8).simulate_run(traces);
+  const double e1 = energy::energy_breakdown(m, hw1, r1).total_pj();
+  const double e8 = energy::energy_breakdown(m, hw8, r8).total_pj();
+  EXPECT_NEAR(e1, e8, e1 * 1e-9);
+
+  const double ops = ctx.dense_encoder_flops();
+  const auto s1 = energy::summarize(m, hw1, r1, ops);
+  const auto s8 = energy::summarize(m, hw8, r8, ops);
+  EXPECT_LT(s8.time_ms, s1.time_ms);
+  EXPECT_GT(s8.chip_power_mw, s1.chip_power_mw);
+}
+
+class QuantWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantWidthSweep, PipelineErrorShrinksMonotonically) {
+  Shared& s = shared();
+  const int bits = GetParam();
+  const double e_this = s.pipe.run(core::PruneConfig::only_quant(bits)).final_nrmse;
+  const double e_wider = s.pipe.run(core::PruneConfig::only_quant(bits + 2)).final_nrmse;
+  EXPECT_GT(e_this, e_wider);
+  EXPECT_GT(e_this, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantWidthSweep, ::testing::Values(6, 8, 10, 12));
+
+TEST(Consistency, RangeStorageAgreesBetweenPruneAndEnergy) {
+  // prune::range_window_bytes sizes the same buffers the SRAM plan builds.
+  const ModelConfig m = ModelConfig::deformable_detr();
+  const HwConfig hw = HwConfig::make_default(m);
+  const std::int64_t window_bytes = prune::range_window_bytes(m, hw.ranges, hw.act_bits);
+  const energy::SramPlan plan = energy::build_sram_plan(m, hw);
+  std::int64_t bank_bytes = 0;
+  for (const auto& macro : plan.macros) {
+    if (macro.name == "fmap-bank") bank_bytes = macro.total_bytes();
+  }
+  EXPECT_GE(bank_bytes, window_bytes);
+  EXPECT_LE(bank_bytes, window_bytes + 16 * 64);  // rounding to bank count only
+}
+
+TEST(Consistency, PapMaskAgreesWithProbabilityOracle) {
+  // Re-derive the PAP mask from the probabilities and compare bit-for-bit.
+  Shared& s = shared();
+  const Tensor& probs = s.pipe.layer_probs(0);
+  const double tau = 0.03;
+  const prune::PointMask mask = prune::pap_prune(s.m, probs, tau, nullptr);
+  for (std::int64_t q = 0; q < s.m.n_in(); q += 31) {
+    for (int h = 0; h < s.m.n_heads; ++h) {
+      for (int l = 0; l < s.m.n_levels; ++l) {
+        for (int p = 0; p < s.m.n_points; ++p) {
+          const bool expect_keep =
+              probs(q, h, static_cast<std::int64_t>(l) * s.m.n_points + p) >=
+              static_cast<float>(tau);
+          EXPECT_EQ(mask.keep(q, h, l, p), expect_keep);
+        }
+      }
+    }
+  }
+}
+
+TEST(Consistency, DenseTrafficUpperBoundsPrunedTraffic) {
+  core::BenchmarkContext ctx(ModelConfig::small());
+  const ModelConfig& m = ctx.model();
+  const HwConfig hw = HwConfig::make_default(m);
+  const arch::DefaAccelerator acc(m, hw);
+  const auto dense = acc.simulate_run(ctx.dense_traces()).total();
+  const auto pruned = acc.simulate_run(ctx.defa_traces()).total();
+  EXPECT_LE(pruned.dram_bytes(), dense.dram_bytes());
+  EXPECT_LE(pruned.sram_read_bytes, dense.sram_read_bytes);
+  EXPECT_LE(pruned.macs, dense.macs);
+}
+
+TEST(Consistency, EffectiveThroughputExceedsDensePeakUnderPruning) {
+  // Table 1's effective-ops convention: with >50% of work pruned, the
+  // measured effective GOPS must beat the 204.8 GOPS dense peak.
+  core::BenchmarkContext ctx(ModelConfig::small());
+  const ModelConfig& m = ctx.model();
+  const HwConfig hw = HwConfig::make_default(m);
+  const arch::DefaAccelerator acc(m, hw);
+  const auto run = acc.simulate_run(ctx.defa_traces());
+  const auto sum = energy::summarize(m, hw, run, ctx.dense_encoder_flops());
+  EXPECT_GT(sum.effective_gops, hw.peak_gops());
+}
+
+}  // namespace
+}  // namespace defa

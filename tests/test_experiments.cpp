@@ -1,0 +1,112 @@
+// Tests for the experiment drivers.  Full-size figure reproduction lives in
+// bench/; here the BenchmarkContext machinery runs on the reduced `small`
+// configuration, plus the cheap analytic experiments at paper scale.
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace defa::core {
+namespace {
+
+/// Shared context so the pipeline reference is built once per test binary.
+BenchmarkContext& small_ctx() {
+  static BenchmarkContext ctx(ModelConfig::small());
+  return ctx;
+}
+
+TEST(BenchmarkContext, DefaResultReproducesPipelineBands) {
+  const EncoderResult& r = small_ctx().defa_result();
+  EXPECT_GT(r.point_reduction(), 0.5);
+  EXPECT_GT(r.pixel_reduction(), 0.1);
+  EXPECT_GT(r.flop_reduction(), 0.3);
+}
+
+TEST(BenchmarkContext, TracesAreComplete) {
+  BenchmarkContext& ctx = small_ctx();
+  const auto defa = ctx.defa_traces();
+  const auto dense = ctx.dense_traces();
+  ASSERT_EQ(static_cast<int>(defa.size()), ctx.model().n_layers);
+  ASSERT_EQ(dense.size(), defa.size());
+  for (const auto& t : defa) {
+    EXPECT_NE(t.locs, nullptr);
+    EXPECT_NE(t.pmask, nullptr);
+    EXPECT_NE(t.fmask, nullptr);
+    EXPECT_NE(t.ref_norm, nullptr);
+  }
+  // Dense traces keep everything.
+  for (const auto& t : dense) {
+    EXPECT_EQ(t.pmask->kept_count(), t.pmask->total());
+    EXPECT_EQ(t.fmask->kept_count(), t.fmask->total());
+  }
+  // DEFA traces actually prune.
+  EXPECT_LT(defa[0].pmask->kept_count(), defa[0].pmask->total());
+}
+
+TEST(BenchmarkContext, TraceLocsAreRangeNarrowed) {
+  BenchmarkContext& ctx = small_ctx();
+  const auto traces = ctx.defa_traces();
+  const ModelConfig& m = ctx.model();
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  const Tensor& ref = ctx.workload_ref().ref_norm();
+  const Tensor& locs = *traces[0].locs;
+  for (std::int64_t q = 0; q < m.n_in(); q += 97) {
+    for (int l = 0; l < m.n_levels; ++l) {
+      const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+      const float cx = ref(q, 0) * lv.w - 0.5f;
+      const float cy = ref(q, 1) * lv.h - 0.5f;
+      for (int h = 0; h < m.n_heads; ++h) {
+        for (int p = 0; p < m.n_points; ++p) {
+          EXPECT_LE(std::abs(locs(q, h, l, p, 0) - cx),
+                    static_cast<float>(ranges.radius(l)) + 1e-4f);
+          EXPECT_LE(std::abs(locs(q, h, l, p, 1) - cy),
+                    static_cast<float>(ranges.radius(l)) + 1e-4f);
+        }
+      }
+    }
+  }
+}
+
+TEST(BenchmarkContext, SimulatorRunsOnTraces) {
+  BenchmarkContext& ctx = small_ctx();
+  const ModelConfig& m = ctx.model();
+  const HwConfig hw = HwConfig::make_default(m);
+  const arch::DefaAccelerator acc(m, hw);
+  const auto traces = ctx.defa_traces();
+  const arch::RunPerf run = acc.simulate_run(traces);
+  EXPECT_EQ(static_cast<int>(run.layers.size()), m.n_layers);
+  EXPECT_GT(run.wall_cycles(), 0u);
+  // Pruned run beats a dense run of the same workload.
+  const arch::RunPerf dense_run = acc.simulate_run(ctx.dense_traces());
+  EXPECT_LT(run.wall_cycles(), dense_run.wall_cycles());
+  EXPECT_LT(run.total().macs, dense_run.total().macs);
+}
+
+TEST(BenchmarkContext, DenseEncoderFlopsMatchModule) {
+  BenchmarkContext& ctx = small_ctx();
+  EXPECT_DOUBLE_EQ(ctx.dense_encoder_flops(),
+                   dense_flops(ctx.model()).total() * ctx.model().n_layers);
+}
+
+TEST(Fig1b, PaperBandAtFullScale) {
+  // Pure analytic model: cheap even at paper scale.
+  const auto rows = run_fig1b();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.msgs_latency_share, 0.5) << r.benchmark;
+    EXPECT_LT(r.msgs_latency_share, 0.8) << r.benchmark;
+    // Compute share is far below the latency share (the paper's point).
+    EXPECT_LT(r.msgs_flop_share, r.msgs_latency_share / 3.0);
+    EXPECT_GT(r.layer.total(), 0.0);
+  }
+}
+
+TEST(Fig1b, BenchmarkNamesMatchPaperOrder) {
+  const auto rows = run_fig1b();
+  EXPECT_EQ(rows[0].benchmark, "De DETR");
+  EXPECT_EQ(rows[1].benchmark, "DN-DETR");
+  EXPECT_EQ(rows[2].benchmark, "DINO");
+}
+
+}  // namespace
+}  // namespace defa::core

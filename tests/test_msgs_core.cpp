@@ -1,0 +1,138 @@
+// Tests for the production MSGS engine (core/msgs): fp32 equivalence with
+// the nn reference, point masking, and the INTn datapath error bounds.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/msgs.h"
+#include "nn/msdeform.h"
+#include "nn/softmax.h"
+#include "workload/scene.h"
+
+namespace defa::core {
+namespace {
+
+struct Fixture {
+  ModelConfig m = ModelConfig::tiny();
+  workload::SceneWorkload wl;
+  Tensor values;
+  Tensor probs;
+  Tensor locs;
+
+  Fixture() : wl(make_wl()) {
+    Rng rng(17);
+    values = Tensor::randn({m.n_in(), m.d_model}, rng);
+    const nn::MsdaFields f = wl.layer_fields(0);
+    probs = nn::softmax_lastdim(f.logits);
+    locs = f.locs;
+  }
+
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m.seed;
+    return workload::SceneWorkload(m, p);
+  }
+};
+
+TEST(MsgsCore, Fp32MatchesReferenceExactly) {
+  Fixture fx;
+  const Tensor ref = nn::msgs_aggregate_ref(fx.m, fx.values, fx.probs, fx.locs);
+  const Tensor out = run_msgs(fx.m, fx.values, fx.probs, fx.locs, MsgsOptions{});
+  ASSERT_EQ(ref.numel(), out.numel());
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ref.at_flat(i), out.at_flat(i));
+  }
+}
+
+TEST(MsgsCore, AllPrunedMaskYieldsZeroOutput) {
+  Fixture fx;
+  prune::PointMask mask(fx.m);
+  for (std::int64_t q = 0; q < fx.m.n_in(); ++q) {
+    for (int h = 0; h < fx.m.n_heads; ++h) {
+      for (int l = 0; l < fx.m.n_levels; ++l) {
+        for (int p = 0; p < fx.m.n_points; ++p) mask.set_keep(q, h, l, p, false);
+      }
+    }
+  }
+  MsgsOptions opt;
+  opt.point_mask = &mask;
+  const Tensor out = run_msgs(fx.m, fx.values, fx.probs, fx.locs, opt);
+  for (float v : out.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(MsgsCore, MaskingEqualsZeroedProbabilities) {
+  // Pruning a point must equal running with that point's probability set
+  // to zero (the masked point's contribution simply disappears).
+  Fixture fx;
+  prune::PointMask mask(fx.m);
+  Tensor zeroed_probs = fx.probs;
+  SmallRng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto q = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(fx.m.n_in())));
+    const int h = static_cast<int>(rng.below(static_cast<std::uint64_t>(fx.m.n_heads)));
+    const int l = static_cast<int>(rng.below(static_cast<std::uint64_t>(fx.m.n_levels)));
+    const int p = static_cast<int>(rng.below(static_cast<std::uint64_t>(fx.m.n_points)));
+    mask.set_keep(q, h, l, p, false);
+    zeroed_probs(q, h, static_cast<std::int64_t>(l) * fx.m.n_points + p) = 0.0f;
+  }
+  MsgsOptions opt;
+  opt.point_mask = &mask;
+  const Tensor masked = run_msgs(fx.m, fx.values, fx.probs, fx.locs, opt);
+  const Tensor zeroed = run_msgs(fx.m, fx.values, zeroed_probs, fx.locs, MsgsOptions{});
+  for (std::int64_t i = 0; i < masked.numel(); ++i) {
+    EXPECT_NEAR(masked.at_flat(i), zeroed.at_flat(i), 1e-5);
+  }
+}
+
+class QuantizedMsgsError : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizedMsgsError, ErrorShrinksWithWidth) {
+  Fixture fx;
+  const int bits = GetParam();
+  const Tensor ref = run_msgs(fx.m, fx.values, fx.probs, fx.locs, MsgsOptions{});
+  MsgsOptions opt;
+  opt.quantized = true;
+  opt.act_bits = bits;
+  opt.frac_bits = bits;
+  const Tensor out = run_msgs(fx.m, fx.values, fx.probs, fx.locs, opt);
+  const double err = nrmse(ref.data(), out.data());
+  EXPECT_LT(err, 12.0 / static_cast<double>(1 << bits));
+  EXPECT_GT(err, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantizedMsgsError, ::testing::Values(8, 10, 12, 14));
+
+TEST(MsgsCore, QuantizedInt12TighterThanInt8) {
+  Fixture fx;
+  const Tensor ref = run_msgs(fx.m, fx.values, fx.probs, fx.locs, MsgsOptions{});
+  MsgsOptions o8, o12;
+  o8.quantized = o12.quantized = true;
+  o8.act_bits = o8.frac_bits = 8;
+  o12.act_bits = o12.frac_bits = 12;
+  const double e8 = nrmse(ref.data(), run_msgs(fx.m, fx.values, fx.probs, fx.locs, o8).data());
+  const double e12 =
+      nrmse(ref.data(), run_msgs(fx.m, fx.values, fx.probs, fx.locs, o12).data());
+  EXPECT_GT(e8, e12 * 4.0);
+}
+
+TEST(MsgsCore, ShapeChecks) {
+  Fixture fx;
+  Tensor bad_values({fx.m.n_in(), fx.m.d_model + 1});
+  EXPECT_THROW((void)run_msgs(fx.m, bad_values, fx.probs, fx.locs, MsgsOptions{}),
+               CheckError);
+  Tensor bad_probs({3, 3});
+  EXPECT_THROW((void)run_msgs(fx.m, fx.values, bad_probs, fx.locs, MsgsOptions{}),
+               CheckError);
+}
+
+TEST(MsgsCore, DeterministicUnderThreading) {
+  Fixture fx;
+  const Tensor a = run_msgs(fx.m, fx.values, fx.probs, fx.locs, MsgsOptions{});
+  const Tensor b = run_msgs(fx.m, fx.values, fx.probs, fx.locs, MsgsOptions{});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.at_flat(i), b.at_flat(i));
+  }
+}
+
+}  // namespace
+}  // namespace defa::core

@@ -1,0 +1,166 @@
+// Tests for the cycle-accurate MSGS engine: grouping policies, conflict
+// behaviour, pruning interaction and throughput bounds.
+
+#include <gtest/gtest.h>
+
+#include "arch/msgs_engine.h"
+#include "nn/softmax.h"
+#include "prune/pap.h"
+#include "workload/scene.h"
+
+namespace defa::arch {
+namespace {
+
+struct EngineFixture {
+  ModelConfig m = ModelConfig::small();
+  workload::SceneWorkload wl;
+  Tensor locs;
+
+  EngineFixture() : wl(make_wl()) { locs = wl.layer_fields(0).locs; }
+
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m.seed;
+    return workload::SceneWorkload(m, p);
+  }
+
+  HwConfig hw(MsgsParallelism par) const {
+    HwConfig h = HwConfig::make_default(m);
+    h.parallelism = par;
+    return h;
+  }
+};
+
+TEST(MsgsEngine, DenseGroupCountsMatchStructure) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const HwConfig inter = fx.hw(MsgsParallelism::kInterLevel);
+  const MsgsEngine engine(fx.m, inter);
+  const MsgsPerf perf = engine.run(fx.locs, dense);
+  // Dense inter-level: n_points groups per (q, h) (group g = g-th point of
+  // each level).
+  EXPECT_EQ(perf.groups,
+            static_cast<std::uint64_t>(fx.m.n_in()) * fx.m.n_heads * fx.m.n_points);
+  EXPECT_EQ(perf.points, static_cast<std::uint64_t>(fx.m.n_in()) * fx.m.n_heads *
+                             fx.m.n_levels * fx.m.n_points);
+}
+
+TEST(MsgsEngine, DenseSameDegreeOfParallelism) {
+  // Intra- and inter-level issue the same number of groups when dense
+  // (paper: "under the same degree of parallelism").
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine inter(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsEngine intra(fx.m, fx.hw(MsgsParallelism::kIntraLevel));
+  EXPECT_EQ(inter.run(fx.locs, dense).groups, intra.run(fx.locs, dense).groups);
+}
+
+TEST(MsgsEngine, InterLevelIsConflictFree) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsPerf perf = engine.run(fx.locs, dense);
+  EXPECT_EQ(perf.conflict_groups, 0u);
+  // Conflict-free fetches hide entirely behind the 2-cycle compute.
+  EXPECT_EQ(perf.total_cycles, perf.compute_cycles + 2);  // +fill/drain
+}
+
+TEST(MsgsEngine, IntraLevelConflictsAreCommon) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kIntraLevel));
+  const MsgsPerf perf = engine.run(fx.locs, dense);
+  EXPECT_GT(perf.conflict_groups, perf.groups / 2);
+  EXPECT_GT(perf.total_cycles, perf.compute_cycles);
+}
+
+TEST(MsgsEngine, InterLevelThroughputBoostInPaperBand) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine inter(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsEngine intra(fx.m, fx.hw(MsgsParallelism::kIntraLevel));
+  const double boost = inter.run(fx.locs, dense).points_per_cycle() /
+                       intra.run(fx.locs, dense).points_per_cycle();
+  // Paper reports 3.02 - 3.09x; accept a generous modeling band.
+  EXPECT_GT(boost, 2.2);
+  EXPECT_LT(boost, 4.0);
+}
+
+TEST(MsgsEngine, PrunedStreamsCostLess) {
+  EngineFixture fx;
+  const Tensor probs = nn::softmax_lastdim(fx.wl.layer_fields(0).logits);
+  const prune::PointMask pruned = prune::pap_prune(fx.m, probs, 0.03, nullptr);
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsPerf p_pruned = engine.run(fx.locs, pruned);
+  const MsgsPerf p_dense = engine.run(fx.locs, dense);
+  EXPECT_LT(p_pruned.total_cycles, p_dense.total_cycles);
+  EXPECT_LT(p_pruned.points, p_dense.points);
+  EXPECT_LT(p_pruned.sram_word_reads, p_dense.sram_word_reads);
+}
+
+TEST(MsgsEngine, PrunedGroupCountIsMaxSurvivorsPerLevel) {
+  // Hand-built mask: level 0 keeps 3 points, level 1 keeps 1, levels 2-3
+  // keep 0 (for every (q, h)) -> inter-level groups per (q, h) = 3.
+  ModelConfig m = ModelConfig::tiny();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const Tensor locs = wl.layer_fields(0).locs;
+  prune::PointMask mask(m);
+  for (std::int64_t q = 0; q < m.n_in(); ++q) {
+    for (int h = 0; h < m.n_heads; ++h) {
+      // tiny has 2 levels x 2 points: keep both of level 0, none of level 1.
+      mask.set_keep(q, h, 1, 0, false);
+      mask.set_keep(q, h, 1, 1, false);
+    }
+  }
+  HwConfig hw = HwConfig::make_default(m);
+  const MsgsEngine engine(m, hw);
+  const MsgsPerf perf = engine.run(locs, mask);
+  EXPECT_EQ(perf.groups, static_cast<std::uint64_t>(m.n_in()) * m.n_heads * 2);
+  EXPECT_EQ(perf.points, static_cast<std::uint64_t>(m.n_in()) * m.n_heads * 2);
+}
+
+TEST(MsgsEngine, SramReadsBoundedByFourPerPoint) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsPerf perf = engine.run(fx.locs, dense);
+  EXPECT_LE(perf.sram_word_reads, perf.points * 4);
+  EXPECT_GT(perf.sram_word_reads, perf.points * 2);  // most points interior
+}
+
+TEST(MsgsEngine, ThroughputNeverExceedsStructuralPeak) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kInterLevel));
+  const MsgsPerf perf = engine.run(fx.locs, dense);
+  // 4 points per group, 2 cycles per group -> peak 2 points/cycle.
+  EXPECT_LE(perf.points_per_cycle(), 2.0 + 1e-9);
+}
+
+TEST(MsgsEngine, DeterministicAcrossRuns) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  const MsgsEngine engine(fx.m, fx.hw(MsgsParallelism::kIntraLevel));
+  const MsgsPerf a = engine.run(fx.locs, dense);
+  const MsgsPerf b = engine.run(fx.locs, dense);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.conflict_groups, b.conflict_groups);
+}
+
+TEST(MsgsEngine, HigherConflictPenaltyNeverFaster) {
+  EngineFixture fx;
+  const prune::PointMask dense(fx.m);
+  HwConfig lo = fx.hw(MsgsParallelism::kIntraLevel);
+  HwConfig hi = lo;
+  lo.conflict_penalty_cycles = 1;
+  hi.conflict_penalty_cycles = 6;
+  const MsgsEngine elo(fx.m, lo);
+  const MsgsEngine ehi(fx.m, hi);
+  EXPECT_LT(elo.run(fx.locs, dense).total_cycles, ehi.run(fx.locs, dense).total_cycles);
+}
+
+}  // namespace
+}  // namespace defa::arch

@@ -1,0 +1,163 @@
+// Integration tests for the DEFA encoder pipeline: baseline equivalence,
+// technique isolation, reduction accounting and error monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace defa::core {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture()
+      : m_(ModelConfig::small()), wl_(make_wl()), pipe_(wl_) {}
+
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m_.seed;
+    return workload::SceneWorkload(m_, p);
+  }
+
+  ModelConfig m_;
+  workload::SceneWorkload wl_;
+  EncoderPipeline pipe_;
+};
+
+TEST_F(PipelineFixture, BaselineHasZeroErrorAndFullCounts) {
+  const EncoderResult r = pipe_.run(PruneConfig::baseline());
+  EXPECT_DOUBLE_EQ(r.final_nrmse, 0.0);
+  EXPECT_DOUBLE_EQ(r.point_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.pixel_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.flop_reduction(), 0.0);
+  ASSERT_EQ(static_cast<int>(r.layers.size()), m_.n_layers);
+  for (const auto& l : r.layers) {
+    EXPECT_EQ(l.kept_points, l.total_points);
+    EXPECT_EQ(l.kept_pixels, l.total_pixels);
+  }
+}
+
+TEST_F(PipelineFixture, DefaPrunesAndIncursBoundedError) {
+  const EncoderResult r = pipe_.run(PruneConfig::defa_default(m_));
+  EXPECT_GT(r.point_reduction(), 0.5);
+  EXPECT_LT(r.point_reduction(), 0.95);
+  EXPECT_GT(r.pixel_reduction(), 0.15);
+  EXPECT_LT(r.pixel_reduction(), 0.7);
+  EXPECT_GT(r.flop_reduction(), 0.3);
+  EXPECT_LT(r.flop_reduction(), 0.7);
+  EXPECT_GT(r.final_nrmse, 0.0);
+  EXPECT_LT(r.final_nrmse, 1.0);
+}
+
+TEST_F(PipelineFixture, IsolationOnlyPapPrunesOnlyPoints) {
+  const EncoderResult r = pipe_.run(PruneConfig::only_pap());
+  EXPECT_GT(r.point_reduction(), 0.3);
+  EXPECT_DOUBLE_EQ(r.pixel_reduction(), 0.0);
+}
+
+TEST_F(PipelineFixture, IsolationOnlyFwpPrunesOnlyPixels) {
+  const EncoderResult r = pipe_.run(PruneConfig::only_fwp());
+  EXPECT_DOUBLE_EQ(r.point_reduction(), 0.0);
+  EXPECT_GT(r.pixel_reduction(), 0.02);
+  // Layer 0 never has an incoming mask.
+  EXPECT_EQ(r.layers[0].kept_pixels, r.layers[0].total_pixels);
+  // Later layers do.
+  EXPECT_LT(r.layers[2].kept_pixels, r.layers[2].total_pixels);
+}
+
+TEST_F(PipelineFixture, IsolationNarrowOnlyClamps) {
+  const EncoderResult r = pipe_.run(PruneConfig::only_narrow(m_));
+  EXPECT_DOUBLE_EQ(r.point_reduction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.pixel_reduction(), 0.0);
+  EXPECT_GT(r.layers[0].clamp.clamped_points, 0);
+  EXPECT_GT(r.final_nrmse, 0.0);
+}
+
+TEST_F(PipelineFixture, QuantizationErrorOrdering) {
+  const double e12 = pipe_.run(PruneConfig::only_quant(12)).final_nrmse;
+  const double e8 = pipe_.run(PruneConfig::only_quant(8)).final_nrmse;
+  EXPECT_GT(e12, 0.0);
+  EXPECT_GT(e8, e12 * 3.0);  // INT8 markedly worse (paper rejects it)
+}
+
+TEST_F(PipelineFixture, PapErrorMonotoneInTau) {
+  double prev_err = -1.0;
+  double prev_red = -1.0;
+  for (double tau : {0.01, 0.03, 0.08}) {
+    const EncoderResult r = pipe_.run(PruneConfig::only_pap(tau));
+    EXPECT_GE(r.point_reduction(), prev_red);
+    EXPECT_GE(r.final_nrmse, prev_err - 1e-9);
+    prev_red = r.point_reduction();
+    prev_err = r.final_nrmse;
+  }
+}
+
+TEST_F(PipelineFixture, FlopAccountingIdentities) {
+  const EncoderResult r = pipe_.run(PruneConfig::defa_default(m_));
+  for (const auto& l : r.layers) {
+    // Dense >= actual, both positive; attention projection never pruned.
+    EXPECT_GT(l.flops_actual.total(), 0.0);
+    EXPECT_LE(l.flops_actual.total(), l.flops_dense.total());
+    EXPECT_DOUBLE_EQ(l.flops_actual.attn_proj, l.flops_dense.attn_proj);
+    EXPECT_DOUBLE_EQ(l.flops_actual.softmax, l.flops_dense.softmax);
+    // MSGS scales exactly with kept points.
+    const double frac =
+        static_cast<double>(l.kept_points) / static_cast<double>(l.total_points);
+    EXPECT_NEAR(l.flops_actual.msgs_bi, l.flops_dense.msgs_bi * frac, 1.0);
+  }
+}
+
+TEST_F(PipelineFixture, MasksMatchStats) {
+  const EncoderResult r = pipe_.run(PruneConfig::defa_default(m_));
+  ASSERT_EQ(r.point_masks.size(), r.layers.size());
+  ASSERT_EQ(r.fmap_masks.size(), r.layers.size());
+  for (std::size_t i = 0; i < r.layers.size(); ++i) {
+    EXPECT_EQ(r.point_masks[i].kept_count(), r.layers[i].kept_points);
+    EXPECT_EQ(r.fmap_masks[i].kept_count(), r.layers[i].kept_pixels);
+  }
+}
+
+TEST_F(PipelineFixture, CachedFieldsStableAcrossRuns) {
+  const Tensor& probs_before = pipe_.layer_probs(0);
+  const float v = probs_before.at_flat(0);
+  (void)pipe_.run(PruneConfig::defa_default(m_));
+  EXPECT_EQ(pipe_.layer_probs(0).at_flat(0), v);
+}
+
+TEST_F(PipelineFixture, DeterministicAcrossRuns) {
+  const EncoderResult a = pipe_.run(PruneConfig::defa_default(m_));
+  const EncoderResult b = pipe_.run(PruneConfig::defa_default(m_));
+  EXPECT_DOUBLE_EQ(a.final_nrmse, b.final_nrmse);
+  EXPECT_EQ(a.layers[1].kept_points, b.layers[1].kept_points);
+  EXPECT_EQ(a.layers[1].kept_pixels, b.layers[1].kept_pixels);
+}
+
+TEST(DenseFlops, MatchesClosedForm) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  const FlopCount f = dense_flops(m);
+  const double n = static_cast<double>(m.n_in());
+  // W_A: N x 256 x 128 MACs
+  EXPECT_DOUBLE_EQ(f.attn_proj, 2.0 * n * 256 * 128);
+  // W_S: one (x, y) pair per point, 2 columns of 256 each.
+  EXPECT_DOUBLE_EQ(f.offset_proj, 2.0 * n * 128 * 2 * 256);
+  EXPECT_DOUBLE_EQ(f.value_proj, 2.0 * n * 256 * 256);
+  // MSGS: 4 MACs per channel per point; AG: 1 MAC.
+  EXPECT_DOUBLE_EQ(f.msgs_bi, 2.0 * n * 128 * 32 * 4);
+  EXPECT_DOUBLE_EQ(f.aggregation, 2.0 * n * 128 * 32);
+  // MSGS is a small share of the module FLOPs (paper Sec. 2.2).
+  EXPECT_LT(f.msgs_total() / f.total(), 0.2);
+}
+
+TEST(PrunedFlops, ScalesLinearly) {
+  const ModelConfig m = ModelConfig::tiny();
+  const FlopCount half = pruned_flops(m, m.n_in() * m.n_heads * m.n_levels *
+                                             m.n_points / 2,
+                                      m.n_in() / 2);
+  const FlopCount full = dense_flops(m);
+  EXPECT_NEAR(half.msgs_bi, full.msgs_bi / 2, 1e-6);
+  EXPECT_NEAR(half.value_proj, full.value_proj / 2, full.value_proj * 0.02);
+  EXPECT_DOUBLE_EQ(half.attn_proj, full.attn_proj);
+}
+
+}  // namespace
+}  // namespace defa::core

@@ -1,0 +1,291 @@
+// Tests for the pruning algorithms: PAP (Sec. 3.2), FWP (Sec. 3.1, Eq. 2)
+// and level-wise range narrowing (Sec. 4.1).
+
+#include <gtest/gtest.h>
+
+#include "nn/softmax.h"
+#include "prune/fwp.h"
+#include "prune/masks.h"
+#include "prune/pap.h"
+#include "prune/range.h"
+#include "workload/scene.h"
+
+namespace defa::prune {
+namespace {
+
+// --------------------------------------------------------------------- masks
+TEST(PointMask, StartsAllKeep) {
+  const ModelConfig m = ModelConfig::tiny();
+  PointMask mask(m);
+  EXPECT_EQ(mask.kept_count(), mask.total());
+  EXPECT_DOUBLE_EQ(mask.fraction_pruned(), 0.0);
+  EXPECT_EQ(mask.total(), m.n_in() * m.n_heads * m.n_levels * m.n_points);
+}
+
+TEST(PointMask, SetAndQuery) {
+  const ModelConfig m = ModelConfig::tiny();
+  PointMask mask(m);
+  mask.set_keep(3, 1, 0, 1, false);
+  EXPECT_FALSE(mask.keep(3, 1, 0, 1));
+  EXPECT_TRUE(mask.keep(3, 1, 0, 0));
+  EXPECT_EQ(mask.kept_count(), mask.total() - 1);
+  EXPECT_EQ(mask.kept_in_level(3, 1, 0), m.n_points - 1);
+  EXPECT_EQ(mask.kept_in_level(3, 1, 1), m.n_points);
+}
+
+TEST(FmapMask, StartsAllKeepAndCountsPerLevel) {
+  const ModelConfig m = ModelConfig::tiny();
+  FmapMask mask(m);
+  EXPECT_EQ(mask.kept_count(), m.n_in());
+  mask.set_keep(m.level_offset(1), false);
+  EXPECT_EQ(mask.kept_in_level(m, 0), m.levels[0].numel());
+  EXPECT_EQ(mask.kept_in_level(m, 1), m.levels[1].numel() - 1);
+}
+
+// ----------------------------------------------------------------------- PAP
+TEST(Pap, ThresholdZeroPrunesNothing) {
+  const ModelConfig m = ModelConfig::tiny();
+  Tensor probs = Tensor::full({m.n_in(), m.n_heads, m.points_per_head()},
+                              1.0f / m.points_per_head());
+  PapStats stats;
+  const PointMask mask = pap_prune(m, probs, 0.0, &stats);
+  EXPECT_EQ(stats.pruned_points, 0);
+  EXPECT_EQ(mask.kept_count(), mask.total());
+}
+
+TEST(Pap, PrunesExactlyBelowThreshold) {
+  const ModelConfig m = ModelConfig::tiny();
+  Tensor probs = Tensor::full({m.n_in(), m.n_heads, m.points_per_head()}, 0.1f);
+  probs(0, 0, 0) = 0.01f;
+  probs(0, 0, 1) = 0.02f;
+  PapStats stats;
+  const PointMask mask = pap_prune(m, probs, 0.05, &stats);
+  EXPECT_EQ(stats.pruned_points, 2);
+  EXPECT_FALSE(mask.keep(0, 0, 0, 0));
+  EXPECT_FALSE(mask.keep(0, 0, 0, 1));
+  EXPECT_TRUE(mask.keep(0, 0, 0, 2));
+}
+
+TEST(Pap, DroppedMassTracksPrunedProbabilities) {
+  const ModelConfig m = ModelConfig::tiny();
+  Tensor probs = Tensor::full({m.n_in(), m.n_heads, m.points_per_head()}, 0.1f);
+  probs(0, 0, 0) = 0.01f;
+  PapStats stats;
+  (void)pap_prune(m, probs, 0.05, &stats);
+  // One pruned point of prob 0.01 averaged over all (q, h) pairs.
+  const double qh = static_cast<double>(m.n_in()) * m.n_heads;
+  EXPECT_NEAR(stats.mean_dropped_mass, 0.01 / qh, 1e-9);
+}
+
+TEST(Pap, InvalidThresholdThrows) {
+  const ModelConfig m = ModelConfig::tiny();
+  Tensor probs({m.n_in(), m.n_heads, m.points_per_head()});
+  EXPECT_THROW((void)pap_prune(m, probs, -0.1, nullptr), CheckError);
+  EXPECT_THROW((void)pap_prune(m, probs, 1.0, nullptr), CheckError);
+}
+
+/// Property: pruned fraction is monotone non-decreasing in the threshold.
+class PapMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PapMonotone, FractionIncreasesWithTau) {
+  const ModelConfig m = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const Tensor probs = nn::softmax_lastdim(wl.layer_fields(0).logits);
+  const double tau = GetParam();
+  PapStats lo, hi;
+  (void)pap_prune(m, probs, tau, &lo);
+  (void)pap_prune(m, probs, tau * 1.5, &hi);
+  EXPECT_LE(lo.pruned_points, hi.pruned_points);
+  EXPECT_GE(lo.pruned_points, 0);
+  EXPECT_LE(hi.fraction_pruned(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, PapMonotone,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.03, 0.05, 0.08));
+
+// ----------------------------------------------------------------------- FWP
+TEST(FreqCounter, CountsAndMerges) {
+  const ModelConfig m = ModelConfig::tiny();
+  FreqCounter a(m), b(m);
+  a.add(0);
+  a.add(0);
+  b.add(0);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 3u);
+  EXPECT_EQ(a.count(5), 1u);
+  EXPECT_EQ(a.count(1), 0u);
+}
+
+TEST(FreqCounter, LevelMean) {
+  const ModelConfig m = ModelConfig::tiny();
+  FreqCounter f(m);
+  // Put 80 counts uniformly on level 0 (80 pixels).
+  for (std::int64_t t = 0; t < m.levels[0].numel(); ++t) f.add(t);
+  EXPECT_DOUBLE_EQ(f.level_mean(m, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f.level_mean(m, 1), 0.0);
+}
+
+TEST(Fwp, Eq2ThresholdPerLevel) {
+  const ModelConfig m = ModelConfig::tiny();
+  FreqCounter f(m);
+  // Level 0: one pixel sampled 80 times -> mean = 1.0; k=0.5 -> T=0.5.
+  for (int i = 0; i < 80; ++i) f.add(0);
+  FwpStats stats;
+  const FmapMask mask = fwp_prune(m, f, 0.5, &stats);
+  ASSERT_EQ(stats.level_threshold.size(), static_cast<std::size_t>(m.n_levels));
+  EXPECT_DOUBLE_EQ(stats.level_threshold[0], 0.5);
+  // Pixel 0 (freq 80) survives; all other level-0 pixels (freq 0) pruned.
+  EXPECT_TRUE(mask.keep(0));
+  EXPECT_FALSE(mask.keep(1));
+  // Level 1: all-zero frequencies -> threshold 0 -> nothing pruned (F >= 0).
+  EXPECT_EQ(mask.kept_in_level(m, 1), m.levels[1].numel());
+}
+
+TEST(Fwp, KZeroPrunesNothing) {
+  const ModelConfig m = ModelConfig::tiny();
+  FreqCounter f(m);
+  f.add(3);
+  FwpStats stats;
+  (void)fwp_prune(m, f, 0.0, &stats);
+  EXPECT_EQ(stats.pruned_pixels, 0);
+}
+
+TEST(Fwp, NegativeKThrows) {
+  const ModelConfig m = ModelConfig::tiny();
+  FreqCounter f(m);
+  EXPECT_THROW((void)fwp_prune(m, f, -1.0, nullptr), CheckError);
+}
+
+/// Property: pruned pixel fraction is monotone in k.
+class FwpMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(FwpMonotone, FractionIncreasesWithK) {
+  const ModelConfig m = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const PointMask all_keep(m);
+  const FreqCounter freq = count_sampled_frequency(m, wl.layer_fields(0).locs, all_keep);
+  const double k = GetParam();
+  FwpStats lo, hi;
+  (void)fwp_prune(m, freq, k, &lo);
+  (void)fwp_prune(m, freq, k * 1.3, &hi);
+  EXPECT_LE(lo.pruned_pixels, hi.pruned_pixels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FwpMonotone, ::testing::Values(0.3, 0.5, 0.66, 0.8, 1.0));
+
+TEST(Fwp, CountSampledFrequencyRespectsPointMask) {
+  const ModelConfig m = ModelConfig::tiny();
+  // One point squarely inside level 0; everything else far out of bounds.
+  Tensor locs = Tensor::full({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2}, -100.0f);
+  locs(0, 0, 0, 0, 0) = 2.5f;
+  locs(0, 0, 0, 0, 1) = 2.5f;
+  PointMask mask(m);
+  const FreqCounter with = count_sampled_frequency(m, locs, mask);
+  EXPECT_EQ(with.count(m.flat_index(0, 2, 2)), 1u);
+  EXPECT_EQ(with.count(m.flat_index(0, 3, 3)), 1u);
+  mask.set_keep(0, 0, 0, 0, false);
+  const FreqCounter without = count_sampled_frequency(m, locs, mask);
+  EXPECT_EQ(without.count(m.flat_index(0, 2, 2)), 0u);
+}
+
+TEST(Fwp, FrequencyMatchesBilinearNeighborCount) {
+  // Every in-bounds sampled point contributes exactly 4 neighbor counts.
+  const ModelConfig m = ModelConfig::tiny();
+  Tensor locs = Tensor::full({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2}, 1.5f);
+  const PointMask mask(m);
+  const FreqCounter freq = count_sampled_frequency(m, locs, mask);
+  std::int64_t total = 0;
+  for (std::int64_t t = 0; t < m.n_in(); ++t) total += freq.count(t);
+  EXPECT_EQ(total, m.n_in() * m.n_heads * m.n_levels * m.n_points * 4);
+}
+
+// ----------------------------------------------------------- range narrowing
+TEST(Range, NoClampWhenInside) {
+  const ModelConfig m = ModelConfig::tiny();
+  const Tensor ref = nn::reference_points(m);
+  Tensor locs({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2});
+  // Zero offsets: locations == reference centers, always inside the range.
+  Tensor offsets({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2});
+  locs = nn::locs_from_offsets(m, ref, offsets);
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  const ClampStats stats = clamp_to_range(m, ref, ranges, locs);
+  EXPECT_EQ(stats.clamped_points, 0);
+  EXPECT_DOUBLE_EQ(stats.fraction_clamped(), 0.0);
+}
+
+TEST(Range, ClampsToBox) {
+  const ModelConfig m = ModelConfig::tiny();
+  const Tensor ref = nn::reference_points(m);
+  Tensor offsets({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2});
+  offsets(0, 0, 0, 0, 0) = 100.0f;  // way outside the radius
+  Tensor locs = nn::locs_from_offsets(m, ref, offsets);
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  const ClampStats stats = clamp_to_range(m, ref, ranges, locs);
+  EXPECT_EQ(stats.clamped_points, 1);
+  const float cx = ref(0, 0) * m.levels[0].w - 0.5f;
+  EXPECT_NEAR(locs(0, 0, 0, 0, 0), cx + ranges.radius(0), 1e-5);
+  EXPECT_NEAR(stats.max_excess_px, 100.0 - ranges.radius(0), 1e-4);
+}
+
+TEST(Range, PerLevelFractions) {
+  const ModelConfig m = ModelConfig::tiny();
+  const Tensor ref = nn::reference_points(m);
+  Tensor offsets({m.n_in(), m.n_heads, m.n_levels, m.n_points, 2});
+  offsets(0, 0, 1, 0, 1) = -50.0f;  // clamp in level 1 only
+  Tensor locs = nn::locs_from_offsets(m, ref, offsets);
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  const ClampStats stats = clamp_to_range(m, ref, ranges, locs);
+  EXPECT_EQ(stats.clamped_points, 1);
+  EXPECT_EQ(stats.level_fraction[0], 0.0);
+  EXPECT_GT(stats.level_fraction[1], 0.0);
+}
+
+TEST(Range, ClampIsIdempotent) {
+  const ModelConfig m = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  Tensor locs = wl.layer_fields(0).locs;
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  (void)clamp_to_range(m, wl.ref_norm(), ranges, locs);
+  const ClampStats second = clamp_to_range(m, wl.ref_norm(), ranges, locs);
+  EXPECT_EQ(second.clamped_points, 0);
+}
+
+/// Property: a wider range clamps no more points than a narrower one.
+class RangeMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeMonotone, WiderRangeClampsFewer) {
+  const ModelConfig m = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const int r = GetParam();
+  Tensor locs_narrow = wl.layer_fields(0).locs;
+  Tensor locs_wide = wl.layer_fields(0).locs;
+  const ClampStats narrow =
+      clamp_to_range(m, wl.ref_norm(), RangeSpec::unified(m.n_levels, r), locs_narrow);
+  const ClampStats wide =
+      clamp_to_range(m, wl.ref_norm(), RangeSpec::unified(m.n_levels, r + 2), locs_wide);
+  EXPECT_GE(narrow.clamped_points, wide.clamped_points);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RangeMonotone, ::testing::Values(2, 4, 6, 8));
+
+TEST(Range, WindowBytesMatchSpec) {
+  const ModelConfig m = ModelConfig::deformable_detr();
+  const RangeSpec ranges = RangeSpec::level_wise_default(m.n_levels);
+  const std::int64_t bytes = range_window_bytes(m, ranges, 12);
+  EXPECT_EQ(bytes, ranges.window_pixels() * (256 * 12 / 8));
+  // The paper-scale working set is a few hundred KB.
+  EXPECT_GT(bytes, 200 * 1024);
+  EXPECT_LT(bytes, 600 * 1024);
+}
+
+}  // namespace
+}  // namespace defa::prune

@@ -1,0 +1,181 @@
+// Tests for fixed-point quantization and the integer MSGS datapath kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "nn/bilinear.h"
+#include "quant/fixed_point.h"
+#include "quant/qmsgs.h"
+
+namespace defa::quant {
+namespace {
+
+TEST(QuantSpec, FitCoversMaxAbs) {
+  const std::vector<float> data{-3.0f, 1.0f, 2.5f};
+  const QuantSpec spec = QuantSpec::fit(data, 12);
+  EXPECT_EQ(spec.bits, 12);
+  EXPECT_EQ(spec.qmax(), 2047);
+  EXPECT_EQ(spec.qmin(), -2047);
+  EXPECT_NEAR(spec.scale, 3.0f / 2047.0f, 1e-9);
+}
+
+TEST(QuantSpec, AllZeroDataGetsUnitScale) {
+  const std::vector<float> data{0.0f, 0.0f};
+  const QuantSpec spec = QuantSpec::fit(data, 12);
+  EXPECT_EQ(spec.scale, 1.0f);
+}
+
+TEST(QuantSpec, RejectsBadWidths) {
+  const std::vector<float> data{1.0f};
+  EXPECT_THROW((void)QuantSpec::fit(data, 1), CheckError);
+  EXPECT_THROW((void)QuantSpec::fit(data, 17), CheckError);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({1000}, rng, 0.0f, 2.0f);
+  const QTensor q(t, 12);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(q.value(i) - t.at_flat(i)), q.spec().scale * 0.5f + 1e-7f);
+  }
+}
+
+TEST(Quantize, SaturatesAtRangeEnds) {
+  QuantSpec spec;
+  spec.bits = 8;
+  spec.scale = 1.0f;
+  EXPECT_EQ(quantize_value(1e9f, spec), spec.qmax());
+  EXPECT_EQ(quantize_value(-1e9f, spec), spec.qmin());
+}
+
+TEST(Quantize, SymmetricAroundZero) {
+  QuantSpec spec;
+  spec.bits = 12;
+  spec.scale = 0.01f;
+  EXPECT_EQ(quantize_value(0.123f, spec), -quantize_value(-0.123f, spec));
+  EXPECT_EQ(quantize_value(0.0f, spec), 0);
+}
+
+class QuantWidthError : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantWidthError, NrmseShrinksWithWidth) {
+  const int bits = GetParam();
+  Rng rng(2);
+  Tensor t = Tensor::randn({4096}, rng);
+  const Tensor rt = fake_quantize(t, bits);
+  const double err = nrmse(t.data(), rt.data());
+  // Error roughly halves per extra bit; check monotone bands.
+  const double expected = 1.0 / static_cast<double>(1 << bits);
+  EXPECT_LT(err, expected * 8.0);
+  EXPECT_GT(err, expected / 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantWidthError, ::testing::Values(6, 8, 10, 12, 14));
+
+TEST(Quantize, Int8ErrorExceedsInt12Error) {
+  Rng rng(3);
+  Tensor t = Tensor::randn({4096}, rng);
+  const double e8 = nrmse(t.data(), fake_quantize(t, 8).data());
+  const double e12 = nrmse(t.data(), fake_quantize(t, 12).data());
+  EXPECT_GT(e8, e12 * 8.0);  // ~16x in theory
+}
+
+TEST(QTensor, PreservesShapeAndSpec) {
+  Rng rng(4);
+  Tensor t = Tensor::randn({3, 5}, rng);
+  const QTensor q(t, 10);
+  EXPECT_EQ(q.shape(), t.shape());
+  EXPECT_EQ(q.numel(), t.numel());
+  EXPECT_EQ(q.spec().bits, 10);
+  const Tensor d = q.dequantize();
+  EXPECT_EQ(d.shape(), t.shape());
+}
+
+TEST(QuantizeFraction, GridBehaviour) {
+  EXPECT_EQ(quantize_fraction(0.0f, 12), 0.0f);
+  EXPECT_NEAR(quantize_fraction(0.5f, 12), 0.5f, 1e-3);
+  EXPECT_LE(quantize_fraction(0.999999f, 12), 1.0f);
+}
+
+// --------------------------------------------------------- integer datapath
+TEST(QMsgs, FractionCodeRange) {
+  EXPECT_EQ(to_fraction_code(0.0f, 12), 0);
+  EXPECT_EQ(to_fraction_code(1.0f, 12), (1 << 12) - 1);  // saturates below 1.0
+  EXPECT_EQ(to_fraction_code(-0.5f, 12), 0);
+  EXPECT_EQ(to_fraction_code(2.0f, 12), (1 << 12) - 1);
+  EXPECT_NEAR(to_fraction_code(0.5f, 12), 1 << 11, 1);
+}
+
+TEST(QMsgs, HornerIntCorners) {
+  // t0 = t1 = 0 -> N0 exactly.
+  EXPECT_EQ(bi_horner_int(100, 200, 300, 400, 0, 0, 12), 100);
+}
+
+TEST(QMsgs, HornerIntCenter) {
+  const std::int32_t half = 1 << 11;
+  const std::int32_t s = bi_horner_int(100, 200, 300, 400, half, half, 12);
+  EXPECT_NEAR(s, 250, 2);
+}
+
+/// Property: the integer Horner BI tracks the float Horner BI within a few
+/// LSBs for random codes and fractions.
+class IntHornerAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntHornerAccuracy, TracksFloatWithinLsb) {
+  SmallRng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 300; ++i) {
+    const auto n0 = static_cast<std::int32_t>(rng.below(4095)) - 2047;
+    const auto n1 = static_cast<std::int32_t>(rng.below(4095)) - 2047;
+    const auto n2 = static_cast<std::int32_t>(rng.below(4095)) - 2047;
+    const auto n3 = static_cast<std::int32_t>(rng.below(4095)) - 2047;
+    const float t0 = static_cast<float>(rng.uniform01());
+    const float t1 = static_cast<float>(rng.uniform01());
+    const std::int32_t t0q = to_fraction_code(t0, 12);
+    const std::int32_t t1q = to_fraction_code(t1, 12);
+    const std::int32_t si = bi_horner_int(n0, n1, n2, n3, t0q, t1q, 12);
+    const float sf = nn::bi_horner(static_cast<float>(n0), static_cast<float>(n1),
+                                   static_cast<float>(n2), static_cast<float>(n3),
+                                   t0, t1);
+    // Two fraction multiplies with rounding plus fraction-code error:
+    // stay within a few code steps of the float result.
+    EXPECT_NEAR(static_cast<float>(si), sf, 6.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntHornerAccuracy, ::testing::Range(1, 7));
+
+TEST(QMsgs, AgWeightHalvesAtHalfProbability) {
+  const std::int32_t half = 1 << 11;
+  EXPECT_NEAR(ag_weight_int(1000, half, 12), 500, 1);
+  EXPECT_EQ(ag_weight_int(1000, 0, 12), 0);
+}
+
+TEST(QMsgs, AgWeightNegativeValues) {
+  const std::int32_t half = 1 << 11;
+  EXPECT_NEAR(ag_weight_int(-1000, half, 12), -500, 1);
+}
+
+TEST(QMsgs, HornerIntBoundedByNeighborRange) {
+  // Interpolation never exceeds [min, max] of the neighbors (within
+  // rounding), for random in-range fractions.
+  SmallRng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const std::int32_t n0 = static_cast<std::int32_t>(rng.below(2000));
+    const std::int32_t n1 = static_cast<std::int32_t>(rng.below(2000));
+    const std::int32_t n2 = static_cast<std::int32_t>(rng.below(2000));
+    const std::int32_t n3 = static_cast<std::int32_t>(rng.below(2000));
+    const std::int32_t t0q = to_fraction_code(static_cast<float>(rng.uniform01()), 12);
+    const std::int32_t t1q = to_fraction_code(static_cast<float>(rng.uniform01()), 12);
+    const std::int32_t s = bi_horner_int(n0, n1, n2, n3, t0q, t1q, 12);
+    const std::int32_t lo = std::min({n0, n1, n2, n3});
+    const std::int32_t hi = std::max({n0, n1, n2, n3});
+    EXPECT_GE(s, lo - 2);
+    EXPECT_LE(s, hi + 2);
+  }
+}
+
+}  // namespace
+}  // namespace defa::quant

@@ -1,0 +1,157 @@
+// Unit tests for the dense tensor container.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace defa {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t({2, 3, 5});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 5);
+  EXPECT_THROW((void)t.dim(3), CheckError);
+  EXPECT_THROW((void)t.dim(-1), CheckError);
+}
+
+TEST(Tensor, RowMajorIndexing2d) {
+  Tensor t({2, 3});
+  t(1, 2) = 7.0f;
+  EXPECT_EQ(t.data()[5], 7.0f);
+  t(0, 0) = 1.0f;
+  EXPECT_EQ(t.data()[0], 1.0f);
+}
+
+TEST(Tensor, RowMajorIndexing3d4d5d) {
+  Tensor t3({2, 3, 4});
+  t3(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t3.data()[1 * 12 + 2 * 4 + 3], 5.0f);
+
+  Tensor t4({2, 2, 2, 2});
+  t4(1, 0, 1, 0) = 9.0f;
+  EXPECT_EQ(t4.data()[1 * 8 + 0 * 4 + 1 * 2 + 0], 9.0f);
+
+  Tensor t5({2, 2, 2, 2, 2});
+  t5(1, 1, 1, 1, 1) = 3.0f;
+  EXPECT_EQ(t5.data()[31], 3.0f);
+}
+
+TEST(Tensor, AtFlatBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_NO_THROW(t.at_flat(3));
+  EXPECT_THROW(t.at_flat(4), CheckError);
+  EXPECT_THROW(t.at_flat(-1), CheckError);
+}
+
+TEST(Tensor, RowSpan) {
+  Tensor t({3, 4});
+  t(1, 0) = 1.0f;
+  t(1, 3) = 2.0f;
+  auto row = t.row(1);
+  EXPECT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0], 1.0f);
+  EXPECT_EQ(row[3], 2.0f);
+  EXPECT_THROW((void)t.row(3), CheckError);
+}
+
+TEST(Tensor, RowRequiresRank2) {
+  Tensor t({2, 2, 2});
+  EXPECT_THROW((void)t.row(0), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t(1, 5) = 4.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t(2, 3), 4.0f);
+}
+
+TEST(Tensor, ReshapeMustPreserveNumel) {
+  Tensor t({2, 6});
+  EXPECT_THROW(t.reshape({5, 2}), CheckError);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 3.5f);
+  t.fill(-1.0f);
+  for (float v : t.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, RandnDeterministic) {
+  Rng r1(9), r2(9);
+  Tensor a = Tensor::randn({4, 4}, r1);
+  Tensor b = Tensor::randn({4, 4}, r2);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.at_flat(i), b.at_flat(i));
+  }
+}
+
+TEST(Tensor, UniformRange) {
+  Rng rng(3);
+  Tensor t = Tensor::uniform({100}, rng, 2.0f, 3.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Tensor, AddInPlace) {
+  Tensor a = Tensor::full({2, 2}, 1.0f);
+  Tensor b = Tensor::full({2, 2}, 2.0f);
+  a.add_(b);
+  for (float v : a.data()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a({2, 2}), b({4});
+  EXPECT_THROW(a.add_(b), CheckError);
+}
+
+TEST(Tensor, ScaleInPlace) {
+  Tensor a = Tensor::full({3}, 2.0f);
+  a.scale_(-0.5f);
+  for (float v : a.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({2, -1}), CheckError);
+}
+
+TEST(Tensor, ZeroSizedDimension) {
+  Tensor t({0, 5});
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(ShapeNumel, Basics) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({3}), 3);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({0, 7}), 0);
+}
+
+}  // namespace
+}  // namespace defa
