@@ -1,68 +1,14 @@
 // Ablation (ours): sweep the PAP threshold tau and the FWP multiplier k to
 // expose the sparsity/accuracy trade-off behind the paper's chosen
-// operating point ("we adjust k to achieve a trade-off of accuracy and
-// sparsity", Sec. 3.1).  Runs on the reduced `small` configuration.
+// operating point (Sec. 3.1).  Sweep points are fanned across the Engine's
+// worker pool via run_batch.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: ablation_prune_sweep [--json out.json]   (or: defa_cli run ablation_prune_sweep)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "accuracy/ap_model.h"
-#include "common/table.h"
-#include "core/pipeline.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Ablation — PAP tau / FWP k sweeps (small configuration)\n\n");
-
-  const ModelConfig m = ModelConfig::small();
-  workload::SceneParams sp;
-  sp.seed = m.seed;
-  const workload::SceneWorkload wl(m, sp);
-  const core::EncoderPipeline pipe(wl);
-  const auto& ap = accuracy::ApModel::paper_calibrated();
-
-  {
-    TextTable t({"tau", "points pruned", "FLOP reduction", "NRMSE", "proxy dAP"});
-    for (double tau : {0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12}) {
-      const auto r = pipe.run(core::PruneConfig::only_pap(tau));
-      t.new_row()
-          .add_num(tau, 3)
-          .add(percent(r.point_reduction()))
-          .add(percent(r.flop_reduction()))
-          .add_num(r.final_nrmse, 4)
-          .add_num(ap.drop(accuracy::Technique::kPap, r.final_nrmse), 2);
-    }
-    std::printf("%s\n", t.str("PAP threshold sweep (paper default tau = 0.03)").c_str());
-  }
-
-  {
-    TextTable t({"k", "pixels pruned", "FLOP reduction", "NRMSE", "proxy dAP"});
-    for (double k : {0.2, 0.4, 0.55, 0.66, 0.8, 1.0, 1.3}) {
-      const auto r = pipe.run(core::PruneConfig::only_fwp(k));
-      t.new_row()
-          .add_num(k, 2)
-          .add(percent(r.pixel_reduction()))
-          .add(percent(r.flop_reduction()))
-          .add_num(r.final_nrmse, 4)
-          .add_num(ap.drop(accuracy::Technique::kFwp, r.final_nrmse), 2);
-    }
-    std::printf("%s\n", t.str("FWP multiplier sweep (Eq. 2; default k = 0.66)").c_str());
-  }
-
-  {
-    TextTable t({"config", "points", "pixels", "FLOPs", "NRMSE"});
-    for (const auto& cfg :
-         {core::PruneConfig::only_pap(), core::PruneConfig::only_fwp(),
-          core::PruneConfig::defa_default(m)}) {
-      const auto r = pipe.run(cfg);
-      t.new_row()
-          .add(r.config_label)
-          .add(percent(r.point_reduction()))
-          .add(percent(r.pixel_reduction()))
-          .add(percent(r.flop_reduction()))
-          .add_num(r.final_nrmse, 4);
-    }
-    std::printf("%s\n",
-                t.str("Interaction: PAP concentrates sampling, boosting FWP").c_str());
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("ablation_prune_sweep", argc, argv);
 }

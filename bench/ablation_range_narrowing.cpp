@@ -1,70 +1,13 @@
 // Ablation: level-wise range narrowing vs the unified restriction
 // (Sec. 4.1: unified costs ~25% extra storage) and the radius/accuracy
 // trade-off.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: ablation_range_narrowing [--json out.json]   (or: defa_cli run ablation_range_narrowing)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/pipeline.h"
-#include "energy/chip_model.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Ablation — bounded-range policies (Sec. 4.1)\n\n");
-
-  const ModelConfig paper_m = ModelConfig::deformable_detr();
-  {
-    const RangeSpec level_wise = RangeSpec::level_wise_default(paper_m.n_levels);
-    const RangeSpec unified = RangeSpec::unified_from(level_wise);
-    HwConfig hw_lw = HwConfig::make_default(paper_m);
-    HwConfig hw_un = hw_lw;
-    hw_un.ranges = unified;
-    const double sram_lw = energy::area_breakdown(paper_m, hw_lw).sram_mm2;
-    const double sram_un = energy::area_breakdown(paper_m, hw_un).sram_mm2;
-
-    TextTable t({"policy", "radii (per level)", "window pixels", "SRAM mm^2", "extra"});
-    auto radii = [](const RangeSpec& s) {
-      std::string out;
-      for (int l = 0; l < s.used_levels; ++l) {
-        out += (l > 0 ? "/" : "") + std::to_string(s.radius(l));
-      }
-      return out;
-    };
-    t.new_row()
-        .add("level-wise (DEFA)")
-        .add(radii(level_wise))
-        .add_int(level_wise.window_pixels())
-        .add_num(sram_lw, 2)
-        .add("-");
-    t.new_row()
-        .add("unified")
-        .add(radii(unified))
-        .add_int(unified.window_pixels())
-        .add_num(sram_un, 2)
-        .add(percent(sram_un / sram_lw - 1.0));
-    std::printf("%s\n", t.str("Storage (paper: unified costs ~+25%)").c_str());
-  }
-
-  // Radius sweep: accuracy cost vs on-chip window size (small config).
-  const ModelConfig m = ModelConfig::small();
-  workload::SceneParams sp;
-  sp.seed = m.seed;
-  const workload::SceneWorkload wl(m, sp);
-  const core::EncoderPipeline pipe(wl);
-
-  TextTable t({"unified radius", "window pixels", "clamped points", "NRMSE"});
-  for (int r : {2, 3, 4, 6, 8, 10}) {
-    core::PruneConfig cfg;
-    cfg.label = "narrow";
-    cfg.narrow = true;
-    cfg.ranges = RangeSpec::unified(m.n_levels, r);
-    const auto res = pipe.run(cfg);
-    t.new_row()
-        .add_int(r)
-        .add_int(cfg.ranges.window_pixels())
-        .add(percent(res.layers[0].clamp.fraction_clamped(), 2))
-        .add_num(res.final_nrmse, 4);
-  }
-  std::printf("%s\n", t.str("Radius sweep: SRAM vs accuracy trade-off").c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("ablation_range_narrowing", argc, argv);
 }

@@ -1,50 +1,13 @@
 // Ablation: tile scaling of DEFA (the Fig. 9 mechanism) — where the
 // sliding-window DRAM stream starts to bind, and what bandwidth the
 // compute-bound scaling would need.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: ablation_scaling [--json out.json]   (or: defa_cli run ablation_scaling)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Ablation — DEFA tile scaling and the DRAM roofline\n\n");
-
-  const ModelConfig m = ModelConfig::deformable_detr();
-  core::BenchmarkContext ctx(m);
-  const auto traces = ctx.defa_traces();
-  const double dense_ops = ctx.dense_encoder_flops();
-
-  TextTable t({"tiles", "peak TOPS", "BW (GB/s)", "time (ms)", "eff. GOPS",
-               "compute-bound time", "bound by"});
-  for (int tiles : {1, 4, 16, 66, 195, 512}) {
-    HwConfig hw = HwConfig::make_default(m);
-    hw.tiles = tiles;
-    hw.dram_gbps = 1008.0;  // 3090Ti-class memory system
-    const arch::DefaAccelerator acc(m, hw);
-    const auto run = acc.simulate_run(traces);
-    const auto sum = energy::summarize(m, hw, run, dense_ops);
-
-    HwConfig free_bw = hw;
-    free_bw.dram_gbps = 0.0;
-    const arch::DefaAccelerator acc2(m, free_bw);
-    const double t_free =
-        static_cast<double>(acc2.simulate_run(traces).wall_cycles()) * hw.cycle_ns() * 1e-6;
-
-    t.new_row()
-        .add_int(tiles)
-        .add_num(hw.peak_gops() * 1e-3, 1)
-        .add_num(hw.dram_gbps, 0)
-        .add_num(sum.time_ms, 3)
-        .add_num(sum.effective_gops, 0)
-        .add_num(t_free, 3)
-        .add(sum.time_ms > t_free * 1.2 ? "DRAM" : "compute");
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
-      "The fmap window stream (each pixel refetched ~window-height times by\n"
-      "the 1-D slide reuse of Fig. 4) fixes per-pass DRAM traffic; beyond\n"
-      "~100 tiles the stream, not the PE array, sets the pass time.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("ablation_scaling", argc, argv);
 }

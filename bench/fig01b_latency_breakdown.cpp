@@ -1,39 +1,13 @@
 // Figure 1(b): MSDeformAttn latency breakdown on the RTX 3090Ti.
 // Paper: MSGS + aggregation takes 63.28% (De DETR), 60.36% (DN-DETR),
 // 63.31% (DINO) of the block latency while being ~3% of its FLOPs.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig01b_latency_breakdown [--json out.json]   (or: defa_cli run fig1b)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 1(b) — MSDeformAttn latency breakdown on RTX 3090Ti\n");
-  std::printf("(analytical GPU model; paper shares measured with CUDA profiling)\n\n");
-
-  const double paper_share[] = {0.6328, 0.6036, 0.6331};
-
-  TextTable t({"benchmark", "MM (ms)", "softmax (ms)", "MSGS+AG (ms)", "other (ms)",
-               "MSGS+AG share", "paper", "MSGS FLOP share"});
-  const auto rows = core::run_fig1b();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    t.new_row()
-        .add(r.benchmark)
-        .add_num(r.layer.mm_s * 1e3, 3)
-        .add_num(r.layer.softmax_s * 1e3, 3)
-        .add_num(r.layer.msgs_ag_s * 1e3, 3)
-        .add_num(r.layer.elementwise_s * 1e3, 3)
-        .add(percent(r.msgs_latency_share))
-        .add(percent(paper_share[i]))
-        .add(percent(r.msgs_flop_share));
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
-      "Note: the paper quotes the MSGS+AG compute share as 3.25%%; our FLOP\n"
-      "convention (Eq. 1 module without output projection, BI = 4 MACs/ch)\n"
-      "yields ~11%% — either way, an order of magnitude below its latency\n"
-      "share, which is the bottleneck argument being reproduced.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig1b", argc, argv);
 }

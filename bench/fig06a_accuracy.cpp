@@ -1,54 +1,14 @@
 // Figure 6(a): detection AP of the baseline vs DEFA on the three
 // benchmarks, plus the Faster R-CNN reference line.
 // Paper: 46.9 -> 45.5 (De DETR), 49.4 -> 47.9 (DN-DETR), 50.8 -> 49.4
-// (DINO); per-technique average drops FWP 0.8, PAP 0.3, narrowing 0.26,
-// INT12 0.07; INT8 rejected at -9.7 AP.
+// (DINO); INT8 rejected at -9.7 AP.
 //
-// AP values come from the calibrated error->AP proxy (DESIGN.md §4 #2);
-// the per-benchmark NRMSEs feeding it are measured by the functional
-// pipeline on the scene workloads.
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig06a_accuracy [--json out.json]   (or: defa_cli run fig6a)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 6(a) — Detection AP, baseline vs DEFA (proxy model)\n\n");
-
-  const double paper_defa_ap[] = {45.5, 47.9, 49.4};
-
-  TextTable t({"benchmark", "baseline AP", "DEFA AP", "paper DEFA", "dFWP", "dPAP",
-               "dNarrow", "dINT12", "dINT8 (rejected)"});
-  const auto rows = core::run_fig6a();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    t.new_row()
-        .add(r.benchmark)
-        .add_num(r.baseline_ap, 1)
-        .add_num(r.defa_ap, 1)
-        .add_num(paper_defa_ap[i], 1)
-        .add_num(r.drop_fwp, 2)
-        .add_num(r.drop_pap, 2)
-        .add_num(r.drop_narrow, 2)
-        .add_num(r.drop_int12, 2)
-        .add_num(r.drop_int8, 1);
-  }
-  std::printf("%s\n", t.str().c_str());
-
-  TextTable e({"benchmark", "err FWP", "err PAP", "err narrow", "err INT12", "err INT8"});
-  for (const auto& r : rows) {
-    e.new_row()
-        .add(r.benchmark)
-        .add_num(r.err_fwp, 4)
-        .add_num(r.err_pap, 4)
-        .add_num(r.err_narrow, 4)
-        .add_num(r.err_int12, 4)
-        .add_num(r.err_int8, 4);
-  }
-  std::printf("%s\n", e.str("Measured isolated NRMSE (proxy inputs)").c_str());
-  std::printf("Faster R-CNN reference: AP %.1f (paper Fig. 6a dashed line)\n",
-              accuracy::ApModel::faster_rcnn_ap());
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig6a", argc, argv);
 }

@@ -2,34 +2,13 @@
 // achieved by FWP + PAP.
 // Paper: points 86/83/82%, pixels 42/44/44%, FLOPs 52/53/53%
 // (De DETR / DN-DETR / DINO).
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig06b_reduction [--json out.json]   (or: defa_cli run fig6b)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 6(b) — Reduction from pruning (measured on scene workloads)\n\n");
-
-  struct PaperRow {
-    double points, pixels, flops;
-  };
-  const PaperRow paper[] = {{0.86, 0.42, 0.52}, {0.83, 0.44, 0.53}, {0.82, 0.44, 0.53}};
-
-  TextTable t({"benchmark", "points", "paper", "fmap pixels", "paper", "FLOPs", "paper"});
-  const auto rows = core::run_fig6b();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    t.new_row()
-        .add(r.benchmark)
-        .add(percent(r.point_reduction))
-        .add(percent(paper[i].points))
-        .add(percent(r.pixel_reduction))
-        .add(percent(paper[i].pixels))
-        .add(percent(r.flop_reduction))
-        .add(percent(paper[i].flops));
-  }
-  std::printf("%s\n", t.str().c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig6b", argc, argv);
 }

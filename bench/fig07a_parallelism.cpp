@@ -1,37 +1,13 @@
 // Figure 7(a): MSGS throughput of inter-level parallel processing over
 // intra-level parallel processing, at the same degree of parallelism.
 // Paper: 3.09x (De DETR), 3.02x (DN-DETR), 3.06x (DINO).
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig07a_parallelism [--json out.json]   (or: defa_cli run fig7a)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 7(a) — MSGS throughput boost, inter- vs intra-level banks\n");
-  std::printf("(cycle-accurate simulation of the 16-bank fetch pipeline)\n\n");
-
-  const double paper_boost[] = {3.09, 3.02, 3.06};
-
-  TextTable t({"benchmark", "inter (pts/cyc)", "intra (pts/cyc)", "boost", "paper",
-               "intra conflict rate", "boost under PAP (extra)"});
-  const auto rows = core::run_fig7a();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    t.new_row()
-        .add(r.benchmark)
-        .add_num(r.inter_points_per_cycle, 3)
-        .add_num(r.intra_points_per_cycle, 3)
-        .add(ratio(r.boost))
-        .add(ratio(paper_boost[i]))
-        .add(percent(r.intra_conflict_rate))
-        .add(ratio(r.boost_pruned));
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
-      "Observation (ours): under PAP the gap narrows — partially-filled\n"
-      "inter-level groups idle point-units, while intra-level groups pack\n"
-      "survivors of one level more densely.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig7a", argc, argv);
 }

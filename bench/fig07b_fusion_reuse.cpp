@@ -1,46 +1,13 @@
 // Figure 7(b): energy savings of fine-grained operator fusion and fmap
-// reuse, as a fraction of the MSGS memory-access energy of the respective
-// baseline.  Paper: fusion saves 73.3% (DRAM) / 15.9% (SRAM); fmap reuse
-// saves 88.2% (DRAM) / 22.7% (SRAM).  Also the two text claims: fusion
-// adds only 0.5% SRAM storage; pruning bookkeeping is <0.1% of SRAM access.
+// reuse.  Paper: fusion saves 73.3% (DRAM) / 15.9% (SRAM); fmap reuse
+// saves 88.2% (DRAM) / 22.7% (SRAM).
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig07b_fusion_reuse [--json out.json]   (or: defa_cli run fig7b)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 7(b) — Energy savings of operator fusion and fmap reuse\n");
-  std::printf("(share of MSGS memory-access energy of the respective baseline)\n\n");
-
-  TextTable t({"benchmark", "fusion DRAM", "paper", "fusion SRAM", "paper",
-               "reuse DRAM", "paper", "reuse SRAM", "paper"});
-  const auto rows = core::run_fig7b();
-  for (const auto& r : rows) {
-    t.new_row()
-        .add(r.benchmark)
-        .add(percent(r.fusion_dram_saving))
-        .add("73.3%")
-        .add(percent(r.fusion_sram_saving))
-        .add("15.9%")
-        .add(percent(r.reuse_dram_saving))
-        .add("88.2%")
-        .add(percent(r.reuse_sram_saving))
-        .add("22.7%");
-  }
-  std::printf("%s\n", t.str().c_str());
-
-  TextTable s({"benchmark", "fusion extra SRAM storage", "paper", "prune SRAM access",
-               "paper"});
-  for (const auto& r : rows) {
-    s.new_row()
-        .add(r.benchmark)
-        .add(percent(r.fusion_extra_sram_frac, 2))
-        .add("+0.5%")
-        .add(percent(r.prune_sram_access_frac, 3))
-        .add("<0.1%");
-  }
-  std::printf("%s\n", s.str("Sanity rows quoted in the paper's text").c_str());
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig7b", argc, argv);
 }

@@ -1,56 +1,13 @@
 // Figure 8: area breakdown and energy breakdown of DEFA.
 // Paper: area 2.63 mm^2 — SRAM 72%, PE & softmax 23%, others 5%;
 // energy — DRAM 93%, SRAM 5%, logic 2%.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig08_breakdown [--json out.json]   (or: defa_cli run fig8)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 8 — Area and energy breakdowns (De DETR workload)\n\n");
-
-  const auto f8 = core::run_fig8();
-
-  const double at = f8.area.total();
-  TextTable a({"component", "mm^2", "share", "paper"});
-  a.new_row().add("SRAM").add_num(f8.area.sram_mm2, 2).add(percent(f8.area.sram_mm2 / at, 0)).add("72%");
-  a.new_row()
-      .add("PE array + softmax")
-      .add_num(f8.area.pe_softmax_mm2, 2)
-      .add(percent(f8.area.pe_softmax_mm2 / at, 0))
-      .add("23%");
-  a.new_row()
-      .add("others (masks/ctrl)")
-      .add_num(f8.area.others_mm2, 2)
-      .add(percent(f8.area.others_mm2 / at, 0))
-      .add("5%");
-  a.new_row().add("total").add_num(at, 2).add("100%").add("2.63 mm^2");
-  std::printf("%s\n", a.str("(a) Area breakdown").c_str());
-
-  auto print_energy = [](const char* title, const energy::EnergyBreakdown& e) {
-    const double et = e.total_pj();
-    TextTable t({"component", "mJ", "share", "paper"});
-    t.new_row().add("DRAM").add_num(e.dram_pj * 1e-9, 2).add(percent(e.dram_pj / et, 0)).add("93%");
-    t.new_row().add("SRAM").add_num(e.sram_pj * 1e-9, 2).add(percent(e.sram_pj / et, 0)).add("5%");
-    t.new_row()
-        .add("logic (PE+softmax+ctrl)")
-        .add_num(e.logic_pj() * 1e-9, 2)
-        .add(percent(e.logic_pj() / et, 0))
-        .add("2%");
-    std::printf("%s\n", t.str(title).c_str());
-  };
-
-  print_energy("(b) Energy breakdown — activation restream dataflow (paper-like MM traffic)",
-               f8.energy_restream);
-  print_energy("(b') Energy breakdown — weights-resident stream-once dataflow (default)",
-               f8.energy_default);
-
-  std::printf(
-      "Note: DRAM is the dominant energy consumer in both dataflows, as the\n"
-      "paper reports (\"large data transfer in MM\"); its extreme 93%% share\n"
-      "implies substantially more MM restreaming than the disclosed buffer\n"
-      "sizes require on our workload — see EXPERIMENTS.md for the analysis.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig8", argc, argv);
 }

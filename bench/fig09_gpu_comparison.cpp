@@ -1,44 +1,13 @@
 // Figure 9: speedup and energy-efficiency improvement of DEFA over the
 // RTX 2080Ti and RTX 3090Ti, with DEFA scaled to 13.3 / 40 TOPS.
-// Paper: speedup 11.8/10.1/10.8x (2080Ti), 31.9/29.4/30.2x (3090Ti);
-// EE gain 23.2/20.3/21.6x and 37.7/35.3/36.3x.
+// Paper: speedup 11.8/10.1/10.8x (2080Ti), 31.9/29.4/30.2x (3090Ti).
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: fig09_gpu_comparison [--json out.json]   (or: defa_cli run fig9)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Figure 9 — Speedup and energy-efficiency gain over GPUs\n");
-  std::printf("(DEFA tiled to the GPU's peak TOPS with a GPU-class memory system)\n\n");
-
-  const double paper_speedup[] = {11.8, 31.9, 10.1, 29.4, 10.8, 30.2};
-  const double paper_ee[] = {23.2, 37.7, 20.3, 35.3, 21.6, 36.3};
-
-  TextTable t({"benchmark", "GPU", "tiles", "GPU (ms)", "DEFA (ms)", "speedup", "paper",
-               "speedup (BW-free)", "EE gain", "paper", "EE (BW-free)"});
-  const auto rows = core::run_fig9();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i];
-    t.new_row()
-        .add(r.benchmark)
-        .add(r.gpu)
-        .add_int(r.tiles)
-        .add_num(r.gpu_time_ms, 2)
-        .add_num(r.defa_time_ms, 3)
-        .add(ratio(r.speedup, 1))
-        .add(ratio(paper_speedup[i], 1))
-        .add(ratio(r.speedup_compute_bound, 1))
-        .add(ratio(r.ee_improvement, 1))
-        .add(ratio(paper_ee[i], 1))
-        .add(ratio(r.ee_compute_bound, 1));
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
-      "Reading: the faithful model (sliding-window fmap stream at the GPU's\n"
-      "DRAM bandwidth) gives the left columns; the BW-free columns lift the\n"
-      "DRAM roofline and bound the paper's reported near-linear scaling from\n"
-      "above.  The paper's numbers sit between the two — see EXPERIMENTS.md.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("fig9", argc, argv);
 }

@@ -1,119 +1,13 @@
-// Google-benchmark microbenchmarks of the hot kernels of the functional
-// model: bilinear interpolation forms, the integer datapath, softmax,
-// matmul and the full MSGS aggregate on the tiny model.
+// Wall-clock microbenchmarks of the hot kernels of the functional model:
+// bilinear interpolation forms, the integer datapath, softmax, matmul and
+// the full fused MSGS aggregate on the tiny model.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: kernel_microbench [--json out.json]   (or: defa_cli run microbench)
 
-#include <benchmark/benchmark.h>
+#include "api/registry.h"
 
-#include "common/rng.h"
-#include "core/msgs.h"
-#include "nn/bilinear.h"
-#include "nn/linear.h"
-#include "nn/softmax.h"
-#include "quant/qmsgs.h"
-#include "workload/scene.h"
-
-namespace {
-
-using namespace defa;
-
-void BM_BiDirect(benchmark::State& state) {
-  SmallRng rng(1);
-  float n0 = 1.0f, n1 = 2.0f, n2 = 3.0f, n3 = 4.0f;
-  float t0 = static_cast<float>(rng.uniform01());
-  float t1 = static_cast<float>(rng.uniform01());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nn::bi_direct(n0, n1, n2, n3, t0, t1));
-  }
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("microbench", argc, argv);
 }
-BENCHMARK(BM_BiDirect);
-
-void BM_BiHorner(benchmark::State& state) {
-  SmallRng rng(1);
-  float n0 = 1.0f, n1 = 2.0f, n2 = 3.0f, n3 = 4.0f;
-  float t0 = static_cast<float>(rng.uniform01());
-  float t1 = static_cast<float>(rng.uniform01());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nn::bi_horner(n0, n1, n2, n3, t0, t1));
-  }
-}
-BENCHMARK(BM_BiHorner);
-
-void BM_BiHornerInt(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(quant::bi_horner_int(1000, -500, 250, 125, 2048, 1024, 12));
-  }
-}
-BENCHMARK(BM_BiHornerInt);
-
-void BM_Softmax(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(2);
-  Tensor t = Tensor::randn({n}, rng);
-  std::vector<float> buf(static_cast<std::size_t>(n));
-  for (auto _ : state) {
-    std::copy(t.data().begin(), t.data().end(), buf.begin());
-    nn::softmax_inplace(buf);
-    benchmark::DoNotOptimize(buf.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_Softmax)->Arg(16)->Arg(128);
-
-void BM_Matmul(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(3);
-  const Tensor a = Tensor::randn({n, n}, rng);
-  const Tensor b = Tensor::randn({n, n}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(nn::matmul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
-
-void BM_MsgsAggregateTiny(benchmark::State& state) {
-  const ModelConfig m = ModelConfig::tiny();
-  workload::SceneParams sp;
-  sp.seed = m.seed;
-  const workload::SceneWorkload wl(m, sp);
-  Rng rng(4);
-  const Tensor values = Tensor::randn({m.n_in(), m.d_model}, rng);
-  const nn::MsdaFields f = wl.layer_fields(0);
-  const Tensor probs = nn::softmax_lastdim(f.logits);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_msgs(m, values, probs, f.locs, core::MsgsOptions{}));
-  }
-  state.SetItemsProcessed(state.iterations() * m.n_in() * m.n_heads *
-                          m.points_per_head());
-}
-BENCHMARK(BM_MsgsAggregateTiny);
-
-void BM_MsgsAggregateTinyQuantized(benchmark::State& state) {
-  const ModelConfig m = ModelConfig::tiny();
-  workload::SceneParams sp;
-  sp.seed = m.seed;
-  const workload::SceneWorkload wl(m, sp);
-  Rng rng(4);
-  const Tensor values = Tensor::randn({m.n_in(), m.d_model}, rng);
-  const nn::MsdaFields f = wl.layer_fields(0);
-  const Tensor probs = nn::softmax_lastdim(f.logits);
-  core::MsgsOptions opt;
-  opt.quantized = true;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::run_msgs(m, values, probs, f.locs, opt));
-  }
-}
-BENCHMARK(BM_MsgsAggregateTinyQuantized);
-
-void BM_SceneGeneration(benchmark::State& state) {
-  const ModelConfig m = ModelConfig::tiny();
-  workload::SceneParams sp;
-  sp.seed = m.seed;
-  for (auto _ : state) {
-    const workload::SceneWorkload wl(m, sp);
-    benchmark::DoNotOptimize(wl.fmap().data().data());
-  }
-}
-BENCHMARK(BM_SceneGeneration);
-
-}  // namespace

@@ -1,37 +1,13 @@
 // Table 1: comparison with attention ASICs.  ELSA / SpAtten / BESAPU rows
-// are literature constants (quoted via the paper); the DEFA row is computed
-// by the cycle-accurate simulator + energy model on the De DETR workload.
-// Paper DEFA row: 40nm, 2.63 mm^2, 400 MHz, INT12, 99.8 mW, 418 GOPS,
-// 4187 GOPS/W.
+// are literature constants; the DEFA row is computed by the cycle-accurate
+// simulator + energy model on the De DETR workload.
+//
+// Thin wrapper: the experiment body lives in the registry
+// (src/api/builtin_experiments.cpp) and runs through the shared Engine.
+// Usage: table1_asic_comparison [--json out.json]   (or: defa_cli run table1)
 
-#include <cstdio>
+#include "api/registry.h"
 
-#include "common/table.h"
-#include "core/experiments.h"
-
-int main() {
-  using namespace defa;
-  std::printf("Table 1 — Comparison with other ASIC platforms\n\n");
-
-  TextTable t({"design", "venue", "function", "tech", "area (mm^2)", "freq (MHz)",
-               "precision", "power (mW)", "GOPS", "GOPS/W"});
-  for (const auto& r : core::run_table1()) {
-    t.new_row()
-        .add(r.name)
-        .add(r.venue)
-        .add(r.function)
-        .add(std::to_string(r.tech_nm) + "nm")
-        .add_num(r.area_mm2, 2)
-        .add_num(r.freq_mhz, 0)
-        .add(r.precision)
-        .add_num(r.power_mw, 1)
-        .add_num(r.throughput_gops, 0)
-        .add_num(r.ee_gops_per_w, 0);
-  }
-  std::printf("%s\n", t.str().c_str());
-  std::printf(
-      "Paper DEFA row: 2.63 mm^2 / 99.8 mW / 418 GOPS / 4187 GOPS/W.\n"
-      "Throughput follows the effective-ops convention (dense ops / time),\n"
-      "so pruning lifts it above the 204.8 GOPS dense peak.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return defa::api::experiment_main("table1", argc, argv);
 }

@@ -1,33 +1,35 @@
-// Cycle-accurate accelerator report: run the DEFA hardware model on a
-// workload and print the per-phase cycle/traffic table plus the
-// energy/area summary — the view an architect would use.
+// Cycle-accurate accelerator report through the Engine API: one request
+// with latency + energy outputs yields the per-phase cycle/traffic table,
+// the energy/area summary and the SRAM plan — the view an architect would
+// use.
 //
 // Usage: accelerator_report [--full]
 
 #include <cstdio>
 #include <cstring>
 
+#include "api/engine.h"
 #include "common/table.h"
-#include "core/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace defa;
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  const ModelConfig m = full ? ModelConfig::deformable_detr() : ModelConfig::small();
-  std::printf("DEFA accelerator model on '%s'%s\n\n", m.name.c_str(),
+
+  api::Engine engine;
+  api::EvalRequest request;
+  request.preset = full ? "deformable_detr" : "small";
+  request.outputs = api::kLatency | api::kEnergy;
+  const api::EvalResult result = engine.run(request);
+  const api::LatencyStats& lat = *result.latency;
+  const api::EnergyStats& e = *result.energy;
+
+  std::printf("DEFA accelerator model on '%s'%s\n\n", result.benchmark.c_str(),
               full ? "" : "  [pass --full for paper shapes]");
 
-  core::BenchmarkContext ctx(m);
-  const HwConfig hw = HwConfig::make_default(m);
-  const arch::DefaAccelerator acc(m, hw);
-  const auto traces = ctx.defa_traces();
-  const arch::RunPerf run = acc.simulate_run(traces);
-
-  // Per-phase view of a steady-state block (block 1: FWP mask active).
-  const arch::LayerPerf& layer = run.layers[1];
+  // Per-phase view of a steady-state block (FWP mask active from block 1).
   TextTable t({"phase", "cycles", "MACs", "SRAM rd (KB)", "SRAM wr (KB)",
                "DRAM rd (KB)", "DRAM wr (KB)"});
-  for (const auto& p : layer.phases) {
+  for (const api::PhaseRow& p : lat.steady_phases) {
     t.new_row()
         .add(p.name)
         .add_int(static_cast<long long>(p.cycles))
@@ -37,34 +39,32 @@ int main(int argc, char** argv) {
         .add_num(p.dram_read_bytes / 1024.0, 1)
         .add_num(p.dram_write_bytes / 1024.0, 1);
   }
-  std::printf("%s\n", t.str("Block 1 (steady state), per phase").c_str());
-  std::printf("MSGS: %llu groups, %llu conflicts, %.2f points/cycle\n\n",
-              static_cast<unsigned long long>(layer.msgs.groups),
-              static_cast<unsigned long long>(layer.msgs.conflict_groups),
-              layer.msgs.points_per_cycle());
+  std::printf("%s\n",
+              t.str("Block " + std::to_string(lat.steady_state_layer) +
+                    " (steady state), per phase")
+                  .c_str());
+  std::printf("MSGS: %.0f groups, %.0f conflicts, %.2f points/cycle\n\n",
+              lat.msgs_groups, lat.msgs_conflict_groups, lat.msgs_points_per_cycle);
 
-  const auto sum = energy::summarize(m, hw, run, ctx.dense_encoder_flops());
-  const auto area = energy::area_breakdown(m, hw);
-  const auto e = energy::energy_breakdown(m, hw, run);
-  std::printf("Encoder pass: %.3f ms @ %d MHz  |  %.0f effective GOPS\n", sum.time_ms,
-              static_cast<int>(hw.freq_mhz), sum.effective_gops);
+  std::printf("Encoder pass: %.3f ms  |  %.0f effective GOPS\n", lat.time_ms,
+              lat.effective_gops);
   std::printf("Chip power: %.1f mW  |  %.0f GOPS/W  |  area %.2f mm^2 "
               "(SRAM %.0f%% / PE %.0f%%)\n",
-              sum.chip_power_mw, sum.gops_per_w, area.total(),
-              100.0 * area.sram_mm2 / area.total(),
-              100.0 * area.pe_softmax_mm2 / area.total());
+              e.chip_power_mw, e.gops_per_w, e.area_mm2(),
+              100.0 * e.area_sram_mm2 / e.area_mm2(),
+              100.0 * e.area_pe_softmax_mm2 / e.area_mm2());
   std::printf("Energy: DRAM %.0f%%, SRAM %.0f%%, logic %.0f%%\n",
               100.0 * e.dram_pj / e.total_pj(), 100.0 * e.sram_pj / e.total_pj(),
               100.0 * e.logic_pj() / e.total_pj());
 
   // On-chip memory inventory.
   TextTable s({"macro", "KB", "x", "word (B)"});
-  for (const auto& macro : energy::build_sram_plan(m, hw).macros) {
+  for (const api::SramMacroRow& macro : e.sram_macros) {
     s.new_row()
         .add(macro.name)
         .add_num(macro.capacity_bytes / 1024.0, 1)
-        .add_int(macro.count)
-        .add_int(macro.word_bytes);
+        .add_int(static_cast<long long>(macro.count))
+        .add_int(static_cast<long long>(macro.word_bytes));
   }
   std::printf("\n%s", s.str("SRAM plan").c_str());
   return 0;

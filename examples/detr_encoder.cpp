@@ -1,6 +1,6 @@
 // Run the full multi-block MSDeformAttn encoder of a Deformable-DETR-style
-// detector through the DEFA pipeline: scene-driven workload, all four
-// algorithm techniques, per-block statistics.
+// detector through the DEFA pipeline via the Engine API: scene-driven
+// workload, all four algorithm techniques, per-block statistics.
 //
 // Usage: detr_encoder [--full]
 //   default: reduced-resolution model (~2 s)
@@ -9,43 +9,42 @@
 #include <cstdio>
 #include <cstring>
 
+#include "api/engine.h"
 #include "common/table.h"
-#include "core/pipeline.h"
 
 int main(int argc, char** argv) {
   using namespace defa;
   const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  const ModelConfig m = full ? ModelConfig::deformable_detr() : ModelConfig::small();
-  std::printf("DEFA encoder pipeline on '%s' (%lld tokens, %d blocks)%s\n\n",
-              m.name.c_str(), static_cast<long long>(m.n_in()), m.n_layers,
+
+  api::Engine engine;
+  api::EvalRequest request;
+  request.preset = full ? "deformable_detr" : "small";
+  request.outputs = api::kFunctional;
+  const api::EvalResult result = engine.run(request);
+  const api::FunctionalStats& r = *result.functional;
+
+  std::printf("DEFA encoder pipeline on '%s' (%d blocks)%s\n\n",
+              result.benchmark.c_str(), static_cast<int>(r.layers.size()),
               full ? "" : "  [pass --full for paper shapes]");
-
-  workload::SceneParams scene;
-  scene.seed = m.seed;
-  const workload::SceneWorkload wl(m, scene);
-  const core::EncoderPipeline pipe(wl);
-
-  const core::EncoderResult r = pipe.run(core::PruneConfig::defa_default(m));
 
   TextTable t({"block", "PAP pruned", "FWP mask out", "pixels in", "clamped",
                "FLOPs saved", "out NRMSE"});
-  for (const auto& l : r.layers) {
+  for (const api::LayerFunctionalRow& l : r.layers) {
     t.new_row()
         .add_int(l.layer)
-        .add(percent(l.pap.fraction_pruned()))
-        .add(percent(l.fwp.fraction_pruned()))
-        .add(percent(1.0 - static_cast<double>(l.kept_pixels) /
-                               static_cast<double>(l.total_pixels)))
-        .add(percent(l.clamp.fraction_clamped(), 2))
-        .add(percent(1.0 - l.flops_actual.total() / l.flops_dense.total()))
+        .add(percent(l.pap_pruned_frac))
+        .add(percent(l.fwp_mask_out_frac))
+        .add(percent(l.pixels_pruned_frac))
+        .add(percent(l.clamped_frac, 2))
+        .add(percent(l.flops_saved_frac))
         .add_num(l.out_nrmse, 4);
   }
   std::printf("%s\n", t.str("Per-block statistics (full DEFA configuration)").c_str());
 
   std::printf("Aggregates: %.1f%% sampling points pruned, %.1f%% fmap pixels pruned,\n"
               "%.1f%% of computation eliminated; end-to-end NRMSE %.4f.\n",
-              100.0 * r.point_reduction(), 100.0 * r.pixel_reduction(),
-              100.0 * r.flop_reduction(), r.final_nrmse);
+              100.0 * r.point_reduction, 100.0 * r.pixel_reduction,
+              100.0 * r.flop_reduction, r.final_nrmse);
   std::printf("(paper Fig. 6b: 82-86%% points, 42-44%% pixels, 52-53%% computation)\n");
   return 0;
 }

@@ -1,36 +1,46 @@
-// Explore the accuracy/sparsity trade-off: sweep the PAP threshold and map
-// the measured output error through the calibrated AP proxy — the
+// Explore the accuracy/sparsity trade-off: sweep the PAP threshold as a
+// batch of Engine requests (fanned across the worker pool) and read the
+// calibrated AP proxy straight from each result's accuracy section — the
 // experiment a user would run to pick their own operating point.
 
 #include <cstdio>
+#include <vector>
 
-#include "accuracy/ap_model.h"
+#include "api/engine.h"
 #include "common/table.h"
-#include "core/pipeline.h"
 
 int main() {
   using namespace defa;
-  const ModelConfig m = ModelConfig::small();
-  std::printf("PAP operating-point sweep on '%s'\n\n", m.name.c_str());
 
-  workload::SceneParams scene;
-  scene.seed = m.seed;
-  const workload::SceneWorkload wl(m, scene);
-  const core::EncoderPipeline pipe(wl);
-  const auto& ap = accuracy::ApModel::paper_calibrated();
+  api::Engine engine;
+
+  const std::vector<double> taus = {0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.15};
+  std::vector<api::EvalRequest> requests;
+  for (const double tau : taus) {
+    api::EvalRequest req;
+    req.preset = "small";
+    core::PruneConfig cfg = core::PruneConfig::only_pap(tau);
+    if (tau == 0.0) cfg.pap = false;  // dense reference row
+    req.prune = cfg;
+    req.outputs = api::kFunctional | api::kAccuracy;
+    requests.push_back(std::move(req));
+  }
+
+  std::printf("PAP operating-point sweep on 'small' (%d batched requests)\n\n",
+              static_cast<int>(requests.size()));
+  const std::vector<api::EvalResult> results = engine.run_batch(requests);
 
   TextTable t({"tau", "points kept", "FLOPs saved", "NRMSE", "proxy AP drop",
                "proxy AP (from 46.9)"});
-  for (const double tau : {0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.15}) {
-    core::PruneConfig cfg = core::PruneConfig::only_pap(tau);
-    if (tau == 0.0) cfg.pap = false;  // dense reference row
-    const core::EncoderResult r = pipe.run(cfg);
-    const double drop = ap.drop(accuracy::Technique::kPap, r.final_nrmse);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const api::FunctionalStats& f = *results[i].functional;
+    const api::AccuracyStats& a = *results[i].accuracy;
+    const double drop = a.drops.empty() ? 0.0 : a.drops[0].ap_drop;
     t.new_row()
-        .add_num(tau, 3)
-        .add(percent(1.0 - r.point_reduction()))
-        .add(percent(r.flop_reduction()))
-        .add_num(r.final_nrmse, 4)
+        .add_num(taus[i], 3)
+        .add(percent(1.0 - f.point_reduction))
+        .add(percent(f.flop_reduction))
+        .add_num(f.final_nrmse, 4)
         .add_num(drop, 2)
         .add_num(46.9 - drop, 1);
   }

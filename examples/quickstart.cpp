@@ -1,5 +1,6 @@
-// Quickstart: run one reference MSDeformAttn block (Eq. 1) from random
-// weights, then the same block through the DEFA techniques, and compare.
+// Quickstart: evaluate one benchmark through the `defa::api::Engine`
+// request/response API — the entry point everything in this repo (bench
+// binaries, defa_cli, sweeps) drives.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,48 +8,58 @@
 
 #include <cstdio>
 
-#include "common/stats.h"
-#include "core/msgs.h"
-#include "nn/linear.h"
-#include "nn/msdeform.h"
-#include "nn/softmax.h"
-#include "prune/pap.h"
+#include "api/engine.h"
 
 int main() {
-  using namespace defa;
+  using namespace defa::api;
 
-  // A small 2-level model so this runs in milliseconds.
-  const ModelConfig m = ModelConfig::tiny();
-  std::printf("Model '%s': %lld tokens, %d levels, %d heads, %d points/level\n",
-              m.name.c_str(), static_cast<long long>(m.n_in()), m.n_levels, m.n_heads,
-              m.n_points);
+  Engine engine;
 
-  // 1) The textbook path: X -> (logits, offsets, values) -> MSGS -> output.
-  Rng rng(2024);
-  const Tensor x = Tensor::randn({m.n_in(), m.d_model}, rng);
-  const Tensor ref = nn::reference_points(m);
-  const nn::MsdaWeights weights = nn::MsdaWeights::random(m, rng);
-  const Tensor out = nn::msdeform_forward_ref(m, x, ref, weights);
-  std::printf("reference MSDeformAttn output: %lld x %lld\n",
-              static_cast<long long>(out.dim(0)), static_cast<long long>(out.dim(1)));
+  // 1) Describe what to evaluate: a model preset (here the reduced test
+  //    configuration), the default full-DEFA algorithm configuration, and
+  //    the outputs we want back.
+  EvalRequest request;
+  request.preset = "small";  // or "deformable_detr" / "dn_detr" / "dino"
+  request.outputs = kFunctional | kLatency | kEnergy;
 
-  // 2) The same block with PAP point pruning + the INT12 datapath.
-  const nn::MsdaFields fields = nn::fields_from_weights(m, x, ref, weights);
-  const Tensor probs = nn::softmax_lastdim(fields.logits);
-  prune::PapStats pap_stats;
-  const prune::PointMask mask = prune::pap_prune(m, probs, /*tau=*/0.03, &pap_stats);
+  const EvalResult result = engine.run(request);
 
-  const Tensor values = nn::linear(x, weights.w_value, &weights.b_value);
-  core::MsgsOptions opt;
-  opt.point_mask = &mask;
-  opt.quantized = true;  // INT12 Horner BI + fixed-point aggregation
-  const Tensor out_defa = core::run_msgs(m, values, probs, fields.locs, opt);
+  const FunctionalStats& f = *result.functional;
+  std::printf("benchmark '%s' (config %s)\n", result.benchmark.c_str(),
+              f.config_label.c_str());
+  std::printf("  pruning: %.1f%% points, %.1f%% pixels, %.1f%% FLOPs; NRMSE %.4f\n",
+              100.0 * f.point_reduction, 100.0 * f.pixel_reduction,
+              100.0 * f.flop_reduction, f.final_nrmse);
+  std::printf("  latency: %.3f ms (%.0f effective GOPS)\n", result.latency->time_ms,
+              result.latency->effective_gops);
+  std::printf("  chip: %.1f mW, %.2f mm^2\n", result.energy->chip_power_mw,
+              result.energy->area_mm2());
 
-  std::printf("PAP pruned %.1f%% of sampling points (threshold 0.03)\n",
-              100.0 * pap_stats.fraction_pruned());
-  std::printf("output NRMSE vs dense fp32: %.5f\n",
-              nrmse(out.data(), out_defa.data()));
-  std::printf("\nNext steps: examples/detr_encoder for the full pipeline,\n"
-              "examples/accelerator_report for the cycle-accurate model.\n");
+  // 2) Custom algorithm configurations reuse the same cached workload —
+  //    and a batch fans across the worker pool.
+  std::vector<EvalRequest> sweep;
+  for (const double tau : {0.01, 0.03, 0.08}) {
+    EvalRequest r;
+    r.preset = "small";
+    r.prune = defa::core::PruneConfig::only_pap(tau);
+    r.outputs = kFunctional;
+    sweep.push_back(std::move(r));
+  }
+  std::printf("\nPAP threshold sweep (run_batch over %d requests):\n",
+              static_cast<int>(sweep.size()));
+  const std::vector<EvalResult> swept = engine.run_batch(sweep);
+  for (std::size_t i = 0; i < swept.size(); ++i) {
+    std::printf("  tau=%.2f: %.1f%% points pruned, NRMSE %.4f\n",
+                sweep[i].prune->pap_tau,
+                100.0 * swept[i].functional->point_reduction,
+                swept[i].functional->final_nrmse);
+  }
+
+  // 3) Results serialize to JSON for machine consumption.
+  std::printf("\nJSON (first 120 chars): %.120s...\n",
+              to_json(result).dump().c_str());
+  std::printf("\nNext steps: examples/detr_encoder for per-block statistics,\n"
+              "examples/accelerator_report for the cycle-accurate view,\n"
+              "./build/defa_cli list for every paper experiment.\n");
   return 0;
 }

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file engine.h
+/// `defa::Engine` — the thread-safe facade every driver (bench binaries,
+/// examples, defa_cli, registered experiments) evaluates workloads through.
+///
+/// The Engine owns a keyed cache of per-(model, scene) benchmark state
+/// (scene workload, functional pipeline, dense reference trajectory,
+/// simulator traces): repeated requests against the same workload share one
+/// context, and `run_batch` fans independent requests across the
+/// common/parallel worker pool.  Batched and sequential evaluation produce
+/// bit-identical results — every request is deterministic in its own
+/// (model, scene, prune, hw) tuple and shares no mutable state beyond the
+/// lock-guarded caches.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/request.h"
+#include "core/experiments.h"
+
+namespace defa::api {
+
+class Engine {
+ public:
+  struct Options {
+    /// Upper bound on concurrent requests in run_batch; 0 = one per
+    /// hardware thread.
+    int max_parallel_requests = 0;
+    /// Memoize full EvalResults by request identity (on by default; the
+    /// context cache below is independent of this).
+    bool memoize_results = true;
+  };
+
+  Engine() : Engine(Options{}) {}
+  explicit Engine(Options options);
+
+  /// Evaluate one request.  Throws defa::CheckError on validation errors.
+  [[nodiscard]] EvalResult run(const EvalRequest& request);
+
+  /// Evaluate a batch of requests concurrently; results come back in
+  /// request order and are bit-identical to sequential `run` calls.
+  /// Validation errors in any request throw before any work starts.
+  [[nodiscard]] std::vector<EvalResult> run_batch(
+      const std::vector<EvalRequest>& requests);
+
+  /// Shared benchmark context of a (model, scene) pair — the seam the
+  /// registered experiments use so figure drivers and Engine requests
+  /// reuse one another's state.
+  [[nodiscard]] std::shared_ptr<core::BenchmarkContext> context(
+      const ModelConfig& m, const workload::SceneParams& scene);
+  [[nodiscard]] std::shared_ptr<core::BenchmarkContext> context(const ModelConfig& m);
+
+  /// The underlying pool (for core::run_figXX experiment drivers).
+  [[nodiscard]] core::ContextPool& pool() noexcept { return pool_; }
+
+  [[nodiscard]] std::size_t cached_contexts() const { return pool_.size(); }
+  [[nodiscard]] std::size_t memoized_results() const;
+  void clear_caches();
+
+ private:
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request);
+
+  Options options_;
+  core::ContextPool pool_;
+  mutable std::mutex memo_mu_;
+  std::unordered_map<std::string, EvalResult> memo_;
+};
+
+}  // namespace defa::api

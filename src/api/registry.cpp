@@ -1,0 +1,80 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+namespace defa::api {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(Experiment e) {
+  DEFA_CHECK(!e.name.empty(), "Registry: experiment name must not be empty");
+  DEFA_CHECK(static_cast<bool>(e.run), "Registry: experiment '" + e.name + "' has no runner");
+  DEFA_CHECK(find(e.name) == nullptr,
+             "Registry: duplicate experiment name '" + e.name + "'");
+  experiments_.push_back(std::move(e));
+}
+
+const Experiment* Registry::find(const std::string& name) const {
+  for (const Experiment& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const Experiment& e : experiments_) out.push_back(e.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Registry::size() const { return experiments_.size(); }
+
+Json run_experiment(Engine& engine, const std::string& name, std::ostream& out) {
+  register_builtin_experiments();
+  const Experiment* e = Registry::instance().find(name);
+  if (e == nullptr) {
+    std::string known;
+    for (const std::string& n : Registry::instance().names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    DEFA_CHECK(false, "unknown experiment '" + name + "' (known: " + known + ")");
+  }
+  Json j = e->run(engine, out);
+  DEFA_CHECK(j.is_object(), "experiment '" + name + "' returned non-object JSON");
+  j["experiment"] = e->name;
+  j["title"] = e->title;
+  return j;
+}
+
+int experiment_main(const std::string& name, int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json out.json]\n";
+      return 2;
+    }
+  }
+  try {
+    Engine engine;
+    const Json j = run_experiment(engine, name, std::cout);
+    if (!json_path.empty()) {
+      write_json_file(json_path, j);
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace defa::api

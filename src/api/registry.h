@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file registry.h
+/// String-keyed experiment registry: every paper figure/table (and the
+/// repo's own ablations) is a self-describing experiment that runs through
+/// a shared `Engine`, prints its human-readable tables to a stream and
+/// returns machine-readable JSON.  The 12 bench binaries are thin wrappers
+/// over `experiment_main`, and `defa_cli` drives the same registry
+/// (`defa_cli list` / `defa_cli run <name> [--json out.json]`).
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/result_io.h"
+
+namespace defa::api {
+
+struct Experiment {
+  std::string name;         ///< registry key, e.g. "fig6b"
+  std::string title;        ///< one-line human title
+  std::string description;  ///< what the experiment reproduces/measures
+  /// Runs the experiment: prints tables to the stream, returns the JSON
+  /// payload (always an object with at least {"experiment": name}).
+  std::function<Json(Engine&, std::ostream&)> run;
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& instance();
+
+  /// Register an experiment; throws defa::CheckError on a duplicate name.
+  void add(Experiment e);
+
+  [[nodiscard]] const Experiment* find(const std::string& name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Registry() = default;
+  std::vector<Experiment> experiments_;
+};
+
+/// Register the built-in paper experiments (fig1b..fig9, table1, the three
+/// ablations and the kernel microbench).  Idempotent.
+void register_builtin_experiments();
+
+/// Look up and run one registered experiment.  Throws defa::CheckError on
+/// an unknown name.  Prints the experiment's tables to `out`; returns its
+/// JSON (with "experiment"/"title" stamped in).
+[[nodiscard]] Json run_experiment(Engine& engine, const std::string& name,
+                                  std::ostream& out);
+
+/// Shared main() body of the thin bench wrappers: runs `name` on a fresh
+/// Engine, honoring an optional `--json <file>` argument pair.  Returns
+/// the process exit code (0 on success).
+[[nodiscard]] int experiment_main(const std::string& name, int argc, char** argv);
+
+}  // namespace defa::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace defa::core {
 
@@ -13,32 +14,45 @@ namespace {
 /// behaviour (benchmark/GPU ordering) is model-driven.  See EXPERIMENTS.md.
 constexpr double kSystemOverheadWPerTops = 10.0;
 
+workload::SceneParams default_scene(const ModelConfig& m) {
+  workload::SceneParams params;
+  params.seed = m.seed;
+  return params;
+}
+
 }  // namespace
 
-BenchmarkContext::BenchmarkContext(ModelConfig model) : model_(std::move(model)) {
+BenchmarkContext::BenchmarkContext(ModelConfig model)
+    : BenchmarkContext(std::move(model), workload::SceneParams{}) {
+  scene_ = default_scene(model_);
+}
+
+BenchmarkContext::BenchmarkContext(ModelConfig model,
+                                   const workload::SceneParams& scene)
+    : model_(std::move(model)), scene_(scene) {
   model_.validate();
 }
 
-void BenchmarkContext::ensure_workload() {
+void BenchmarkContext::ensure_workload_locked() {
   if (wl_ != nullptr) return;
-  workload::SceneParams params;
-  params.seed = model_.seed;
-  wl_ = std::make_unique<workload::SceneWorkload>(model_, params);
+  wl_ = std::make_unique<workload::SceneWorkload>(model_, scene_);
   pipe_ = std::make_unique<EncoderPipeline>(*wl_);
 }
 
 const workload::SceneWorkload& BenchmarkContext::workload_ref() {
-  ensure_workload();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_workload_locked();
   return *wl_;
 }
 
 const EncoderPipeline& BenchmarkContext::pipeline() {
-  ensure_workload();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_workload_locked();
   return *pipe_;
 }
 
-void BenchmarkContext::ensure_defa() {
-  ensure_workload();
+void BenchmarkContext::ensure_defa_locked() {
+  ensure_workload_locked();
   if (defa_ == nullptr) {
     defa_ = std::make_unique<EncoderResult>(
         pipe_->run(PruneConfig::defa_default(model_)));
@@ -46,12 +60,13 @@ void BenchmarkContext::ensure_defa() {
 }
 
 const EncoderResult& BenchmarkContext::defa_result() {
-  ensure_defa();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_defa_locked();
   return *defa_;
 }
 
-void BenchmarkContext::ensure_narrowed_locs() {
-  ensure_workload();
+void BenchmarkContext::ensure_narrowed_locs_locked() {
+  ensure_workload_locked();
   if (!narrowed_locs_.empty()) return;
   const RangeSpec ranges = RangeSpec::level_wise_default(model_.n_levels);
   narrowed_locs_.reserve(static_cast<std::size_t>(model_.n_layers));
@@ -62,9 +77,17 @@ void BenchmarkContext::ensure_narrowed_locs() {
   }
 }
 
+void BenchmarkContext::ensure_dense_masks_locked() {
+  if (all_keep_points_ == nullptr) {
+    all_keep_points_ = std::make_unique<prune::PointMask>(model_);
+    all_keep_pixels_ = std::make_unique<prune::FmapMask>(model_);
+  }
+}
+
 std::vector<arch::LayerTrace> BenchmarkContext::defa_traces() {
-  ensure_defa();
-  ensure_narrowed_locs();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_defa_locked();
+  ensure_narrowed_locs_locked();
   std::vector<arch::LayerTrace> traces;
   for (int l = 0; l < model_.n_layers; ++l) {
     arch::LayerTrace t;
@@ -78,12 +101,10 @@ std::vector<arch::LayerTrace> BenchmarkContext::defa_traces() {
 }
 
 std::vector<arch::LayerTrace> BenchmarkContext::dense_traces() {
-  ensure_workload();
-  ensure_narrowed_locs();
-  if (all_keep_points_ == nullptr) {
-    all_keep_points_ = std::make_unique<prune::PointMask>(model_);
-    all_keep_pixels_ = std::make_unique<prune::FmapMask>(model_);
-  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_workload_locked();
+  ensure_narrowed_locs_locked();
+  ensure_dense_masks_locked();
   std::vector<arch::LayerTrace> traces;
   for (int l = 0; l < model_.n_layers; ++l) {
     arch::LayerTrace t;
@@ -96,8 +117,74 @@ std::vector<arch::LayerTrace> BenchmarkContext::dense_traces() {
   return traces;
 }
 
+std::vector<arch::LayerTrace> BenchmarkContext::traces_for(const EncoderResult& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_workload_locked();
+  ensure_narrowed_locs_locked();
+  DEFA_CHECK(static_cast<int>(r.point_masks.size()) == model_.n_layers &&
+                 static_cast<int>(r.fmap_masks.size()) == model_.n_layers,
+             "traces_for: result does not match this context's model");
+  std::vector<arch::LayerTrace> traces;
+  for (int l = 0; l < model_.n_layers; ++l) {
+    arch::LayerTrace t;
+    t.locs = &narrowed_locs_[static_cast<std::size_t>(l)];
+    t.pmask = &r.point_masks[static_cast<std::size_t>(l)];
+    t.fmask = &r.fmap_masks[static_cast<std::size_t>(l)];
+    t.ref_norm = &wl_->ref_norm();
+    traces.push_back(t);
+  }
+  return traces;
+}
+
 double BenchmarkContext::dense_encoder_flops() const {
   return dense_flops(model_).total() * model_.n_layers;
+}
+
+// ------------------------------------------------------------------ ContextPool
+
+std::shared_ptr<BenchmarkContext> ContextPool::get(const ModelConfig& m) {
+  return get(m, default_scene(m));
+}
+
+std::shared_ptr<BenchmarkContext> ContextPool::get(
+    const ModelConfig& m, const workload::SceneParams& scene) {
+  const std::string key = key_of(m, scene);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    it = entries_.emplace(key, std::make_shared<BenchmarkContext>(m, scene)).first;
+  }
+  return it->second;
+}
+
+std::string ContextPool::key_of(const ModelConfig& m,
+                                const workload::SceneParams& scene) {
+  std::ostringstream key;
+  key.precision(17);
+  key << m.name << '|' << m.d_model << '|' << m.n_heads << '|' << m.n_levels << '|'
+      << m.n_points << '|' << m.n_layers << '|';
+  for (const LevelShape& lv : m.levels) key << lv.h << 'x' << lv.w << ',';
+  key << '|' << m.baseline_ap << '|' << m.seed << '|';
+  key << scene.n_objects << '|' << scene.object_sigma_min << '|'
+      << scene.object_sigma_max << '|' << scene.feature_noise << '|'
+      << scene.background_level << '|' << scene.logit_gain << '|'
+      << scene.logit_noise << '|' << scene.seek_fraction << '|'
+      << scene.seek_strength << '|' << scene.seek_cap_px << '|'
+      << scene.ring_scale_px << '|';
+  for (const double s : scene.offset_sigma_px) key << s << ',';
+  key << '|' << scene.tail_prob << '|' << scene.tail_scale << '|'
+      << scene.layer_jitter << '|' << scene.seed;
+  return key.str();
+}
+
+std::size_t ContextPool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ContextPool::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -117,15 +204,15 @@ std::vector<Fig1bRow> run_fig1b() {
   return rows;
 }
 
-std::vector<Fig6aRow> run_fig6a() {
+std::vector<Fig6aRow> run_fig6a(ContextPool& pool) {
   using accuracy::ApModel;
   using accuracy::Technique;
   const ApModel& ap = ApModel::paper_calibrated();
 
   std::vector<Fig6aRow> rows;
   for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
-    BenchmarkContext ctx(m);
-    const EncoderPipeline& pipe = ctx.pipeline();
+    const auto ctx = pool.get(m);
+    const EncoderPipeline& pipe = ctx->pipeline();
 
     Fig6aRow row;
     row.benchmark = m.name;
@@ -149,21 +236,21 @@ std::vector<Fig6aRow> run_fig6a() {
   return rows;
 }
 
-std::vector<Fig6bRow> run_fig6b() {
+std::vector<Fig6bRow> run_fig6b(ContextPool& pool) {
   std::vector<Fig6bRow> rows;
   for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
-    BenchmarkContext ctx(m);
-    const EncoderResult& r = ctx.defa_result();
+    const auto ctx = pool.get(m);
+    const EncoderResult& r = ctx->defa_result();
     rows.push_back(Fig6bRow{m.name, r.point_reduction(), r.pixel_reduction(),
                             r.flop_reduction()});
   }
   return rows;
 }
 
-std::vector<Fig7aRow> run_fig7a() {
+std::vector<Fig7aRow> run_fig7a(ContextPool& pool) {
   std::vector<Fig7aRow> rows;
   for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
-    BenchmarkContext ctx(m);
+    const auto ctx = pool.get(m);
 
     HwConfig inter = HwConfig::make_default(m);
     HwConfig intra = inter;
@@ -174,8 +261,8 @@ std::vector<Fig7aRow> run_fig7a() {
     // Hardware-only comparison at the same degree of parallelism: dense
     // sampling (no PAP), all blocks.
     arch::MsgsPerf inter_perf, intra_perf, inter_pruned, intra_pruned;
-    const auto dense = ctx.dense_traces();
-    const auto pruned = ctx.defa_traces();
+    const auto dense = ctx->dense_traces();
+    const auto pruned = ctx->defa_traces();
     for (int l = 0; l < m.n_layers; ++l) {
       inter_perf += inter_engine.run(*dense[static_cast<std::size_t>(l)].locs,
                                      *dense[static_cast<std::size_t>(l)].pmask);
@@ -231,15 +318,15 @@ MsgsMemEnergy msgs_memory_energy(const ModelConfig& m, const HwConfig& hw,
 
 }  // namespace
 
-std::vector<Fig7bRow> run_fig7b() {
+std::vector<Fig7bRow> run_fig7b(ContextPool& pool) {
   std::vector<Fig7bRow> rows;
   for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
-    BenchmarkContext ctx(m);
+    const auto ctx = pool.get(m);
     // Hardware-tactic isolation (like Fig. 7a): dense sampling, so the
     // fusion ablation moves the full sampling-value tensor.  The paper's
     // 73.3% + 88.2% pair is only mutually consistent under this reading
     // (see EXPERIMENTS.md).
-    const auto traces = ctx.dense_traces();
+    const auto traces = ctx->dense_traces();
 
     auto simulate = [&](bool fusion, bool reuse) {
       HwConfig hw = HwConfig::make_default(m);
@@ -277,7 +364,7 @@ std::vector<Fig7bRow> run_fig7b() {
     double prune_bytes = 0;
     for (int l = 0; l < m.n_layers; ++l) {
       const auto kept = static_cast<double>(
-          ctx.defa_result().point_masks[static_cast<std::size_t>(l)].kept_count());
+          ctx->defa_result().point_masks[static_cast<std::size_t>(l)].kept_count());
       prune_bytes += kept * 4 * 2 * 2 + static_cast<double>(m.n_in()) / 8.0;
     }
     row.prune_sram_access_frac =
@@ -288,10 +375,10 @@ std::vector<Fig7bRow> run_fig7b() {
   return rows;
 }
 
-Fig8Result run_fig8() {
+Fig8Result run_fig8(ContextPool& pool) {
   const ModelConfig m = ModelConfig::deformable_detr();
-  BenchmarkContext ctx(m);
-  const auto traces = ctx.defa_traces();
+  const auto ctx = pool.get(m);
+  const auto traces = ctx->defa_traces();
 
   Fig8Result result;
   HwConfig hw = HwConfig::make_default(m);
@@ -310,14 +397,14 @@ Fig8Result run_fig8() {
   return result;
 }
 
-std::vector<Fig9Row> run_fig9() {
+std::vector<Fig9Row> run_fig9(ContextPool& pool) {
   std::vector<Fig9Row> rows;
   const std::vector<baseline::GpuSpec> gpus = {baseline::GpuSpec::rtx2080ti(),
                                                baseline::GpuSpec::rtx3090ti()};
   for (const ModelConfig& m : ModelConfig::paper_benchmarks()) {
-    BenchmarkContext ctx(m);
-    const auto traces = ctx.defa_traces();
-    const double dense_ops = ctx.dense_encoder_flops();
+    const auto ctx = pool.get(m);
+    const auto traces = ctx->defa_traces();
+    const double dense_ops = ctx->dense_encoder_flops();
 
     for (const baseline::GpuSpec& gpu : gpus) {
       HwConfig hw = HwConfig::make_default(m);
@@ -362,16 +449,16 @@ std::vector<Fig9Row> run_fig9() {
   return rows;
 }
 
-std::vector<baseline::AsicRecord> run_table1() {
+std::vector<baseline::AsicRecord> run_table1(ContextPool& pool) {
   std::vector<baseline::AsicRecord> records = baseline::attention_asic_records();
 
   const ModelConfig m = ModelConfig::deformable_detr();
-  BenchmarkContext ctx(m);
+  const auto ctx = pool.get(m);
   const HwConfig hw = HwConfig::make_default(m);
   const arch::DefaAccelerator acc(m, hw);
-  const arch::RunPerf run = acc.simulate_run(ctx.defa_traces());
+  const arch::RunPerf run = acc.simulate_run(ctx->defa_traces());
   const energy::PerfSummary sum =
-      energy::summarize(m, hw, run, ctx.dense_encoder_flops());
+      energy::summarize(m, hw, run, ctx->dense_encoder_flops());
 
   baseline::AsicRecord defa;
   defa.name = "DEFA (ours)";

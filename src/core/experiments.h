@@ -2,10 +2,20 @@
 
 /// \file experiments.h
 /// One entry point per paper table/figure (DESIGN.md §3).  Each function
-/// returns plain structs; the bench binaries format them as the rows/series
-/// the paper reports.  All experiments are deterministic.
+/// returns plain structs; the registered experiments (src/api/registry.h)
+/// format them as the rows/series the paper reports.  All experiments are
+/// deterministic.
+///
+/// Heavyweight per-benchmark state (workload, functional pipeline, DEFA
+/// result, simulator traces) lives in `BenchmarkContext` objects owned by a
+/// shared `ContextPool`, so experiments that touch the same benchmark reuse
+/// one context instead of rebuilding it.  The public `defa::Engine` facade
+/// (src/api/engine.h) wraps a ContextPool; nothing outside src/ should
+/// construct a BenchmarkContext directly.
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,11 +32,21 @@ namespace defa::core {
 /// workload, the functional pipeline, the full-DEFA result and the
 /// per-layer traces for the cycle-accurate simulator.  Construction is
 /// cheap; heavyweight state is built lazily and cached.
+///
+/// Thread-safety: all lazy construction is serialized on an internal
+/// mutex, so one context may be shared across threads (the Engine's batch
+/// path relies on this).  Returned references stay valid and immutable for
+/// the context's lifetime.
 class BenchmarkContext {
  public:
+  /// Context on the model's default scene (SceneParams seeded with the
+  /// model seed — the scene every seed experiment uses).
   explicit BenchmarkContext(ModelConfig model);
+  /// Context on a custom scene.
+  BenchmarkContext(ModelConfig model, const workload::SceneParams& scene);
 
   [[nodiscard]] const ModelConfig& model() const noexcept { return model_; }
+  [[nodiscard]] const workload::SceneParams& scene() const noexcept { return scene_; }
   [[nodiscard]] const workload::SceneWorkload& workload_ref();
   [[nodiscard]] const EncoderPipeline& pipeline();
   /// Full-DEFA pipeline result (all four techniques at default thresholds).
@@ -38,22 +58,53 @@ class BenchmarkContext {
   /// Traces with *dense* masks (no pruning), e.g. for the Fig. 7(a)
   /// hardware-only comparison.
   [[nodiscard]] std::vector<arch::LayerTrace> dense_traces();
+  /// Traces whose masks come from an arbitrary pipeline result `r` (the
+  /// Engine path for non-default PruneConfigs).  `r` must outlive any use
+  /// of the returned traces; locations are the context's range-narrowed
+  /// cache, as in defa_traces().
+  [[nodiscard]] std::vector<arch::LayerTrace> traces_for(const EncoderResult& r);
 
   /// Dense FLOPs of the whole encoder (for effective-throughput figures).
   [[nodiscard]] double dense_encoder_flops() const;
 
  private:
-  void ensure_workload();
-  void ensure_defa();
-  void ensure_narrowed_locs();
+  void ensure_workload_locked();
+  void ensure_defa_locked();
+  void ensure_narrowed_locs_locked();
+  void ensure_dense_masks_locked();
 
   ModelConfig model_;
+  workload::SceneParams scene_;
+  std::mutex mu_;  ///< guards all lazy construction below
   std::unique_ptr<workload::SceneWorkload> wl_;
   std::unique_ptr<EncoderPipeline> pipe_;
   std::unique_ptr<EncoderResult> defa_;
   std::vector<Tensor> narrowed_locs_;           // per layer
   std::unique_ptr<prune::PointMask> all_keep_points_;
   std::unique_ptr<prune::FmapMask> all_keep_pixels_;
+};
+
+/// Thread-safe keyed cache of shared BenchmarkContexts.  Two requests for
+/// the same (model, scene) pair observe the same context object, so the
+/// expensive dense reference trajectory is built once per workload no
+/// matter how many experiments or Engine requests touch it.
+class ContextPool {
+ public:
+  /// Context on the model's default scene.
+  [[nodiscard]] std::shared_ptr<BenchmarkContext> get(const ModelConfig& m);
+  [[nodiscard]] std::shared_ptr<BenchmarkContext> get(
+      const ModelConfig& m, const workload::SceneParams& scene);
+
+  /// Stable cache key of a (model, scene) pair.
+  [[nodiscard]] static std::string key_of(const ModelConfig& m,
+                                          const workload::SceneParams& scene);
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<BenchmarkContext>> entries_;
 };
 
 // ---------------------------------------------------------------------------
@@ -79,7 +130,7 @@ struct Fig6aRow {
   /// Raw isolated NRMSEs backing the drops.
   double err_fwp = 0, err_pap = 0, err_narrow = 0, err_int12 = 0, err_int8 = 0;
 };
-[[nodiscard]] std::vector<Fig6aRow> run_fig6a();
+[[nodiscard]] std::vector<Fig6aRow> run_fig6a(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Fig. 6(b): reduction of sampling points / fmap pixels / FLOPs.
@@ -89,7 +140,7 @@ struct Fig6bRow {
   double pixel_reduction = 0;
   double flop_reduction = 0;
 };
-[[nodiscard]] std::vector<Fig6bRow> run_fig6b();
+[[nodiscard]] std::vector<Fig6bRow> run_fig6b(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Fig. 7(a): MSGS throughput, inter-level vs intra-level parallelism.
@@ -101,7 +152,7 @@ struct Fig7aRow {
   double intra_conflict_rate = 0;  ///< conflicted groups / groups
   double boost_pruned = 0;         ///< same comparison under PAP (extra)
 };
-[[nodiscard]] std::vector<Fig7aRow> run_fig7a();
+[[nodiscard]] std::vector<Fig7aRow> run_fig7a(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Fig. 7(b): energy savings of operator fusion and fmap reuse, as a
@@ -115,7 +166,7 @@ struct Fig7bRow {
   double fusion_extra_sram_frac = 0;  ///< paper: +0.5% storage
   double prune_sram_access_frac = 0;  ///< paper: <0.1% of SRAM access
 };
-[[nodiscard]] std::vector<Fig7bRow> run_fig7b();
+[[nodiscard]] std::vector<Fig7bRow> run_fig7b(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Fig. 8: area and energy breakdowns.
@@ -124,7 +175,7 @@ struct Fig8Result {
   energy::EnergyBreakdown energy_default;    ///< stream-once MM dataflow
   energy::EnergyBreakdown energy_restream;   ///< per-col-tile restreaming
 };
-[[nodiscard]] Fig8Result run_fig8();
+[[nodiscard]] Fig8Result run_fig8(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Fig. 9: speedup and energy-efficiency gain over the GPUs, with DEFA
@@ -145,10 +196,10 @@ struct Fig9Row {
   double speedup_compute_bound = 0;
   double ee_compute_bound = 0;
 };
-[[nodiscard]] std::vector<Fig9Row> run_fig9();
+[[nodiscard]] std::vector<Fig9Row> run_fig9(ContextPool& pool);
 
 // ---------------------------------------------------------------------------
 // Table 1: ASIC comparison (literature rows + the computed DEFA row).
-[[nodiscard]] std::vector<baseline::AsicRecord> run_table1();
+[[nodiscard]] std::vector<baseline::AsicRecord> run_table1(ContextPool& pool);
 
 }  // namespace defa::core

@@ -149,7 +149,10 @@ void quantize_offsets(const ModelConfig& m, const Tensor& ref_norm, int bits,
 }  // namespace
 
 void EncoderPipeline::ensure_reference() const {
-  if (ref_built_) return;
+  std::call_once(ref_once_, [this] { build_reference(); });
+}
+
+void EncoderPipeline::build_reference() const {
   const ModelConfig& m = wl_.model();
   Tensor x_ref = wl_.fmap();
   ref_.reserve(static_cast<std::size_t>(m.n_layers));
@@ -164,7 +167,6 @@ void EncoderPipeline::ensure_reference() const {
     ref_.push_back(std::move(lr));
   }
   x_ref_final_ = std::move(x_ref);
-  ref_built_ = true;
 }
 
 const nn::MsdaFields& EncoderPipeline::layer_fields(int layer) const {

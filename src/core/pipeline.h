@@ -14,6 +14,7 @@
 /// masks feed the cycle-accurate simulator, and the kept/total counts feed
 /// the reduction figures (Fig. 6b).
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -107,7 +108,12 @@ struct EncoderResult {
 /// The dense fp32 reference trajectory (sampling fields, probabilities and
 /// block outputs) depends only on the workload, so it is computed once and
 /// cached; successive `run` calls with different configurations reuse it.
-/// Not thread-safe: create one pipeline per thread if needed.
+///
+/// Thread-safety: the lazily-built reference cache is guarded by a
+/// std::once_flag, and `run` only reads it, so one pipeline may be shared
+/// across threads (the Engine relies on this to batch requests).  The
+/// caller must keep the workload alive and unmodified for the pipeline's
+/// lifetime.
 class EncoderPipeline {
  public:
   explicit EncoderPipeline(const workload::SceneWorkload& workload);
@@ -129,12 +135,14 @@ class EncoderPipeline {
     Tensor probs;           ///< dense softmax probabilities
     Tensor out_ref;         ///< dense fp32 block output
   };
+  /// Thread-safe: builds the reference exactly once (std::call_once).
   void ensure_reference() const;
+  void build_reference() const;
 
   const workload::SceneWorkload& wl_;
+  mutable std::once_flag ref_once_;
   mutable std::vector<LayerRef> ref_;
   mutable Tensor x_ref_final_;
-  mutable bool ref_built_ = false;
 };
 
 }  // namespace defa::core

@@ -1,0 +1,382 @@
+// Tests for the public API layer: request validation, the Engine's shared
+// context cache, batched-vs-sequential determinism, the experiment
+// registry and JSON round-tripping.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/engine.h"
+#include "api/registry.h"
+#include "api/request.h"
+#include "api/result_io.h"
+
+namespace defa::api {
+namespace {
+
+EvalRequest tiny_request(OutputMask outputs = kFunctional) {
+  EvalRequest req;
+  req.preset = "tiny";
+  req.outputs = outputs;
+  return req;
+}
+
+// ----------------------------------------------------------------------- Json
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null"), Json());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"a\\nb\\u0041\"").as_string(), "a\nbA");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  EXPECT_EQ(j.dump(), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(Json, NumbersRoundTripBitExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789, -0.0215}) {
+    Json j = Json::object();
+    j["v"] = v;
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back.at("v").as_number(), v);
+  }
+}
+
+TEST(Json, NestedStructuresRoundTrip) {
+  Json j = Json::object();
+  j["list"] = Json::array();
+  j["list"].push_back(Json(1.5));
+  j["list"].push_back(Json("two"));
+  j["list"].push_back(Json());
+  j["nested"] = Json::object();
+  j["nested"]["flag"] = true;
+  const Json back = Json::parse(j.dump(2));
+  EXPECT_EQ(back, j);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), CheckError);
+  EXPECT_THROW((void)Json::parse("{"), CheckError);
+  EXPECT_THROW((void)Json::parse("[1,]"), CheckError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,}"), CheckError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), CheckError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,\"a\":2}"), CheckError);
+  EXPECT_THROW((void)Json::parse("nul"), CheckError);
+  // RFC 8259 number strictness (strtod alone would accept all of these).
+  EXPECT_THROW((void)Json::parse("01"), CheckError);
+  EXPECT_THROW((void)Json::parse(".5"), CheckError);
+  EXPECT_THROW((void)Json::parse("1."), CheckError);
+  EXPECT_THROW((void)Json::parse("1e"), CheckError);
+  EXPECT_THROW((void)Json::parse("-"), CheckError);
+  EXPECT_EQ(Json::parse("0.5e+2").as_number(), 50.0);
+}
+
+// ----------------------------------------------------------- request validation
+
+TEST(EvalRequest, UnknownPresetThrows) {
+  EvalRequest req;
+  req.preset = "resnet50";
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, NeitherPresetNorModelThrows) {
+  EvalRequest req;
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, BothPresetAndModelThrows) {
+  EvalRequest req;
+  req.preset = "tiny";
+  req.model = ModelConfig::tiny();
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, EmptyOutputMaskThrows) {
+  EvalRequest req = tiny_request(0);
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, UnknownOutputBitsThrow) {
+  EvalRequest req = tiny_request(kAllOutputs | (1u << 17));
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, BadPruneParametersThrow) {
+  EvalRequest req = tiny_request();
+  req.prune = core::PruneConfig::only_quant(40);
+  EXPECT_THROW(req.validate(), CheckError);
+
+  req.prune = core::PruneConfig::only_pap(1.5);
+  EXPECT_THROW(req.validate(), CheckError);
+
+  req.prune = core::PruneConfig::only_fwp(-0.1);
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, BadSceneThrows) {
+  EvalRequest req = tiny_request();
+  workload::SceneParams sp;
+  sp.n_objects = 0;
+  req.scene = sp;
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, MalformedCustomModelThrows) {
+  EvalRequest req;
+  req.model = ModelConfig::tiny();
+  req.model->n_heads = 3;  // d_model not divisible
+  EXPECT_THROW(req.validate(), CheckError);
+}
+
+TEST(EvalRequest, ValidRequestPasses) {
+  EXPECT_NO_THROW(tiny_request(kAllOutputs).validate());
+}
+
+TEST(Engine, RunRejectsInvalidRequest) {
+  Engine engine;
+  EvalRequest req;
+  req.preset = "nope";
+  EXPECT_THROW((void)engine.run(req), CheckError);
+}
+
+// --------------------------------------------------------------- context cache
+
+TEST(Engine, ContextCacheHitsForIdenticalWorkload) {
+  Engine engine;
+  const ModelConfig m = ModelConfig::tiny();
+  const auto a = engine.context(m);
+  const auto b = engine.context(m);
+  EXPECT_EQ(a.get(), b.get());  // same shared context object
+  EXPECT_EQ(engine.cached_contexts(), 1u);
+
+  // A different scene is a different workload.
+  workload::SceneParams sp;
+  sp.seed = m.seed + 1;
+  const auto c = engine.context(m, sp);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(engine.cached_contexts(), 2u);
+}
+
+TEST(Engine, RepeatedRequestsReturnIdenticalResults) {
+  Engine engine;
+  const EvalRequest req = tiny_request(kAllOutputs);
+  const EvalResult first = engine.run(req);
+  const EvalResult second = engine.run(req);
+  EXPECT_EQ(first, second);
+  EXPECT_GE(engine.memoized_results(), 1u);
+  EXPECT_EQ(engine.cached_contexts(), 1u);
+}
+
+TEST(Engine, MemoizationCanBeDisabled) {
+  Engine::Options opts;
+  opts.memoize_results = false;
+  Engine engine(opts);
+  const EvalRequest req = tiny_request();
+  const EvalResult first = engine.run(req);
+  const EvalResult second = engine.run(req);
+  EXPECT_EQ(first, second);  // deterministic even without the memo
+  EXPECT_EQ(engine.memoized_results(), 0u);
+}
+
+// ---------------------------------------------------------- batch determinism
+
+TEST(Engine, BatchMatchesSequentialBitwise) {
+  // Distinct engines so the batched run cannot serve memoized copies of
+  // the sequential results.
+  Engine sequential_engine;
+  Engine::Options opts;
+  opts.max_parallel_requests = 4;
+  Engine batch_engine(opts);
+
+  std::vector<EvalRequest> requests;
+  requests.push_back(tiny_request(kAllOutputs));
+  {
+    EvalRequest req = tiny_request(kFunctional | kAccuracy);
+    req.prune = core::PruneConfig::only_pap(0.05);
+    requests.push_back(req);
+  }
+  {
+    EvalRequest req = tiny_request();
+    req.prune = core::PruneConfig::only_fwp(0.8);
+    requests.push_back(req);
+  }
+  {
+    EvalRequest req = tiny_request(kFunctional | kLatency);
+    req.prune = core::PruneConfig::baseline();
+    requests.push_back(req);
+  }
+  // Duplicate of request 0: must come back identical, served from cache.
+  requests.push_back(tiny_request(kAllOutputs));
+
+  std::vector<EvalResult> expected;
+  expected.reserve(requests.size());
+  for (const EvalRequest& r : requests) expected.push_back(sequential_engine.run(r));
+
+  const std::vector<EvalResult> actual = batch_engine.run_batch(requests);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "request " << i;
+  }
+  // All five requests share one workload context.
+  EXPECT_EQ(batch_engine.cached_contexts(), 1u);
+}
+
+TEST(Engine, MultiBenchmarkBatchMatchesSequential) {
+  // Two different workloads in one batch (the paper-benchmark sweep shape,
+  // at test scale): per-request results must equal sequential runs and
+  // each workload gets exactly one shared context.
+  Engine sequential_engine;
+  Engine batch_engine;
+
+  std::vector<EvalRequest> requests;
+  for (const char* preset : {"tiny", "small"}) {
+    EvalRequest req;
+    req.preset = preset;
+    req.outputs = kFunctional | kLatency;
+    requests.push_back(std::move(req));
+  }
+
+  std::vector<EvalResult> expected;
+  for (const EvalRequest& r : requests) expected.push_back(sequential_engine.run(r));
+  const std::vector<EvalResult> actual = batch_engine.run_batch(requests);
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << requests[i].preset;
+  }
+  EXPECT_EQ(batch_engine.cached_contexts(), 2u);
+}
+
+TEST(Engine, BatchValidatesEveryRequestUpFront) {
+  Engine engine;
+  std::vector<EvalRequest> requests = {tiny_request()};
+  EvalRequest bad;
+  bad.preset = "bogus";
+  requests.push_back(bad);
+  EXPECT_THROW((void)engine.run_batch(requests), CheckError);
+}
+
+TEST(Engine, EmptyBatchIsFine) {
+  Engine engine;
+  EXPECT_TRUE(engine.run_batch({}).empty());
+}
+
+// -------------------------------------------------------------------- registry
+
+TEST(Registry, EnumeratesAllBuiltinExperiments) {
+  register_builtin_experiments();
+  register_builtin_experiments();  // idempotent
+  const Registry& r = Registry::instance();
+  EXPECT_EQ(r.size(), 12u);
+
+  const std::vector<std::string> expected = {
+      "ablation_prune_sweep", "ablation_range_narrowing", "ablation_scaling",
+      "fig1b", "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9",
+      "microbench", "table1"};
+  EXPECT_EQ(r.names(), expected);
+
+  for (const std::string& name : r.names()) {
+    const Experiment* e = r.find(name);
+    ASSERT_NE(e, nullptr) << name;
+    EXPECT_FALSE(e->title.empty()) << name;
+    EXPECT_FALSE(e->description.empty()) << name;
+    EXPECT_TRUE(static_cast<bool>(e->run)) << name;
+  }
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+  register_builtin_experiments();
+  EXPECT_EQ(Registry::instance().find("fig42"), nullptr);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  register_builtin_experiments();
+  Experiment dup;
+  dup.name = "fig1b";
+  dup.run = [](Engine&, std::ostream&) { return Json::object(); };
+  EXPECT_THROW(Registry::instance().add(std::move(dup)), CheckError);
+}
+
+TEST(Registry, RunExperimentProducesTablesAndJson) {
+  Engine engine;
+  std::ostringstream out;
+  // fig1b is analytic (no heavyweight context), cheap even at paper scale.
+  const Json j = run_experiment(engine, "fig1b", out);
+  EXPECT_EQ(j.at("experiment").as_string(), "fig1b");
+  EXPECT_FALSE(j.at("title").as_string().empty());
+  ASSERT_EQ(j.at("rows").size(), 3u);
+  EXPECT_NE(out.str().find("MSGS"), std::string::npos);
+  // The emitted JSON survives a round trip.
+  EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(Registry, RunUnknownExperimentThrows) {
+  Engine engine;
+  std::ostringstream out;
+  EXPECT_THROW((void)run_experiment(engine, "fig42", out), CheckError);
+}
+
+// ------------------------------------------------------------ JSON round trip
+
+TEST(EvalResult, JsonRoundTripIsLossless) {
+  Engine engine;
+  const EvalResult original = engine.run(tiny_request(kAllOutputs));
+  ASSERT_TRUE(original.functional.has_value());
+  ASSERT_TRUE(original.latency.has_value());
+  ASSERT_TRUE(original.energy.has_value());
+  ASSERT_TRUE(original.accuracy.has_value());
+
+  const std::string text = to_json(original).dump(2);
+  const EvalResult back = eval_result_from_json(Json::parse(text));
+  EXPECT_EQ(back, original);
+}
+
+TEST(EvalResult, JsonSectionsMirrorOutputMask) {
+  Engine engine;
+  const EvalResult r = engine.run(tiny_request(kFunctional));
+  const Json j = to_json(r);
+  EXPECT_TRUE(j.contains("functional"));
+  EXPECT_FALSE(j.contains("latency"));
+  EXPECT_FALSE(j.contains("energy"));
+  EXPECT_FALSE(j.contains("accuracy"));
+
+  const EvalResult back = eval_result_from_json(j);
+  EXPECT_EQ(back, r);
+}
+
+// --------------------------------------------------------------- sanity checks
+
+TEST(Engine, FunctionalSectionMatchesSeedExpectations) {
+  Engine engine;
+  const EvalResult r = engine.run(tiny_request(kAllOutputs));
+  const FunctionalStats& f = *r.functional;
+  EXPECT_EQ(r.benchmark, "tiny");
+  EXPECT_GT(f.point_reduction, 0.3);
+  EXPECT_GT(f.flop_reduction, 0.1);
+  EXPECT_GT(f.final_nrmse, 0.0);
+  EXPECT_EQ(static_cast<int>(f.layers.size()), ModelConfig::tiny().n_layers);
+  EXPECT_GT(r.latency->wall_cycles, 0.0);
+  EXPECT_GT(r.energy->total_pj(), 0.0);
+  EXPECT_GT(r.accuracy->baseline_ap, r.accuracy->proxy_ap);
+  EXPECT_EQ(r.accuracy->drops.size(), 4u);  // fwp, pap, narrow, quant
+}
+
+TEST(Engine, CustomHwConfigChangesLatency) {
+  Engine engine;
+  EvalRequest req = tiny_request(kLatency);
+  const EvalResult base = engine.run(req);
+
+  const ModelConfig m = ModelConfig::tiny();
+  HwConfig hw = HwConfig::make_default(m);
+  hw.freq_mhz = 800.0;
+  req.hw = hw;
+  const EvalResult fast = engine.run(req);
+  EXPECT_LT(fast.latency->time_ms, base.latency->time_ms);
+}
+
+}  // namespace
+}  // namespace defa::api

@@ -9,10 +9,24 @@
 namespace defa::core {
 namespace {
 
-/// Shared context so the pipeline reference is built once per test binary.
+/// Shared pool so the pipeline reference is built once per test binary
+/// (the same seam Engine requests and figure drivers go through).
+ContextPool& pool() {
+  static ContextPool p;
+  return p;
+}
+
 BenchmarkContext& small_ctx() {
-  static BenchmarkContext ctx(ModelConfig::small());
-  return ctx;
+  static std::shared_ptr<BenchmarkContext> ctx = pool().get(ModelConfig::small());
+  return *ctx;
+}
+
+TEST(ContextPool, SameWorkloadSharesOneContext) {
+  const auto a = pool().get(ModelConfig::small());
+  const auto b = pool().get(ModelConfig::small());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a.get(), &small_ctx());
+  EXPECT_GE(pool().size(), 1u);
 }
 
 TEST(BenchmarkContext, DefaResultReproducesPipelineBands) {

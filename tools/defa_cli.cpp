@@ -1,0 +1,114 @@
+// defa_cli — one driver for every registered experiment.
+//
+//   defa_cli list                         enumerate experiments
+//   defa_cli run <name>... [--json FILE]  run experiments (tables to stdout,
+//                                         combined JSON optionally to FILE)
+//   defa_cli run --all [--json FILE]      run everything
+//   defa_cli validate FILE                parse a JSON file emitted by run
+//
+// All experiments share one Engine, so e.g. `defa_cli run fig6b fig9 table1`
+// builds each benchmark workload exactly once.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/registry.h"
+#include "api/result_io.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " list\n"
+            << "       " << argv0 << " run <name>... [--json FILE]\n"
+            << "       " << argv0 << " run --all [--json FILE]\n"
+            << "       " << argv0 << " validate FILE\n";
+  return 2;
+}
+
+int cmd_list() {
+  defa::api::register_builtin_experiments();
+  const defa::api::Registry& registry = defa::api::Registry::instance();
+  for (const std::string& name : registry.names()) {
+    const defa::api::Experiment* e = registry.find(name);
+    std::cout << name << "\n    " << e->title << "\n    " << e->description << "\n";
+  }
+  std::cout << registry.size() << " experiments\n";
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::vector<std::string> names;
+  std::string json_path;
+  bool all = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      if (i + 1 >= args.size()) return usage("defa_cli");
+      json_path = args[++i];
+    } else if (args[i] == "--all") {
+      all = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "unknown option '" << args[i] << "'\n";
+      return 2;
+    } else {
+      names.push_back(args[i]);
+    }
+  }
+  defa::api::register_builtin_experiments();
+  if (all) names = defa::api::Registry::instance().names();
+  if (names.empty()) {
+    std::cerr << "run: no experiment names given (try 'defa_cli list')\n";
+    return 2;
+  }
+
+  defa::api::Engine engine;
+  defa::api::Json combined = defa::api::Json::object();
+  for (const std::string& name : names) {
+    combined[name] = defa::api::run_experiment(engine, name, std::cout);
+    std::cout << "\n";
+  }
+  if (!json_path.empty()) {
+    // A single experiment writes its object directly; several write a map.
+    defa::api::write_json_file(json_path,
+                               names.size() == 1 ? combined.at(names[0]) : combined);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  const defa::api::Json j = defa::api::read_json_file(path);
+  std::cout << path << ": valid JSON ("
+            << (j.is_object() ? std::to_string(j.size()) + " top-level keys"
+                              : std::string("non-object root"))
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "validate") {
+      if (args.size() != 1) return usage(argv[0]);
+      return cmd_validate(args[0]);
+    }
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage(argv[0]);
+}
