@@ -1,10 +1,9 @@
 #include "api/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/parallel.h"
+#include "serve/thread_pool.h"
 
 namespace defa::api {
 
@@ -55,42 +54,21 @@ std::vector<EvalResult> Engine::run_batch(const std::vector<EvalRequest>& reques
   std::vector<EvalResult> results(requests.size());
   const int cap = options_.max_parallel_requests > 0 ? options_.max_parallel_requests
                                                      : hardware_threads();
-  const auto workers =
-      static_cast<int>(std::min<std::int64_t>(n, static_cast<std::int64_t>(cap)));
 
-  if (workers <= 1) {
+  if (cap <= 1 || n <= 1) {
     for (std::int64_t i = 0; i < n; ++i) {
       results[static_cast<std::size_t>(i)] = run(requests[static_cast<std::size_t>(i)]);
     }
     return results;
   }
 
-  // Work-stealing over request indices: each result slot is written by
-  // exactly one worker, so the output is deterministic regardless of the
-  // interleaving.  Exceptions propagate to the caller.
-  std::atomic<std::int64_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mu;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      while (true) {
-        const std::int64_t i = next.fetch_add(1);
-        if (i >= n) return;
-        try {
-          results[static_cast<std::size_t>(i)] =
-              run(requests[static_cast<std::size_t>(i)]);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!error) error = std::current_exception();
-          return;
-        }
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  // Fan the requests over the shared persistent pool (no per-call thread
+  // spawning).  Each result slot is written by exactly one executor, so
+  // the output is deterministic regardless of the interleaving; the first
+  // exception propagates to the caller after all requests settle.
+  serve::ThreadPool::global().run_indexed(n, cap, [&](std::int64_t i) {
+    results[static_cast<std::size_t>(i)] = run(requests[static_cast<std::size_t>(i)]);
+  });
   return results;
 }
 

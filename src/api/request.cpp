@@ -1,6 +1,7 @@
 #include "api/request.h"
 
 #include <cmath>
+#include <initializer_list>
 
 #include "core/experiments.h"
 
@@ -121,6 +122,184 @@ Json hw_to_json(const HwConfig& hw) {
   j["dram_pj_per_bit"] = hw.dram_pj_per_bit;
   j["tiles"] = hw.tiles;
   return j;
+}
+
+// ---- strict request parsing (the defa_serve wire format) -------------------
+
+void check_known_keys(const Json& j, const char* what,
+                      std::initializer_list<const char*> keys) {
+  for (const auto& [key, value] : j.members()) {
+    bool known = false;
+    for (const char* k : keys) known = known || key == k;
+    DEFA_CHECK(known, std::string(what) + ": unknown key '" + key + "'");
+  }
+}
+
+RangeSpec ranges_from_json(const Json& arr, const char* what) {
+  DEFA_CHECK(arr.is_array(), std::string(what) + ": range_radii must be an array");
+  DEFA_CHECK(arr.size() <= static_cast<std::size_t>(kMaxLevels),
+             std::string(what) + ": range_radii has more than kMaxLevels entries");
+  RangeSpec rs;
+  rs.used_levels = static_cast<int>(arr.size());
+  for (std::size_t l = 0; l < arr.size(); ++l) {
+    rs.radius_px[l] = static_cast<int>(arr.at(l).as_int());
+  }
+  return rs;
+}
+
+ModelConfig model_from_json(const Json& j) {
+  check_known_keys(j, "EvalRequest.model",
+                   {"name", "d_model", "n_heads", "n_levels", "n_points", "n_layers",
+                    "levels", "baseline_ap", "seed"});
+  ModelConfig m;
+  m.name = j.at("name").as_string();
+  if (const Json* v = j.find("d_model")) m.d_model = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("n_heads")) m.n_heads = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("n_levels")) m.n_levels = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("n_points")) m.n_points = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("n_layers")) m.n_layers = static_cast<int>(v->as_int());
+  for (const Json& shape : j.at("levels").items()) {
+    DEFA_CHECK(shape.is_array() && shape.size() == 2,
+               "EvalRequest.model: each level must be an [h, w] pair");
+    LevelShape lv;
+    lv.h = static_cast<int>(shape.at(std::size_t{0}).as_int());
+    lv.w = static_cast<int>(shape.at(std::size_t{1}).as_int());
+    m.levels.push_back(lv);
+  }
+  if (const Json* v = j.find("baseline_ap")) m.baseline_ap = v->as_number();
+  if (const Json* v = j.find("seed")) {
+    m.seed = static_cast<std::uint64_t>(v->as_int());
+  }
+  return m;
+}
+
+workload::SceneParams scene_from_json(const Json& j) {
+  check_known_keys(
+      j, "EvalRequest.scene",
+      {"n_objects", "object_sigma_min", "object_sigma_max", "feature_noise",
+       "background_level", "logit_gain", "logit_noise", "seek_fraction",
+       "seek_strength", "seek_cap_px", "ring_scale_px", "offset_sigma_px",
+       "tail_prob", "tail_scale", "layer_jitter", "seed"});
+  workload::SceneParams p;
+  if (const Json* v = j.find("n_objects")) p.n_objects = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("object_sigma_min")) p.object_sigma_min = v->as_number();
+  if (const Json* v = j.find("object_sigma_max")) p.object_sigma_max = v->as_number();
+  if (const Json* v = j.find("feature_noise")) p.feature_noise = v->as_number();
+  if (const Json* v = j.find("background_level")) p.background_level = v->as_number();
+  if (const Json* v = j.find("logit_gain")) p.logit_gain = v->as_number();
+  if (const Json* v = j.find("logit_noise")) p.logit_noise = v->as_number();
+  if (const Json* v = j.find("seek_fraction")) p.seek_fraction = v->as_number();
+  if (const Json* v = j.find("seek_strength")) p.seek_strength = v->as_number();
+  if (const Json* v = j.find("seek_cap_px")) p.seek_cap_px = v->as_number();
+  if (const Json* v = j.find("ring_scale_px")) p.ring_scale_px = v->as_number();
+  if (const Json* v = j.find("offset_sigma_px")) {
+    DEFA_CHECK(v->is_array() &&
+                   v->size() <= static_cast<std::size_t>(kMaxLevels),
+               "EvalRequest.scene: offset_sigma_px must be an array of <= "
+               "kMaxLevels numbers");
+    for (std::size_t l = 0; l < v->size(); ++l) {
+      p.offset_sigma_px[l] = v->at(l).as_number();
+    }
+  }
+  if (const Json* v = j.find("tail_prob")) p.tail_prob = v->as_number();
+  if (const Json* v = j.find("tail_scale")) p.tail_scale = v->as_number();
+  if (const Json* v = j.find("layer_jitter")) p.layer_jitter = v->as_number();
+  if (const Json* v = j.find("seed")) p.seed = static_cast<std::uint64_t>(v->as_int());
+  return p;
+}
+
+core::PruneConfig prune_from_json(const Json& j) {
+  check_known_keys(j, "EvalRequest.prune",
+                   {"label", "pap", "pap_tau", "fwp", "fwp_k", "narrow",
+                    "range_radii", "quantize", "bits"});
+  core::PruneConfig c;
+  if (const Json* v = j.find("label")) c.label = v->as_string();
+  if (const Json* v = j.find("pap")) c.pap = v->as_bool();
+  if (const Json* v = j.find("pap_tau")) c.pap_tau = v->as_number();
+  if (const Json* v = j.find("fwp")) c.fwp = v->as_bool();
+  if (const Json* v = j.find("fwp_k")) c.fwp_k = v->as_number();
+  if (const Json* v = j.find("narrow")) c.narrow = v->as_bool();
+  if (const Json* v = j.find("range_radii")) {
+    c.ranges = ranges_from_json(*v, "EvalRequest.prune");
+  }
+  if (const Json* v = j.find("quantize")) c.quantize = v->as_bool();
+  if (const Json* v = j.find("bits")) c.bits = static_cast<int>(v->as_int());
+  return c;
+}
+
+HwConfig hw_from_json(const Json& j, HwConfig hw) {
+  check_known_keys(
+      j, "EvalRequest.hw",
+      {"pe_lanes", "pe_macs_per_lane", "ba_point_units", "ba_channels_per_cycle",
+       "sram_banks", "freq_mhz", "act_bits", "weight_bits", "range_radii",
+       "parallelism", "act_streaming", "operator_fusion", "fmap_reuse",
+       "conflict_penalty_cycles", "mode_switch_cycles", "dram_gbps",
+       "dram_pj_per_bit", "tiles"});
+  if (const Json* v = j.find("pe_lanes")) hw.pe_lanes = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("pe_macs_per_lane")) {
+    hw.pe_macs_per_lane = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("ba_point_units")) {
+    hw.ba_point_units = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("ba_channels_per_cycle")) {
+    hw.ba_channels_per_cycle = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("sram_banks")) hw.sram_banks = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("freq_mhz")) hw.freq_mhz = v->as_number();
+  if (const Json* v = j.find("act_bits")) hw.act_bits = static_cast<int>(v->as_int());
+  if (const Json* v = j.find("weight_bits")) {
+    hw.weight_bits = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("range_radii")) {
+    hw.ranges = ranges_from_json(*v, "EvalRequest.hw");
+  }
+  if (const Json* v = j.find("parallelism")) {
+    const std::string& s = v->as_string();
+    DEFA_CHECK(s == "inter_level" || s == "intra_level",
+               "EvalRequest.hw: parallelism must be inter_level | intra_level");
+    hw.parallelism =
+        s == "inter_level" ? MsgsParallelism::kInterLevel : MsgsParallelism::kIntraLevel;
+  }
+  if (const Json* v = j.find("act_streaming")) {
+    const std::string& s = v->as_string();
+    DEFA_CHECK(s == "stream_once" || s == "restream_per_col_tile",
+               "EvalRequest.hw: act_streaming must be stream_once | "
+               "restream_per_col_tile");
+    hw.act_streaming = s == "stream_once" ? ActStreaming::kStreamOncePerPhase
+                                          : ActStreaming::kRestreamPerColTile;
+  }
+  if (const Json* v = j.find("operator_fusion")) hw.enable_operator_fusion = v->as_bool();
+  if (const Json* v = j.find("fmap_reuse")) hw.enable_fmap_reuse = v->as_bool();
+  if (const Json* v = j.find("conflict_penalty_cycles")) {
+    hw.conflict_penalty_cycles = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("mode_switch_cycles")) {
+    hw.mode_switch_cycles = static_cast<int>(v->as_int());
+  }
+  if (const Json* v = j.find("dram_gbps")) hw.dram_gbps = v->as_number();
+  if (const Json* v = j.find("dram_pj_per_bit")) hw.dram_pj_per_bit = v->as_number();
+  if (const Json* v = j.find("tiles")) hw.tiles = static_cast<int>(v->as_int());
+  return hw;
+}
+
+OutputMask outputs_from_json(const Json& j) {
+  if (j.is_array()) {
+    OutputMask mask = 0;
+    for (const Json& name : j.items()) {
+      bool found = false;
+      for (const auto& [known, bit] : output_names()) {
+        if (name.as_string() == known) {
+          mask |= bit;
+          found = true;
+        }
+      }
+      DEFA_CHECK(found, "EvalRequest: unknown output section '" + name.as_string() +
+                            "' (known: functional, latency, energy, accuracy)");
+    }
+    return mask;
+  }
+  return static_cast<OutputMask>(j.as_int());
 }
 
 }  // namespace
@@ -421,6 +600,41 @@ EvalResult eval_result_from_json(const Json& j) {
     r.accuracy = std::move(a);
   }
 
+  return r;
+}
+
+Json to_json(const EvalRequest& r) {
+  Json j = Json::object();
+  if (!r.preset.empty()) j["preset"] = r.preset;
+  if (r.model.has_value()) j["model"] = model_to_json(*r.model);
+  if (r.scene.has_value()) j["scene"] = scene_to_json(*r.scene);
+  if (r.prune.has_value()) j["prune"] = prune_to_json(*r.prune);
+  if (r.hw.has_value()) j["hw"] = hw_to_json(*r.hw);
+  Json outs = Json::array();
+  for (const auto& [name, bit] : output_names()) {
+    if ((r.outputs & bit) != 0) outs.push_back(name);
+  }
+  j["outputs"] = std::move(outs);
+  return j;
+}
+
+EvalRequest eval_request_from_json(const Json& j) {
+  DEFA_CHECK(j.is_object(), "EvalRequest: JSON root must be an object");
+  check_known_keys(j, "EvalRequest",
+                   {"preset", "model", "scene", "prune", "hw", "outputs"});
+  EvalRequest r;
+  if (const Json* p = j.find("preset")) r.preset = p->as_string();
+  if (const Json* m = j.find("model")) r.model = model_from_json(*m);
+  DEFA_CHECK(!r.preset.empty() != r.model.has_value(),
+             "EvalRequest: set exactly one of {preset, model}");
+  if (const Json* s = j.find("scene")) r.scene = scene_from_json(*s);
+  if (const Json* p = j.find("prune")) r.prune = prune_from_json(*p);
+  if (const Json* h = j.find("hw")) {
+    // Partial hw objects overlay the model's default configuration, so a
+    // request can flip one toggle without restating the whole machine.
+    r.hw = hw_from_json(*h, HwConfig::make_default(r.resolve_model()));
+  }
+  if (const Json* o = j.find("outputs")) r.outputs = outputs_from_json(*o);
   return r;
 }
 

@@ -200,4 +200,17 @@ struct EvalResult {
 [[nodiscard]] Json to_json(const EvalResult& r);
 [[nodiscard]] EvalResult eval_result_from_json(const Json& j);
 
+/// Request serialization (the wire format of `defa_serve`).  Writes only
+/// the fields the request sets: a "preset" or full "model" object, then
+/// optional "scene"/"prune"/"hw" objects and "outputs" as an array of
+/// section names.
+[[nodiscard]] Json to_json(const EvalRequest& r);
+
+/// Strict parse of the request wire format: unknown keys throw, partial
+/// "scene"/"prune" objects overlay their defaults, a partial "hw" object
+/// overlays `HwConfig::make_default` for the request's model, and
+/// "outputs" accepts either an array of names or an integer mask.  The
+/// returned request is NOT yet validated (call `validate()`).
+[[nodiscard]] EvalRequest eval_request_from_json(const Json& j);
+
 }  // namespace defa::api

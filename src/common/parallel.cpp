@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <thread>
-#include <vector>
 
 #include "common/check.h"
+#include "serve/thread_pool.h"
 
 namespace defa {
 
@@ -19,19 +19,22 @@ void parallel_for(std::int64_t begin, std::int64_t end,
   DEFA_CHECK(begin <= end, "parallel_for: inverted range");
   const std::int64_t n = end - begin;
   if (n == 0) return;
-  const int threads = hardware_threads();
-  if (n < min_parallel || threads == 1) {
+  serve::ThreadPool& pool = serve::ThreadPool::global();
+  const int concurrency = pool.size() + 1;  // workers + the calling thread
+  if (n < min_parallel || concurrency <= 1) {
     chunk_fn(begin, end);
     return;
   }
-  const std::int64_t chunk = (n + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (std::int64_t lo = begin; lo < end; lo += chunk) {
-    const std::int64_t hi = std::min(lo + chunk, end);
-    workers.emplace_back([&chunk_fn, lo, hi] { chunk_fn(lo, hi); });
-  }
-  for (auto& w : workers) w.join();
+  // A few chunks per executor: dynamic grabbing load-balances uneven work,
+  // and chunk boundaries depend only on (n, concurrency) so any
+  // index-disjoint writes land identically regardless of scheduling.
+  const std::int64_t max_chunks = static_cast<std::int64_t>(concurrency) * 4;
+  const std::int64_t chunk = (n + max_chunks - 1) / max_chunks;
+  const std::int64_t n_chunks = (n + chunk - 1) / chunk;
+  pool.run_indexed(n_chunks, concurrency, [&](std::int64_t c) {
+    const std::int64_t lo = begin + c * chunk;
+    chunk_fn(lo, std::min(lo + chunk, end));
+  });
 }
 
 }  // namespace defa

@@ -1,0 +1,159 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace defa::serve {
+
+// ---------------------------------------------------------- LatencyHistogram
+
+int LatencyHistogram::bucket_of(double ms) {
+  if (!(ms > kLowestMs)) return 0;
+  const int b = static_cast<int>(std::log(ms / kLowestMs) / std::log(kGrowth)) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+void LatencyHistogram::record(double ms) {
+  DEFA_CHECK(std::isfinite(ms) && ms >= 0, "LatencyHistogram: bad latency value");
+  ++buckets_[static_cast<std::size_t>(bucket_of(ms))];
+  if (count_ == 0) {
+    min_ = max_ = ms;
+  } else {
+    min_ = std::min(min_, ms);
+    max_ = std::max(max_, ms);
+  }
+  ++count_;
+  sum_ += ms;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  DEFA_CHECK(p >= 0 && p <= 100, "LatencyHistogram: percentile out of [0, 100]");
+  if (count_ == 0) return 0.0;
+  // Nearest-rank on the cumulative bucket counts.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      // Geometric midpoint of the bucket's bounds, clamped to observations.
+      const double lo = b == 0 ? kLowestMs : kLowestMs * std::pow(kGrowth, b - 1);
+      const double mid = b == 0 ? kLowestMs / 2 : lo * std::sqrt(kGrowth);
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+api::Json LatencyHistogram::to_json() const {
+  api::Json j = api::Json::object();
+  j["count"] = static_cast<double>(count_);
+  j["mean_ms"] = mean();
+  j["min_ms"] = min();
+  j["max_ms"] = max();
+  j["p50_ms"] = percentile(50);
+  j["p95_ms"] = percentile(95);
+  j["p99_ms"] = percentile(99);
+  return j;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] += other.buckets_[static_cast<std::size_t>(b)];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+// ----------------------------------------------------------- MetricsSnapshot
+
+api::Json MetricsSnapshot::to_json() const {
+  api::Json j = api::Json::object();
+  j["submitted"] = static_cast<double>(submitted);
+  j["completed_ok"] = static_cast<double>(completed_ok);
+  j["rejected_overload"] = static_cast<double>(rejected_overload);
+  j["rejected_deadline"] = static_cast<double>(rejected_deadline);
+  j["errors"] = static_cast<double>(errors);
+  j["in_flight"] = static_cast<double>(in_flight);
+  j["queue_depth"] = static_cast<double>(queue_depth);
+  j["uptime_ms"] = uptime_ms;
+  j["qps"] = qps;
+  j["queue_ms"] = queue_ms.to_json();
+  j["run_ms"] = run_ms.to_json();
+  j["total_ms"] = total_ms.to_json();
+  api::Json per = api::Json::object();
+  for (const auto& [name, n] : per_benchmark) per[name] = static_cast<double>(n);
+  j["per_benchmark"] = std::move(per);
+  return j;
+}
+
+// ------------------------------------------------------------- ServerMetrics
+
+ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+void ServerMetrics::on_submitted() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.submitted;
+}
+
+void ServerMetrics::on_rejected_overload() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.rejected_overload;
+}
+
+void ServerMetrics::on_rejected_deadline(double queue_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.rejected_deadline;
+  data_.queue_ms.record(queue_ms);
+}
+
+void ServerMetrics::on_completed(const std::string& benchmark, double queue_ms,
+                                 double run_ms, double total_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.completed_ok;
+  data_.queue_ms.record(queue_ms);
+  data_.run_ms.record(run_ms);
+  data_.total_ms.record(total_ms);
+  for (auto& [name, n] : data_.per_benchmark) {
+    if (name == benchmark) {
+      ++n;
+      return;
+    }
+  }
+  data_.per_benchmark.emplace_back(benchmark, 1);
+}
+
+void ServerMetrics::on_error(double queue_ms, double run_ms, double total_ms) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.errors;
+  data_.queue_ms.record(queue_ms);
+  data_.run_ms.record(run_ms);
+  data_.total_ms.record(total_ms);
+}
+
+MetricsSnapshot ServerMetrics::snapshot(std::size_t queue_depth,
+                                        std::int64_t in_flight) const {
+  MetricsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap = data_;
+  }
+  snap.queue_depth = queue_depth;
+  snap.in_flight = in_flight;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  snap.uptime_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed)
+          .count();
+  snap.qps = snap.uptime_ms > 0
+                 ? static_cast<double>(snap.completed_ok) / (snap.uptime_ms / 1e3)
+                 : 0.0;
+  return snap;
+}
+
+}  // namespace defa::serve

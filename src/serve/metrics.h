@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file metrics.h
+/// Online serving metrics: log-scale latency histograms with percentile
+/// readout, throughput/QPS, an in-flight gauge and per-benchmark request
+/// counters.  `serve::Server` feeds one `ServerMetrics` instance as it
+/// admits, rejects and completes requests; `snapshot()` freezes a
+/// consistent view that serializes to JSON for `defa_serve --metrics` and
+/// the `defa_loadgen` report.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/result_io.h"
+
+namespace defa::serve {
+
+/// Fixed-memory log-scale histogram of latencies in milliseconds.
+/// Buckets grow geometrically from `kLowestMs` by `kGrowth` per bucket, so
+/// the same 96 counters resolve microseconds and minutes with bounded
+/// (~10%) relative quantization error on the percentile readout.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr double kLowestMs = 1e-3;
+  static constexpr double kGrowth = 1.22;
+
+  void record(double ms);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Latency (ms) at percentile `p` in [0, 100]; 0 when empty.  Reads the
+  /// geometric midpoint of the bucket holding the rank, clamped to the
+  /// exact observed [min, max].
+  [[nodiscard]] double percentile(double p) const;
+
+  /// {count, mean_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms}
+  [[nodiscard]] api::Json to_json() const;
+
+  void merge(const LatencyHistogram& other);
+
+ private:
+  [[nodiscard]] static int bucket_of(double ms);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Frozen, consistent view of a ServerMetrics instance.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed_ok = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t errors = 0;
+  std::int64_t in_flight = 0;     ///< admitted, response not yet delivered
+  std::size_t queue_depth = 0;    ///< waiting for dispatch at snapshot time
+  double uptime_ms = 0;
+  double qps = 0;                 ///< completed_ok / uptime
+  LatencyHistogram queue_ms;      ///< admission -> dispatch
+  LatencyHistogram run_ms;        ///< evaluation only
+  LatencyHistogram total_ms;      ///< admission -> response
+  /// (benchmark name, completed-ok count) in first-seen order.
+  std::vector<std::pair<std::string, std::uint64_t>> per_benchmark;
+
+  [[nodiscard]] api::Json to_json() const;
+};
+
+/// Thread-safe metrics sink.  All mutators are O(1) under one mutex; the
+/// Server calls them outside its own scheduling lock.
+class ServerMetrics {
+ public:
+  ServerMetrics();
+
+  void on_submitted();
+  void on_rejected_overload();
+  void on_rejected_deadline(double queue_ms);
+  void on_completed(const std::string& benchmark, double queue_ms, double run_ms,
+                    double total_ms);
+  void on_error(double queue_ms, double run_ms, double total_ms);
+
+  [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth,
+                                         std::int64_t in_flight) const;
+
+ private:
+  mutable std::mutex mu_;
+  MetricsSnapshot data_;  // queue_depth/in_flight/uptime/qps filled at snapshot
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace defa::serve

@@ -1,0 +1,212 @@
+#include "serve/scheduler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace defa::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a)
+      .count();
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "normal";
+}
+
+std::optional<Priority> priority_from_name(const std::string& name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "low") return Priority::kLow;
+  return std::nullopt;
+}
+
+const char* status_name(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kRejectedOverload: return "rejected_overload";
+    case ResponseStatus::kRejectedDeadline: return "rejected_deadline";
+    case ResponseStatus::kError: return "error";
+    case ResponseStatus::kBadRequest: return "bad_request";
+  }
+  return "error";
+}
+
+Priority Server::dispatch_slot(std::uint64_t slot) {
+  static constexpr std::array<Priority, kDispatchPatternLen> kPattern = {
+      Priority::kHigh, Priority::kHigh, Priority::kNormal, Priority::kHigh,
+      Priority::kHigh, Priority::kNormal, Priority::kLow,
+  };
+  return kPattern[static_cast<std::size_t>(slot % kDispatchPatternLen)];
+}
+
+Server::Server(ServerOptions options)
+    : options_(options), engine_(options.engine) {
+  DEFA_CHECK(options_.queue_capacity > 0, "Server: queue_capacity must be positive");
+  if (options_.max_concurrency <= 0) {
+    options_.max_concurrency = ThreadPool::global().size();
+  }
+}
+
+Server::~Server() { drain(); }
+
+std::future<ServeResponse> Server::submit(ServeRequest req) {
+  const Clock::time_point now = Clock::now();
+  if (!req.deadline.has_value() && req.timeout_ms > 0) {
+    req.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(req.timeout_ms));
+  }
+  metrics_.on_submitted();
+
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+
+  ServeResponse rejection;
+  rejection.id = req.id;
+  if (req.deadline.has_value() && *req.deadline <= now) {
+    rejection.status = ResponseStatus::kRejectedDeadline;
+    rejection.error = "deadline expired before admission";
+    metrics_.on_rejected_deadline(0.0);
+    promise.set_value(std::move(rejection));
+    return future;
+  }
+
+  bool spawn = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (queued_total_ >= options_.queue_capacity) {
+      rejection.status = ResponseStatus::kRejectedOverload;
+      rejection.error = "admission queue full (" +
+                        std::to_string(options_.queue_capacity) + " waiting)";
+      metrics_.on_rejected_overload();
+      promise.set_value(std::move(rejection));
+      return future;
+    }
+    auto& q = queues_[static_cast<std::size_t>(req.priority)];
+    q.push_back(Entry{std::move(req), std::move(promise), now});
+    ++queued_total_;
+    ++outstanding_;
+    if (active_loops_ < options_.max_concurrency) {
+      ++active_loops_;
+      spawn = true;
+    }
+  }
+  if (spawn) ThreadPool::global().submit([this] { drain_loop(); });
+  return future;
+}
+
+bool Server::pop_best_locked(Entry& out) {
+  if (queued_total_ == 0) return false;
+  const Priority preferred = dispatch_slot(dispatch_seq_++);
+  // The preferred class first, then the remaining classes best-first.
+  std::array<std::size_t, kPriorityClasses> order{};
+  std::size_t k = 0;
+  order[k++] = static_cast<std::size_t>(preferred);
+  for (std::size_t p = 0; p < kPriorityClasses; ++p) {
+    if (p != static_cast<std::size_t>(preferred)) order[k++] = p;
+  }
+  for (const std::size_t p : order) {
+    if (queues_[p].empty()) continue;
+    out = std::move(queues_[p].front());
+    queues_[p].pop_front();
+    --queued_total_;
+    return true;
+  }
+  return false;
+}
+
+void Server::drain_loop() {
+  while (true) {
+    Entry entry;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!pop_best_locked(entry)) {
+        --active_loops_;
+        // Notify while still holding mu_: once drain()'s predicate can
+        // become true the Server may be destroyed, so `this` must not be
+        // touched after the lock is released.
+        if (active_loops_ == 0 && outstanding_ == 0) idle_cv_.notify_all();
+        return;
+      }
+    }
+    process(std::move(entry));
+  }
+}
+
+void Server::process(Entry entry) {
+  const Clock::time_point dispatched = Clock::now();
+  ServeResponse resp;
+  resp.id = entry.req.id;
+  resp.queue_ms = ms_between(entry.admitted, dispatched);
+
+  if (entry.req.deadline.has_value() && *entry.req.deadline <= dispatched) {
+    resp.status = ResponseStatus::kRejectedDeadline;
+    resp.error = "deadline expired after " + std::to_string(resp.queue_ms) +
+                 " ms in queue";
+    resp.total_ms = resp.queue_ms;
+    metrics_.on_rejected_deadline(resp.queue_ms);
+    entry.promise.set_value(std::move(resp));
+    finish_one();
+    return;
+  }
+
+  try {
+    api::EvalResult result = engine_.run(entry.req.request);
+    const Clock::time_point done = Clock::now();
+    resp.run_ms = ms_between(dispatched, done);
+    resp.total_ms = ms_between(entry.admitted, done);
+    metrics_.on_completed(result.benchmark, resp.queue_ms, resp.run_ms, resp.total_ms);
+    resp.result = std::move(result);
+  } catch (const std::exception& e) {
+    const Clock::time_point done = Clock::now();
+    resp.status = ResponseStatus::kError;
+    resp.error = e.what();
+    resp.run_ms = ms_between(dispatched, done);
+    resp.total_ms = ms_between(entry.admitted, done);
+    metrics_.on_error(resp.queue_ms, resp.run_ms, resp.total_ms);
+  }
+  entry.promise.set_value(std::move(resp));
+  finish_one();
+}
+
+void Server::finish_one() {
+  // Notify under mu_ — see drain_loop for the lifetime reasoning.
+  const std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
+  if (outstanding_ == 0 && active_loops_ == 0) idle_cv_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0 && active_loops_ == 0; });
+}
+
+MetricsSnapshot Server::metrics() const {
+  std::size_t depth;
+  std::int64_t in_flight;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    depth = queued_total_;
+    in_flight = outstanding_;
+  }
+  return metrics_.snapshot(depth, in_flight);
+}
+
+std::size_t Server::queued() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+}  // namespace defa::serve

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file scheduler.h
+/// `serve::Server` — the async request scheduler on top of `api::Engine`.
+///
+/// `submit()` admits an `EvalRequest` into a bounded priority queue and
+/// returns a `std::future<ServeResponse>` immediately; evaluation happens
+/// on the shared `ThreadPool`, capped at `max_concurrency` simultaneous
+/// requests.  Scheduling properties:
+///
+///  * **Backpressure** — when `queue_capacity` requests are already
+///    waiting, new submits complete instantly with `kRejectedOverload`
+///    instead of growing the queue without bound.
+///  * **Deadlines** — a request whose deadline passed before dispatch
+///    completes with `kRejectedDeadline`; expired work is never run and
+///    never silently dropped (the future always resolves).
+///  * **Priority without starvation** — three classes (high/normal/low)
+///    are dispatched by a fixed weighted round-robin pattern
+///    (`dispatch_slot`), so under a sustained flood of high-priority
+///    traffic a low-priority request still reaches the engine within
+///    `kDispatchPatternLen` dispatches.
+///  * **Determinism** — evaluation goes through `Engine::run`, so results
+///    are bit-identical to sequential runs regardless of concurrency or
+///    dispatch order.
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "api/engine.h"
+#include "serve/metrics.h"
+#include "serve/thread_pool.h"
+
+namespace defa::serve {
+
+enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr int kPriorityClasses = 3;
+
+[[nodiscard]] const char* priority_name(Priority p);
+/// nullopt on an unknown name ("high" | "normal" | "low").
+[[nodiscard]] std::optional<Priority> priority_from_name(const std::string& name);
+
+enum class ResponseStatus {
+  kOk,
+  kRejectedOverload,  ///< bounded queue full at submit time
+  kRejectedDeadline,  ///< deadline passed before dispatch (work not run)
+  kError,             ///< evaluation threw; message in `error`
+  kBadRequest,        ///< transport-level parse failure (server_loop only)
+};
+
+[[nodiscard]] const char* status_name(ResponseStatus s);
+
+/// One unit of serving work: an Engine request plus scheduling envelope.
+struct ServeRequest {
+  std::string id;  ///< echoed back; opaque to the scheduler
+  api::EvalRequest request;
+  Priority priority = Priority::kNormal;
+  /// Relative deadline in ms from submission; <= 0 means none.
+  double timeout_ms = 0;
+  /// Absolute deadline; takes precedence over `timeout_ms` when set.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+struct ServeResponse {
+  std::string id;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;                      ///< set when status != kOk
+  std::optional<api::EvalResult> result;  ///< set when status == kOk
+  double queue_ms = 0;  ///< admission -> dispatch (or rejection)
+  double run_ms = 0;    ///< evaluation only
+  double total_ms = 0;  ///< admission -> response
+};
+
+struct ServerOptions {
+  /// Max requests evaluating at once; 0 = global pool size.
+  int max_concurrency = 0;
+  /// Bounded admission queue; submits beyond it are rejected.
+  std::size_t queue_capacity = 1024;
+  api::Engine::Options engine;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  /// Drains: blocks until every admitted request has resolved its future.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one request.  Never blocks; the returned future always
+  /// resolves, with a rejection status when the request is not run.
+  [[nodiscard]] std::future<ServeResponse> submit(ServeRequest req);
+
+  /// Block until the queue is empty and no request is evaluating.
+  void drain();
+
+  [[nodiscard]] MetricsSnapshot metrics() const;
+  [[nodiscard]] api::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] std::size_t queued() const;
+
+  /// Which priority class dispatch slot `slot` prefers (falls back to the
+  /// highest non-empty class when that one is empty).  The pattern is
+  /// H H N H H N L, so every class owns >= 1 of every 7 slots.
+  [[nodiscard]] static Priority dispatch_slot(std::uint64_t slot);
+  static constexpr int kDispatchPatternLen = 7;
+
+ private:
+  struct Entry {
+    ServeRequest req;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void drain_loop();
+  [[nodiscard]] bool pop_best_locked(Entry& out);
+  void process(Entry entry);
+  void finish_one();
+
+  ServerOptions options_;
+  api::Engine engine_;
+  ServerMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::array<std::deque<Entry>, kPriorityClasses> queues_;  // guarded by mu_
+  std::size_t queued_total_ = 0;                            // guarded by mu_
+  std::int64_t outstanding_ = 0;  ///< admitted, future not yet set
+  int active_loops_ = 0;          ///< drain loops running on the pool
+  std::uint64_t dispatch_seq_ = 0;
+};
+
+}  // namespace defa::serve

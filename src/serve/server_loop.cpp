@@ -1,0 +1,107 @@
+#include "serve/server_loop.h"
+
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "api/request.h"
+#include "common/check.h"
+
+namespace defa::serve {
+
+ServeRequest serve_request_from_json(const api::Json& j) {
+  DEFA_CHECK(j.is_object(), "serve: request line must be a JSON object");
+  ServeRequest r;
+  if (!j.contains("request")) {
+    r.request = api::eval_request_from_json(j);  // bare EvalRequest line
+    return r;
+  }
+  for (const auto& [key, value] : j.members()) {
+    DEFA_CHECK(key == "id" || key == "priority" || key == "timeout_ms" ||
+                   key == "request",
+               "serve: unknown envelope key '" + key + "'");
+  }
+  if (const api::Json* id = j.find("id")) r.id = id->as_string();
+  if (const api::Json* p = j.find("priority")) {
+    const std::optional<Priority> pri = priority_from_name(p->as_string());
+    DEFA_CHECK(pri.has_value(),
+               "serve: unknown priority '" + p->as_string() + "' (high|normal|low)");
+    r.priority = *pri;
+  }
+  if (const api::Json* t = j.find("timeout_ms")) r.timeout_ms = t->as_number();
+  r.request = api::eval_request_from_json(j.at("request"));
+  return r;
+}
+
+api::Json to_json(const ServeResponse& r) {
+  api::Json j = api::Json::object();
+  j["id"] = r.id;
+  j["status"] = status_name(r.status);
+  j["queue_ms"] = r.queue_ms;
+  j["run_ms"] = r.run_ms;
+  j["total_ms"] = r.total_ms;
+  if (r.status == ResponseStatus::kOk) {
+    j["result"] = api::to_json(*r.result);
+  } else {
+    j["error"] = r.error;
+  }
+  return j;
+}
+
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   const ServeLoopOptions& options) {
+  Server server(options.server);
+  int bad_lines = 0;
+  std::deque<std::future<ServeResponse>> inflight;  // arrival order
+
+  const auto flush_ready = [&](bool block) {
+    while (!inflight.empty()) {
+      if (!block && inflight.front().wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        return;
+      }
+      // Flush per line: a lock-step client on a pipe waits for each
+      // response before sending the next request.
+      out << to_json(inflight.front().get()).dump() << '\n' << std::flush;
+      inflight.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string parsed_id;  // echo the envelope id even when validation fails
+    try {
+      ServeRequest req = serve_request_from_json(api::Json::parse(line));
+      parsed_id = req.id;
+      // Validate up front so a malformed request is a transport-level
+      // bad_request, not an engine error charged to the metrics.
+      req.request.validate();
+      inflight.push_back(server.submit(std::move(req)));
+    } catch (const std::exception& e) {
+      ++bad_lines;
+      ServeResponse bad;
+      bad.id = parsed_id;
+      bad.status = ResponseStatus::kBadRequest;
+      bad.error = e.what();
+      std::promise<ServeResponse> done;  // a pre-resolved slot keeps ordering
+      done.set_value(std::move(bad));
+      inflight.push_back(done.get_future());
+    }
+    flush_ready(/*block=*/false);  // stream responses while reading ahead
+  }
+  flush_ready(/*block=*/true);
+  server.drain();  // settle gauges before the final metrics line
+
+  if (options.emit_metrics) {
+    api::Json m = api::Json::object();
+    m["metrics"] = server.metrics().to_json();
+    out << m.dump() << '\n';
+  }
+  out.flush();
+  return bad_lines;
+}
+
+}  // namespace defa::serve

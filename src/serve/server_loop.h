@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file server_loop.h
+/// JSON-lines transport for `serve::Server`: one request per input line,
+/// one response per output line, emitted in arrival order (evaluation
+/// itself is concurrent and out-of-order underneath).  `defa_serve` is a
+/// thin main() over `run_serve_loop`; tests drive it with stringstreams.
+///
+/// Request line — either a bare `EvalRequest` object (api/request.h wire
+/// format) or an envelope:
+///   {"id": "r1", "priority": "high", "timeout_ms": 50, "request": {...}}
+/// Response line:
+///   {"id": "r1", "status": "ok", "queue_ms": .., "run_ms": ..,
+///    "total_ms": .., "result": {...}}
+/// with "error" instead of "result" on any non-ok status.  A line that
+/// fails to parse produces a "bad_request" response in its slot; the loop
+/// keeps serving.
+
+#include <iosfwd>
+
+#include "serve/scheduler.h"
+
+namespace defa::serve {
+
+/// Parse one request line (bare EvalRequest or envelope).  Throws
+/// defa::CheckError on malformed input.
+[[nodiscard]] ServeRequest serve_request_from_json(const api::Json& j);
+
+[[nodiscard]] api::Json to_json(const ServeResponse& r);
+
+struct ServeLoopOptions {
+  ServerOptions server;
+  /// Append a final `{"metrics": ...}` line after EOF.
+  bool emit_metrics = false;
+};
+
+/// Serve `in` until EOF; returns the number of malformed request lines
+/// (0 when every line parsed).
+int run_serve_loop(std::istream& in, std::ostream& out, const ServeLoopOptions& options);
+
+}  // namespace defa::serve

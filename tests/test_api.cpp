@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "api/engine.h"
@@ -73,6 +74,42 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW((void)Json::parse("1e"), CheckError);
   EXPECT_THROW((void)Json::parse("-"), CheckError);
   EXPECT_EQ(Json::parse("0.5e+2").as_number(), 50.0);
+}
+
+TEST(Json, ParserRejectsTruncatedInput) {
+  // Truncation points through one representative document.
+  const std::string full = R"({"a": [1, 2.5, "sA"], "b": {"c": true}})";
+  for (const std::size_t cut : {1u, 5u, 9u, 14u, 20u, 27u, 33u, 38u}) {
+    EXPECT_THROW((void)Json::parse(full.substr(0, cut)), CheckError) << cut;
+  }
+  EXPECT_THROW((void)Json::parse("\"unterminated"), CheckError);
+  EXPECT_THROW((void)Json::parse("\"bad escape \\"), CheckError);
+  EXPECT_THROW((void)Json::parse("\"trunc \\u00"), CheckError);
+  EXPECT_THROW((void)Json::parse("[1, 2"), CheckError);
+  EXPECT_THROW((void)Json::parse("{\"k\":"), CheckError);
+  EXPECT_THROW((void)Json::parse("-"), CheckError);
+  EXPECT_THROW((void)Json::parse("12e"), CheckError);
+}
+
+TEST(Json, ParserRejectsDuplicateKeysAtAnyDepth) {
+  EXPECT_THROW((void)Json::parse(R"({"a":1,"a":2})"), CheckError);
+  EXPECT_THROW((void)Json::parse(R"({"o":{"x":1,"x":1}})"), CheckError);
+  EXPECT_THROW((void)Json::parse(R"([{"k":0,"k":0}])"), CheckError);
+  EXPECT_NO_THROW((void)Json::parse(R"({"o1":{"x":1},"o2":{"x":1}})"));
+}
+
+TEST(Json, NonFiniteNumbersRejectedBothWays) {
+  // The RFC 8259 grammar has no non-finite literals ...
+  EXPECT_THROW((void)Json::parse("NaN"), CheckError);
+  EXPECT_THROW((void)Json::parse("Infinity"), CheckError);
+  EXPECT_THROW((void)Json::parse("-Infinity"), CheckError);
+  EXPECT_THROW((void)Json::parse("1e999"), CheckError);  // overflows to inf
+  // ... and the writer refuses to produce one.
+  Json j = Json::object();
+  j["v"] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)j.dump(), CheckError);
+  j["v"] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)j.dump(), CheckError);
 }
 
 // ----------------------------------------------------------- request validation

@@ -1,0 +1,510 @@
+// Tests for the serving subsystem: the persistent thread pool (and
+// parallel_for routed through it), the Server scheduler (determinism under
+// concurrent mixed-key load, deadlines, backpressure, priority
+// anti-starvation), the JSON-lines loop and the load generator.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/request.h"
+#include "common/parallel.h"
+#include "core/pipeline.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/scheduler.h"
+#include "serve/server_loop.h"
+#include "serve/thread_pool.h"
+
+namespace defa::serve {
+namespace {
+
+using api::EvalRequest;
+using api::EvalResult;
+
+// ------------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPool, RunIndexedCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run_indexed(1000, 0, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RunIndexedPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run_indexed(64, 0,
+                                [&](std::int64_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 7) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Remaining indices still ran; nothing was abandoned half-done.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotOversubscribe) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  // Nested run_indexed from inside pool tasks: every executing thread must
+  // be one of the 3 workers or the calling (test) thread.
+  pool.run_indexed(8, 0, [&](std::int64_t) {
+    pool.run_indexed(16, 0, [&](std::int64_t) {
+      const std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  });
+  EXPECT_LE(seen.size(), 4u);  // 3 workers + caller, never more
+}
+
+TEST(ThreadPool, ParallelForMatchesSequential) {
+  constexpr std::int64_t kN = 100000;
+  std::vector<double> out(kN, 0.0);
+  parallel_for(0, kN, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) out[static_cast<std::size_t>(i)] = 3.0 * i;
+  });
+  for (std::int64_t i = 0; i < kN; i += 997) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 3.0 * i);
+  }
+}
+
+TEST(ThreadPool, ParallelForUsesOnlyPersistentThreads) {
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(
+        0, 1 << 16,
+        [&](std::int64_t, std::int64_t) {
+          const std::lock_guard<std::mutex> lock(mu);
+          seen.insert(std::this_thread::get_id());
+        },
+        1);
+  }
+  // Repeated calls reuse the one global pool (+ this thread) instead of
+  // spawning new threads per call.
+  EXPECT_LE(seen.size(),
+            static_cast<std::size_t>(ThreadPool::global().size()) + 1);
+}
+
+// ------------------------------------------------------------------- Histogram
+
+TEST(LatencyHistogram, PercentilesTrackObservations) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));  // 1..1000 ms
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  // Log-scale buckets quantize within ~1 growth factor.
+  EXPECT_NEAR(h.percentile(50) / 500.0, 1.0, 0.25);
+  EXPECT_NEAR(h.percentile(95) / 950.0, 1.0, 0.25);
+  EXPECT_NEAR(h.percentile(99) / 990.0, 1.0, 0.25);
+  EXPECT_LE(h.percentile(100), 1000.0);
+  EXPECT_GE(h.percentile(0), 1.0);
+}
+
+TEST(LatencyHistogram, JsonHasPercentileKeys) {
+  LatencyHistogram h;
+  h.record(2.5);
+  const api::Json j = h.to_json();
+  for (const char* key : {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}) {
+    EXPECT_TRUE(j.contains(key)) << key;
+  }
+  EXPECT_EQ(j.at("count").as_int(), 1);
+}
+
+// ------------------------------------------------------- Server: determinism
+
+/// >= 64 requests over mixed workload keys: two scenes x several prune
+/// configs x several output masks on the tiny preset.
+std::vector<EvalRequest> mixed_key_requests() {
+  std::vector<EvalRequest> reqs;
+  const std::vector<api::OutputMask> masks = {
+      api::kFunctional, api::kFunctional | api::kLatency,
+      api::kFunctional | api::kEnergy, api::kFunctional | api::kAccuracy};
+  for (const std::uint64_t scene_seed : {0ull, 977ull}) {
+    for (int variant = 0; variant < 4; ++variant) {
+      for (std::size_t m = 0; m < masks.size(); ++m) {
+        for (int rep = 0; rep < 2; ++rep) {  // duplicates exercise the memo
+          EvalRequest r;
+          r.preset = "tiny";
+          r.outputs = masks[m];
+          if (scene_seed != 0) {
+            workload::SceneParams scene;
+            scene.seed = scene_seed;
+            r.scene = scene;
+          }
+          core::PruneConfig cfg;
+          switch (variant) {
+            case 0: break;  // defa_default via resolve
+            case 1:
+              cfg.label = "pap";
+              cfg.pap = true;
+              cfg.pap_tau = 0.04;
+              r.prune = cfg;
+              break;
+            case 2:
+              r.prune = core::PruneConfig::only_quant(8);
+              break;
+            case 3:
+              cfg.label = "fwp";
+              cfg.fwp = true;
+              cfg.fwp_k = 0.5;
+              r.prune = cfg;
+              break;
+          }
+          reqs.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  EXPECT_GE(reqs.size(), 64u);
+  return reqs;
+}
+
+TEST(Server, ConcurrentMixedKeyLoadBitIdenticalToSequential) {
+  const std::vector<EvalRequest> requests = mixed_key_requests();
+
+  // Sequential reference on an independent engine (no shared caches).
+  api::Engine reference;
+  std::vector<EvalResult> expected;
+  expected.reserve(requests.size());
+  for (const EvalRequest& r : requests) expected.push_back(reference.run(r));
+
+  Server server;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ServeRequest sr;
+    sr.id = "req" + std::to_string(i);
+    sr.request = requests[i];
+    // Mixed priorities stress the dispatch order too.
+    sr.priority = static_cast<Priority>(i % kPriorityClasses);
+    futures.push_back(server.submit(std::move(sr)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeResponse resp = futures[i].get();
+    ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+    EXPECT_EQ(resp.id, "req" + std::to_string(i));
+    ASSERT_TRUE(resp.result.has_value());
+    EXPECT_EQ(*resp.result, expected[i]) << "request " << i;
+  }
+
+  server.drain();  // settle the in-flight gauge before reading it
+  const MetricsSnapshot snap = server.metrics();
+  EXPECT_EQ(snap.completed_ok, requests.size());
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.in_flight, 0);
+  EXPECT_GT(snap.total_ms.percentile(50), 0.0);
+}
+
+// ------------------------------------------------------- Server: scheduling
+
+TEST(Server, PastDueDeadlineRejectedNotSilentlyDropped) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;
+  Server server(opts);
+
+  ServeRequest expired;
+  expired.id = "expired";
+  expired.request.preset = "tiny";
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const ServeResponse resp = server.submit(std::move(expired)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::kRejectedDeadline);
+  EXPECT_FALSE(resp.result.has_value());
+  EXPECT_FALSE(resp.error.empty());
+
+  // A deadline that expires while waiting in the queue: occupy the single
+  // dispatch slot with enough work, then submit an already-doomed request.
+  std::vector<std::future<ServeResponse>> blockers;
+  for (int i = 0; i < 4; ++i) {
+    ServeRequest blocker;
+    blocker.request.preset = "tiny";
+    core::PruneConfig cfg;
+    cfg.label = "blocker" + std::to_string(i);  // distinct memo keys
+    cfg.pap = true;
+    cfg.pap_tau = 0.01 + 0.001 * i;
+    blocker.request.prune = cfg;
+    blockers.push_back(server.submit(std::move(blocker)));
+  }
+  ServeRequest doomed;
+  doomed.id = "doomed";
+  doomed.request.preset = "tiny";
+  doomed.deadline = std::chrono::steady_clock::now();  // expires immediately
+  const ServeResponse late = server.submit(std::move(doomed)).get();
+  EXPECT_EQ(late.status, ResponseStatus::kRejectedDeadline);
+  for (auto& b : blockers) EXPECT_EQ(b.get().status, ResponseStatus::kOk);
+
+  const MetricsSnapshot snap = server.metrics();
+  EXPECT_EQ(snap.rejected_deadline, 2u);
+  EXPECT_EQ(snap.submitted, 6u);
+}
+
+TEST(Server, OverloadBackpressureRejectsInsteadOfGrowingQueue) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;
+  opts.queue_capacity = 2;
+  Server server(opts);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    ServeRequest r;
+    r.id = std::to_string(i);
+    r.request.preset = "tiny";
+    core::PruneConfig cfg;
+    cfg.label = "load" + std::to_string(i);
+    cfg.fwp = true;
+    cfg.fwp_k = 0.4 + 0.01 * i;  // unique keys: every request really runs
+    r.request.prune = cfg;
+    futures.push_back(server.submit(std::move(r)));
+  }
+  int ok = 0, overloaded = 0;
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    if (resp.status == ResponseStatus::kOk) ++ok;
+    if (resp.status == ResponseStatus::kRejectedOverload) ++overloaded;
+  }
+  EXPECT_EQ(ok + overloaded, 16);
+  EXPECT_GT(overloaded, 0);  // the bounded queue pushed back
+  EXPECT_GT(ok, 0);          // admitted work completed
+  EXPECT_EQ(server.metrics().rejected_overload,
+            static_cast<std::uint64_t>(overloaded));
+}
+
+TEST(Server, DispatchPatternGivesEveryClassASlot) {
+  int high = 0, normal = 0, low = 0;
+  for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(Server::kDispatchPatternLen);
+       ++s) {
+    switch (Server::dispatch_slot(s)) {
+      case Priority::kHigh: ++high; break;
+      case Priority::kNormal: ++normal; break;
+      case Priority::kLow: ++low; break;
+    }
+  }
+  EXPECT_GT(high, normal);  // strictly prioritized ...
+  EXPECT_GT(normal, low);
+  EXPECT_GE(low, 1);  // ... but low is guaranteed a slot per cycle
+}
+
+TEST(Server, HighPriorityFloodDoesNotStarveLowPriority) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;  // serial dispatch: completion order = dispatch order
+  Server server(opts);
+
+  // Queue a flood of unique-key high-priority requests, then one low:
+  // the weighted dispatch pattern must hand the low request an early slot
+  // instead of parking it behind the whole flood.
+  std::vector<std::future<ServeResponse>> high;
+  std::future<ServeResponse> low;
+  for (int i = 0; i < 24; ++i) {
+    ServeRequest r;
+    r.id = "high" + std::to_string(i);
+    r.request.preset = "tiny";
+    core::PruneConfig cfg;
+    cfg.label = "starve" + std::to_string(i);
+    cfg.pap = true;
+    cfg.pap_tau = 0.02 + 0.001 * i;
+    r.request.prune = cfg;
+    r.priority = Priority::kHigh;
+    high.push_back(server.submit(std::move(r)));
+  }
+  {
+    ServeRequest r;
+    r.id = "low";
+    r.request.preset = "tiny";
+    r.priority = Priority::kLow;
+    low = server.submit(std::move(r));
+  }
+  server.drain();
+
+  // With the H H N H H N L pattern the low request is dispatched within
+  // the first pattern cycle even though 24 high requests were ahead of it;
+  // its queue time must therefore be below the full drain time.
+  const ServeResponse low_resp = low.get();
+  ASSERT_EQ(low_resp.status, ResponseStatus::kOk) << low_resp.error;
+  double max_high_total = 0;
+  for (auto& f : high) {
+    const ServeResponse r = f.get();
+    ASSERT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    max_high_total = std::max(max_high_total, r.total_ms);
+  }
+  EXPECT_LT(low_resp.total_ms, max_high_total);
+}
+
+// ----------------------------------------------------------- EvalRequest JSON
+
+TEST(RequestJson, RoundTripPreservesRequestIdentity) {
+  EvalRequest r;
+  r.preset = "tiny";
+  workload::SceneParams scene;
+  scene.seed = 42;
+  scene.n_objects = 9;
+  r.scene = scene;
+  core::PruneConfig cfg;
+  cfg.label = "roundtrip";
+  cfg.pap = true;
+  cfg.pap_tau = 0.033;
+  cfg.quantize = true;
+  cfg.bits = 10;
+  r.prune = cfg;
+  r.hw = HwConfig::make_default(ModelConfig::tiny());
+  r.outputs = api::kFunctional | api::kLatency;
+
+  const api::Json j = api::to_json(r);
+  const EvalRequest back = api::eval_request_from_json(api::Json::parse(j.dump()));
+  EXPECT_EQ(back.request_key(), r.request_key());
+  EXPECT_NO_THROW(back.validate());
+}
+
+TEST(RequestJson, CustomModelRoundTrip) {
+  EvalRequest r;
+  r.model = ModelConfig::tiny();
+  const EvalRequest back =
+      api::eval_request_from_json(api::Json::parse(api::to_json(r).dump()));
+  EXPECT_EQ(back.request_key(), r.request_key());
+}
+
+TEST(RequestJson, PartialObjectsOverlayDefaults) {
+  const api::Json j = api::Json::parse(
+      R"({"preset":"tiny","prune":{"pap":true},"hw":{"sram_banks":8},)"
+      R"("outputs":["functional","energy"]})");
+  const EvalRequest r = api::eval_request_from_json(j);
+  EXPECT_TRUE(r.prune->pap);
+  EXPECT_FALSE(r.prune->fwp);
+  EXPECT_EQ(r.hw->sram_banks, 8);
+  // Unmentioned hw fields come from the model's defaults, ranges included.
+  EXPECT_GT(r.hw->ranges.used_levels, 0);
+  EXPECT_EQ(r.outputs, api::kFunctional | api::kEnergy);
+  EXPECT_NO_THROW(r.validate());
+}
+
+TEST(RequestJson, StrictParsingRejectsMalformedRequests) {
+  using api::eval_request_from_json;
+  using api::Json;
+  // Unknown keys at every level.
+  EXPECT_THROW((void)eval_request_from_json(Json::parse(R"({"presett":"tiny"})")),
+               CheckError);
+  EXPECT_THROW((void)eval_request_from_json(
+                   Json::parse(R"({"preset":"tiny","prune":{"paps":true}})")),
+               CheckError);
+  // Both preset and model / neither.
+  EXPECT_THROW((void)eval_request_from_json(Json::parse(R"({"outputs":["functional"]})")),
+               CheckError);
+  // Unknown output section.
+  EXPECT_THROW((void)eval_request_from_json(
+                   Json::parse(R"({"preset":"tiny","outputs":["latencyy"]})")),
+               CheckError);
+  // Non-object root.
+  EXPECT_THROW((void)eval_request_from_json(Json::parse("[1,2]")), CheckError);
+}
+
+// ------------------------------------------------------------ JSON-lines loop
+
+TEST(ServeLoop, ServesLinesInArrivalOrder) {
+  std::istringstream in(
+      "{\"preset\":\"tiny\",\"outputs\":[\"functional\"]}\n"
+      "\n"  // blank lines are skipped
+      "{\"id\":\"second\",\"priority\":\"low\",\"request\":{\"preset\":\"tiny\"}}\n"
+      "not json\n"
+      "{\"id\":\"r7\",\"request\":{\"preset\":\"nonexistent\"}}\n"
+      "{\"id\":\"fourth\",\"request\":{\"preset\":\"tiny\",\"outputs\":[\"accuracy\"]}}\n");
+  std::ostringstream out;
+  ServeLoopOptions options;
+  options.emit_metrics = true;
+  const int bad = run_serve_loop(in, out, options);
+  EXPECT_EQ(bad, 2);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<api::Json> responses;
+  while (std::getline(lines, line)) responses.push_back(api::Json::parse(line));
+  ASSERT_EQ(responses.size(), 6u);  // 5 responses + metrics
+  EXPECT_EQ(responses[0].at("status").as_string(), "ok");
+  EXPECT_EQ(responses[1].at("id").as_string(), "second");
+  EXPECT_EQ(responses[1].at("status").as_string(), "ok");
+  EXPECT_EQ(responses[2].at("status").as_string(), "bad_request");
+  // A line that parses but fails validation still echoes its envelope id.
+  EXPECT_EQ(responses[3].at("status").as_string(), "bad_request");
+  EXPECT_EQ(responses[3].at("id").as_string(), "r7");
+  EXPECT_EQ(responses[4].at("id").as_string(), "fourth");
+  EXPECT_TRUE(responses[4].at("result").contains("accuracy"));
+  EXPECT_EQ(responses[5].at("metrics").at("completed_ok").as_int(), 3);
+}
+
+// --------------------------------------------------------------------- loadgen
+
+void check_bench_serve_json(const api::Json& j) {
+  for (const char* key :
+       {"bench", "mode", "requests", "completed_ok", "elapsed_ms", "achieved_qps",
+        "latency_ms", "queue_ms", "run_ms", "per_scenario", "server_metrics"}) {
+    EXPECT_TRUE(j.contains(key)) << key;
+  }
+  for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
+    EXPECT_TRUE(j.at("latency_ms").contains(key)) << key;
+  }
+  EXPECT_GT(j.at("achieved_qps").as_number(), 0.0);
+}
+
+TEST(LoadGen, SmokeClosedLoopProducesValidReport) {
+  LoadGenOptions options;
+  options.mode = LoadGenOptions::Mode::kClosed;
+  options.requests = 64;
+  options.concurrency = 4;
+  const LoadReport report = run_loadgen(options);  // smoke mix by default
+  EXPECT_EQ(report.completed_ok, 64u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.latency_ms.count(), 64u);
+  std::uint64_t per_total = 0;
+  for (const auto& s : report.per_scenario) per_total += s.completed_ok;
+  EXPECT_EQ(per_total, 64u);
+
+  // The emitted JSON is strictly parseable and has the promised fields.
+  const api::Json parsed = api::Json::parse(report.to_json().dump(2));
+  check_bench_serve_json(parsed);
+}
+
+TEST(LoadGen, OpenLoopHonorsArrivalScheduleAndDeadlines) {
+  LoadGenOptions options;
+  options.mode = LoadGenOptions::Mode::kOpen;
+  options.requests = 24;
+  options.rate_qps = 4000.0;  // ~6 ms of offered traffic
+  options.poisson = false;
+  options.timeout_ms = 10000.0;  // generous: nothing should expire
+  const LoadReport report = run_loadgen(options);
+  EXPECT_EQ(report.mode, "open");
+  EXPECT_EQ(report.completed_ok + report.rejected_deadline + report.rejected_overload +
+                report.errors,
+            24u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.completed_ok, 24u);
+  // Fixed 0.25 ms gaps over 24 arrivals: at least ~6 ms elapsed.
+  EXPECT_GE(report.elapsed_ms, 5.0);
+}
+
+TEST(LoadGen, SameSeedSameSchedule) {
+  LoadGenOptions options;
+  options.requests = 32;
+  options.concurrency = 2;
+  options.seed = 7;
+  const LoadReport a = run_loadgen(options);
+  const LoadReport b = run_loadgen(options);
+  ASSERT_EQ(a.per_scenario.size(), b.per_scenario.size());
+  for (std::size_t i = 0; i < a.per_scenario.size(); ++i) {
+    EXPECT_EQ(a.per_scenario[i].completed_ok, b.per_scenario[i].completed_ok)
+        << a.per_scenario[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace defa::serve

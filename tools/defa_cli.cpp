@@ -4,26 +4,31 @@
 //   defa_cli run <name>... [--json FILE]  run experiments (tables to stdout,
 //                                         combined JSON optionally to FILE)
 //   defa_cli run --all [--json FILE]      run everything
+//   defa_cli run ... --jobs N             fan experiments over the shared
+//                                         thread pool, N at a time
 //   defa_cli validate FILE                parse a JSON file emitted by run
 //
 // All experiments share one Engine, so e.g. `defa_cli run fig6b fig9 table1`
-// builds each benchmark workload exactly once.
+// builds each benchmark workload exactly once.  Failures don't abort the
+// remaining experiments; the exit code is nonzero when any failed.
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
 #include "api/registry.h"
 #include "api/result_io.h"
+#include "serve/thread_pool.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " list\n"
-            << "       " << argv0 << " run <name>... [--json FILE]\n"
-            << "       " << argv0 << " run --all [--json FILE]\n"
+            << "       " << argv0 << " run <name>... [--jobs N] [--json FILE]\n"
+            << "       " << argv0 << " run --all [--jobs N] [--json FILE]\n"
             << "       " << argv0 << " validate FILE\n";
   return 2;
 }
@@ -43,10 +48,15 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> names;
   std::string json_path;
   bool all = false;
+  int jobs = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") {
       if (i + 1 >= args.size()) return usage("defa_cli");
       json_path = args[++i];
+    } else if (args[i] == "--jobs") {
+      if (i + 1 >= args.size()) return usage("defa_cli");
+      jobs = std::stoi(args[++i]);
+      if (jobs < 1) return usage("defa_cli");
     } else if (args[i] == "--all") {
       all = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
@@ -63,17 +73,66 @@ int cmd_run(const std::vector<std::string>& args) {
     return 2;
   }
 
+  // Every experiment runs (failures don't abort the rest); with --jobs > 1
+  // they fan out over the shared serve::ThreadPool, buffering tables so
+  // output still appears in name order.  The Engine is shared either way,
+  // so experiments touching the same benchmark reuse one context.
   defa::api::Engine engine;
   defa::api::Json combined = defa::api::Json::object();
-  for (const std::string& name : names) {
-    combined[name] = defa::api::run_experiment(engine, name, std::cout);
-    std::cout << "\n";
+  int failures = 0;
+  if (jobs > 1) {
+    struct Outcome {
+      std::string output;
+      defa::api::Json json;
+      bool ok = false;
+      std::string error;
+    };
+    std::vector<Outcome> outcomes(names.size());
+    defa::serve::ThreadPool::global().run_indexed(
+        static_cast<std::int64_t>(names.size()), jobs, [&](std::int64_t i) {
+          const auto idx = static_cast<std::size_t>(i);
+          std::ostringstream tables;
+          Outcome& out = outcomes[idx];
+          try {
+            out.json = defa::api::run_experiment(engine, names[idx], tables);
+            out.ok = true;
+          } catch (const std::exception& e) {
+            out.error = e.what();
+          }
+          out.output = tables.str();
+        });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::cout << outcomes[i].output;
+      if (outcomes[i].ok) {
+        combined[names[i]] = outcomes[i].json;
+        std::cout << "\n";
+      } else {
+        ++failures;
+        std::cerr << names[i] << " failed: " << outcomes[i].error << "\n";
+      }
+    }
+  } else {
+    // Serial path streams each experiment's tables as it runs.
+    for (const std::string& name : names) {
+      try {
+        combined[name] = defa::api::run_experiment(engine, name, std::cout);
+        std::cout << "\n";
+      } catch (const std::exception& e) {
+        ++failures;
+        std::cerr << name << " failed: " << e.what() << "\n";
+      }
+    }
   }
   if (!json_path.empty()) {
     // A single experiment writes its object directly; several write a map.
-    defa::api::write_json_file(json_path,
-                               names.size() == 1 ? combined.at(names[0]) : combined);
+    defa::api::write_json_file(json_path, names.size() == 1 && combined.size() == 1
+                                              ? combined.at(names[0])
+                                              : combined);
     std::cout << "wrote " << json_path << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << failures << " of " << names.size() << " experiments failed\n";
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,146 @@
+// defa_loadgen — open/closed-loop traffic generator for the serve stack.
+//
+//   defa_loadgen [--mode closed|open] [--requests N] [--concurrency N]
+//                [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]
+//                [--mix smoke|default] [--workers N] [--queue-capacity N]
+//                [--out FILE] [--smoke] [--quiet]
+//
+// Drives a fresh serve::Server with a weighted scenario mix (model presets
+// x scenes x prune configs), then prints a latency/throughput summary and
+// optionally writes the full report (p50/p95/p99 latency, achieved QPS,
+// per-scenario breakdown, server metrics) as JSON — the repo's
+// BENCH_serve.json artifact.
+//
+//   --smoke   shorthand for the CI configuration: closed loop, 64 requests,
+//             concurrency 4, smoke mix, --out BENCH_serve.json.
+
+#include <iostream>
+#include <string>
+
+#include "api/result_io.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: defa_loadgen [--mode closed|open] [--requests N] [--concurrency N]\n"
+      << "                    [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]\n"
+      << "                    [--mix smoke|default] [--workers N] [--queue-capacity N]\n"
+      << "                    [--out FILE] [--smoke] [--quiet]\n";
+  return 2;
+}
+
+void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
+  out << "mode            " << r.mode;
+  if (r.mode == "closed") {
+    out << " (concurrency " << r.concurrency << ")\n";
+  } else {
+    out << " (offered " << r.offered_qps << " qps)\n";
+  }
+  out << "requests        " << r.requests << "  (ok " << r.completed_ok
+      << ", overload " << r.rejected_overload << ", deadline " << r.rejected_deadline
+      << ", error " << r.errors << ")\n"
+      << "elapsed         " << r.elapsed_ms << " ms\n"
+      << "achieved        " << r.achieved_qps << " qps\n"
+      << "latency (ms)    p50 " << r.latency_ms.percentile(50) << "   p95 "
+      << r.latency_ms.percentile(95) << "   p99 " << r.latency_ms.percentile(99)
+      << "   max " << r.latency_ms.max() << "\n"
+      << "queue wait (ms) p50 " << r.queue_ms.percentile(50) << "   p99 "
+      << r.queue_ms.percentile(99) << "\n";
+  for (const auto& s : r.per_scenario) {
+    out << "  " << s.name << ": " << s.completed_ok << " ok, p50 "
+        << s.latency_ms.percentile(50) << " ms\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  defa::serve::LoadGenOptions options;
+  std::string out_path;
+  std::string mix = "smoke";
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--mode") {
+      if ((v = value()) == nullptr) return usage();
+      const std::string mode = v;
+      if (mode == "closed") {
+        options.mode = defa::serve::LoadGenOptions::Mode::kClosed;
+      } else if (mode == "open") {
+        options.mode = defa::serve::LoadGenOptions::Mode::kOpen;
+      } else {
+        return usage();
+      }
+    } else if (arg == "--requests") {
+      if ((v = value()) == nullptr) return usage();
+      options.requests = std::stoi(v);
+    } else if (arg == "--concurrency") {
+      if ((v = value()) == nullptr) return usage();
+      options.concurrency = std::stoi(v);
+    } else if (arg == "--rate") {
+      if ((v = value()) == nullptr) return usage();
+      options.rate_qps = std::stod(v);
+    } else if (arg == "--fixed-gap") {
+      options.poisson = false;
+    } else if (arg == "--timeout-ms") {
+      if ((v = value()) == nullptr) return usage();
+      options.timeout_ms = std::stod(v);
+    } else if (arg == "--seed") {
+      if ((v = value()) == nullptr) return usage();
+      options.seed = std::stoull(v);
+    } else if (arg == "--mix") {
+      if ((v = value()) == nullptr) return usage();
+      mix = v;
+    } else if (arg == "--workers") {
+      if ((v = value()) == nullptr) return usage();
+      options.server.max_concurrency = std::stoi(v);
+    } else if (arg == "--queue-capacity") {
+      if ((v = value()) == nullptr) return usage();
+      options.server.queue_capacity = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--out") {
+      if ((v = value()) == nullptr) return usage();
+      out_path = v;
+    } else if (arg == "--smoke") {
+      options.mode = defa::serve::LoadGenOptions::Mode::kClosed;
+      options.requests = 64;
+      options.concurrency = 4;
+      mix = "smoke";
+      if (out_path.empty()) out_path = "BENCH_serve.json";
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (mix == "smoke") {
+    options.scenarios = defa::serve::smoke_mix();
+  } else if (mix == "default") {
+    options.scenarios = defa::serve::default_mix();
+  } else {
+    std::cerr << "unknown mix '" << mix << "' (smoke|default)\n";
+    return 2;
+  }
+
+  const defa::serve::LoadReport report = defa::serve::run_loadgen(options);
+  if (!quiet) print_summary(report, std::cout);
+  if (!out_path.empty()) {
+    defa::api::write_json_file(out_path, report.to_json());
+    if (!quiet) std::cout << "wrote " << out_path << "\n";
+  }
+  // Traffic that never completed anything signals a broken setup to CI.
+  return report.completed_ok > 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  // Also covers std::stoi/stod/stoull on malformed flag values.
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,93 @@
+// defa_serve — JSON-lines request/response server over defa::serve.
+//
+//   defa_serve [--in FILE] [--out FILE] [--workers N]
+//              [--queue-capacity N] [--metrics]
+//
+// Reads one request per line (a bare EvalRequest object, or an envelope
+// {"id", "priority", "timeout_ms", "request"}) from stdin or --in, serves
+// them concurrently through the shared thread pool, and writes one JSON
+// response per line in arrival order to stdout or --out.  --metrics
+// appends a final {"metrics": ...} line (QPS, p50/p95/p99 latency,
+// per-benchmark counters).
+//
+// Example:
+//   printf '%s\n' '{"preset":"tiny","outputs":["functional"]}' | defa_serve
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/server_loop.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: defa_serve [--in FILE] [--out FILE] [--workers N]\n"
+            << "                  [--queue-capacity N] [--metrics]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string in_path, out_path;
+  defa::serve::ServeLoopOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--in") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      in_path = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      out_path = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.max_concurrency = std::stoi(v);
+    } else if (arg == "--queue-capacity") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.queue_capacity = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--metrics") {
+      options.emit_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  std::ifstream in_file;
+  if (!in_path.empty()) {
+    in_file.open(in_path);
+    if (!in_file.good()) {
+      std::cerr << "error: cannot open '" << in_path << "'\n";
+      return 1;
+    }
+  }
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file.good()) {
+      std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+      return 1;
+    }
+  }
+  const int bad = defa::serve::run_serve_loop(
+      in_path.empty() ? std::cin : in_file, out_path.empty() ? std::cout : out_file,
+      options);
+  if (bad > 0) std::cerr << bad << " malformed request line(s)\n";
+  return 0;
+} catch (const std::exception& e) {
+  // Also covers std::stoi/stoul on malformed flag values.
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}
