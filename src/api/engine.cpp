@@ -3,11 +3,11 @@
 #include <algorithm>
 
 #include "common/parallel.h"
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace defa::api {
 
-Engine::Engine(Options options) : options_(options) {}
+Engine::Engine(Options options) : options_(options), pool_(options.max_contexts) {}
 
 std::shared_ptr<core::BenchmarkContext> Engine::context(
     const ModelConfig& m, const workload::SceneParams& scene) {
@@ -29,6 +29,15 @@ void Engine::clear_caches() {
   memo_.clear();
 }
 
+Engine::CacheStats Engine::cache_stats() const {
+  CacheStats s;
+  s.context = pool_.stats();
+  const std::lock_guard<std::mutex> lock(memo_mu_);
+  s.memo_hits = memo_hits_;
+  s.memo_misses = memo_misses_;
+  return s;
+}
+
 EvalResult Engine::run(const EvalRequest& request) {
   request.validate();
   if (!options_.memoize_results) return evaluate(request);
@@ -36,7 +45,11 @@ EvalResult Engine::run(const EvalRequest& request) {
   {
     const std::lock_guard<std::mutex> lock(memo_mu_);
     const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+    ++memo_misses_;
   }
   EvalResult result = evaluate(request);
   {
@@ -66,7 +79,7 @@ std::vector<EvalResult> Engine::run_batch(const std::vector<EvalRequest>& reques
   // spawning).  Each result slot is written by exactly one executor, so
   // the output is deterministic regardless of the interleaving; the first
   // exception propagates to the caller after all requests settle.
-  serve::ThreadPool::global().run_indexed(n, cap, [&](std::int64_t i) {
+  ThreadPool::global().run_indexed(n, cap, [&](std::int64_t i) {
     results[static_cast<std::size_t>(i)] = run(requests[static_cast<std::size_t>(i)]);
   });
   return results;

@@ -33,6 +33,11 @@ class Engine {
     /// Memoize full EvalResults by request identity (on by default; the
     /// context cache below is independent of this).
     bool memoize_results = true;
+    /// Bound on cached (model, scene) contexts; 0 = unbounded.  A positive
+    /// bound turns the ContextPool into an LRU cache, which makes request
+    /// ordering matter: the serve-layer locality scheduler exists to keep
+    /// same-key requests adjacent so they hit this cache.
+    std::size_t max_contexts = 0;
   };
 
   Engine() : Engine(Options{}) {}
@@ -61,6 +66,14 @@ class Engine {
   [[nodiscard]] std::size_t memoized_results() const;
   void clear_caches();
 
+  /// Monotonic cache-effectiveness counters (serve/metrics exports them).
+  struct CacheStats {
+    core::ContextPool::CacheStats context;  ///< (model, scene) context cache
+    std::uint64_t memo_hits = 0;            ///< run() served from the memo
+    std::uint64_t memo_misses = 0;          ///< run() had to evaluate
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
  private:
   [[nodiscard]] EvalResult evaluate(const EvalRequest& request);
 
@@ -68,6 +81,8 @@ class Engine {
   core::ContextPool pool_;
   mutable std::mutex memo_mu_;
   std::unordered_map<std::string, EvalResult> memo_;
+  std::uint64_t memo_hits_ = 0;    // guarded by memo_mu_
+  std::uint64_t memo_misses_ = 0;  // guarded by memo_mu_
 };
 
 }  // namespace defa::api

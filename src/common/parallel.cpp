@@ -4,7 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace defa {
 
@@ -19,7 +19,7 @@ void parallel_for(std::int64_t begin, std::int64_t end,
   DEFA_CHECK(begin <= end, "parallel_for: inverted range");
   const std::int64_t n = end - begin;
   if (n == 0) return;
-  serve::ThreadPool& pool = serve::ThreadPool::global();
+  ThreadPool& pool = ThreadPool::global();
   const int concurrency = pool.size() + 1;  // workers + the calling thread
   if (n < min_parallel || concurrency <= 1) {
     chunk_fn(begin, end);

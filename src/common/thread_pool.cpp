@@ -1,4 +1,4 @@
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 #include <exception>
@@ -7,7 +7,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 
-namespace defa::serve {
+namespace defa {
 
 namespace {
 /// Index of the calling thread inside its owning pool, or -1 off-pool.
@@ -164,4 +164,4 @@ void ThreadPool::run_indexed(std::int64_t n, int max_concurrency,
   if (s->error) std::rethrow_exception(s->error);
 }
 
-}  // namespace defa::serve
+}  // namespace defa

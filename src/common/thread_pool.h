@@ -8,6 +8,10 @@
 /// (a served request whose pipeline run calls parallel_for) cannot
 /// oversubscribe the machine.
 ///
+/// The pool lives in common/ (not serve/) so the dependency arrows point
+/// one way: common/parallel and api/engine use it without depending on the
+/// serving layer, and serve/ stays an optional consumer on top.
+///
 /// Topology: one bounded deque per worker.  A worker pops its own deque
 /// LIFO (cache locality for nested fan-out) and steals FIFO from the other
 /// workers when its deque runs dry; external submissions are distributed
@@ -25,7 +29,7 @@
 #include <thread>
 #include <vector>
 
-namespace defa::serve {
+namespace defa {
 
 class ThreadPool {
  public:
@@ -80,4 +84,4 @@ class ThreadPool {
   std::condition_variable sleep_cv_;
 };
 
-}  // namespace defa::serve
+}  // namespace defa

@@ -152,9 +152,24 @@ std::shared_ptr<BenchmarkContext> ContextPool::get(
   const std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    it = entries_.emplace(key, std::make_shared<BenchmarkContext>(m, scene)).first;
+    ++stats_.misses;
+    if (max_contexts_ > 0 && entries_.size() >= max_contexts_) {
+      // Evict the least-recently-used entry.  In-flight holders keep their
+      // shared_ptr; the pool just forgets the key.
+      auto victim = entries_.begin();
+      for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+        if (cand->second.last_used < victim->second.last_used) victim = cand;
+      }
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+    it = entries_.emplace(key, Entry{std::make_shared<BenchmarkContext>(m, scene), 0})
+             .first;
+  } else {
+    ++stats_.hits;
   }
-  return it->second;
+  it->second.last_used = ++tick_;
+  return it->second.ctx;
 }
 
 std::string ContextPool::key_of(const ModelConfig& m,
@@ -180,6 +195,11 @@ std::string ContextPool::key_of(const ModelConfig& m,
 std::size_t ContextPool::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+ContextPool::CacheStats ContextPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ContextPool::clear() {

@@ -88,8 +88,29 @@ class BenchmarkContext {
 /// the same (model, scene) pair observe the same context object, so the
 /// expensive dense reference trajectory is built once per workload no
 /// matter how many experiments or Engine requests touch it.
+///
+/// The pool is unbounded by default (every workload stays resident).  A
+/// positive `max_contexts` turns it into an LRU cache: when a miss would
+/// exceed the bound, the least-recently-used entry is dropped from the pool
+/// (in-flight users keep their shared_ptr alive; the context is simply
+/// rebuilt on the next request for its key).  Hit/miss/eviction counters
+/// make cache locality observable — the serve-layer locality scheduler is
+/// benchmarked on exactly these numbers.
 class ContextPool {
  public:
+  ContextPool() = default;
+  /// `max_contexts == 0` means unbounded.
+  explicit ContextPool(std::size_t max_contexts) : max_contexts_(max_contexts) {}
+
+  /// Monotonic cache-effectiveness counters (never reset by eviction).
+  /// The serve layer derives hit rates from these when it exports them
+  /// (serve::MetricsSnapshot::context_hit_rate).
+  struct CacheStats {
+    std::uint64_t hits = 0;       ///< get() found the key resident
+    std::uint64_t misses = 0;     ///< get() built a fresh context
+    std::uint64_t evictions = 0;  ///< LRU entries dropped to honor the bound
+  };
+
   /// Context on the model's default scene.
   [[nodiscard]] std::shared_ptr<BenchmarkContext> get(const ModelConfig& m);
   [[nodiscard]] std::shared_ptr<BenchmarkContext> get(
@@ -100,11 +121,22 @@ class ContextPool {
                                           const workload::SceneParams& scene);
 
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t max_contexts() const noexcept { return max_contexts_; }
+  [[nodiscard]] CacheStats stats() const;
+  /// Drops every entry; counters are preserved.
   void clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<BenchmarkContext> ctx;
+    std::uint64_t last_used = 0;  ///< tick of the most recent get()
+  };
+
+  std::size_t max_contexts_ = 0;
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<BenchmarkContext>> entries_;
+  std::map<std::string, Entry> entries_;  // guarded by mu_, as is everything below
+  CacheStats stats_;
+  std::uint64_t tick_ = 0;
 };
 
 // ---------------------------------------------------------------------------

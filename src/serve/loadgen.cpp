@@ -105,6 +105,7 @@ api::Json LoadReport::to_json() const {
   api::Json j = api::Json::object();
   j["bench"] = "serve";
   j["mode"] = mode;
+  j["policy"] = policy;
   j["requests"] = requests;
   j["concurrency"] = concurrency;
   j["offered_qps"] = offered_qps;
@@ -140,6 +141,7 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
 
   LoadReport report;
   report.mode = options.mode == LoadGenOptions::Mode::kClosed ? "closed" : "open";
+  report.policy = policy_name(options.server.policy);
   report.requests = options.requests;
   report.concurrency =
       options.mode == LoadGenOptions::Mode::kClosed ? options.concurrency : 0;

@@ -55,7 +55,8 @@ struct LoadGenOptions {
 [[nodiscard]] std::vector<Scenario> default_mix();
 
 struct LoadReport {
-  std::string mode;  ///< "closed" | "open"
+  std::string mode;    ///< "closed" | "open"
+  std::string policy;  ///< "fifo" | "locality" (the server's dispatch policy)
   int requests = 0;
   int concurrency = 0;
   double offered_qps = 0;  ///< open loop only (0 for closed)

@@ -48,16 +48,73 @@ double LatencyHistogram::percentile(double p) const {
   return max_;
 }
 
+std::uint64_t LatencyHistogram::bucket_count(int b) const {
+  DEFA_CHECK(b >= 0 && b < kBuckets, "LatencyHistogram: bucket index out of range");
+  return buckets_[static_cast<std::size_t>(b)];
+}
+
+double LatencyHistogram::bucket_lower_ms(int b) {
+  DEFA_CHECK(b >= 0 && b < kBuckets, "LatencyHistogram: bucket index out of range");
+  return b == 0 ? 0.0 : kLowestMs * std::pow(kGrowth, b - 1);
+}
+
+double LatencyHistogram::bucket_upper_ms(int b) {
+  DEFA_CHECK(b >= 0 && b < kBuckets, "LatencyHistogram: bucket index out of range");
+  return kLowestMs * std::pow(kGrowth, b);
+}
+
 api::Json LatencyHistogram::to_json() const {
   api::Json j = api::Json::object();
   j["count"] = static_cast<double>(count_);
   j["mean_ms"] = mean();
+  j["sum_ms"] = sum_;
   j["min_ms"] = min();
   j["max_ms"] = max();
   j["p50_ms"] = percentile(50);
   j["p95_ms"] = percentile(95);
   j["p99_ms"] = percentile(99);
+  // Raw sparse buckets: [index, count] pairs in index order, zero buckets
+  // omitted.  Percentiles of a merged run are recomputed from these.
+  j["bucket_lowest_ms"] = kLowestMs;
+  j["bucket_growth"] = kGrowth;
+  api::Json buckets = api::Json::array();
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[static_cast<std::size_t>(b)] == 0) continue;
+    api::Json pair = api::Json::array();
+    pair.push_back(b);
+    pair.push_back(static_cast<double>(buckets_[static_cast<std::size_t>(b)]));
+    buckets.push_back(std::move(pair));
+  }
+  j["buckets"] = std::move(buckets);
   return j;
+}
+
+LatencyHistogram LatencyHistogram::from_json(const api::Json& j) {
+  DEFA_CHECK(j.is_object(), "LatencyHistogram: expected a JSON object");
+  DEFA_CHECK(j.at("bucket_lowest_ms").as_number() == kLowestMs &&
+                 j.at("bucket_growth").as_number() == kGrowth,
+             "LatencyHistogram: bucket scale parameters do not match this build");
+  LatencyHistogram h;
+  std::uint64_t bucket_total = 0;
+  for (const api::Json& pair : j.at("buckets").items()) {
+    DEFA_CHECK(pair.is_array() && pair.size() == 2,
+               "LatencyHistogram: each bucket must be an [index, count] pair");
+    const std::int64_t b = pair.at(std::size_t{0}).as_int();
+    const std::int64_t n = pair.at(std::size_t{1}).as_int();
+    DEFA_CHECK(b >= 0 && b < kBuckets, "LatencyHistogram: bucket index out of range");
+    DEFA_CHECK(n > 0, "LatencyHistogram: bucket count must be positive");
+    h.buckets_[static_cast<std::size_t>(b)] += static_cast<std::uint64_t>(n);
+    bucket_total += static_cast<std::uint64_t>(n);
+  }
+  h.count_ = static_cast<std::uint64_t>(j.at("count").as_int());
+  DEFA_CHECK(bucket_total == h.count_,
+             "LatencyHistogram: bucket counts do not sum to 'count'");
+  h.sum_ = j.at("sum_ms").as_number();
+  h.min_ = j.at("min_ms").as_number();
+  h.max_ = j.at("max_ms").as_number();
+  DEFA_CHECK(h.count_ == 0 || (h.min_ >= 0 && h.min_ <= h.max_),
+             "LatencyHistogram: inconsistent min/max");
+  return h;
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
@@ -90,6 +147,14 @@ api::Json MetricsSnapshot::to_json() const {
   api::Json per = api::Json::object();
   for (const auto& [name, n] : per_benchmark) per[name] = static_cast<double>(n);
   j["per_benchmark"] = std::move(per);
+  api::Json cache = api::Json::object();
+  cache["context_hits"] = static_cast<double>(context_hits);
+  cache["context_misses"] = static_cast<double>(context_misses);
+  cache["context_evictions"] = static_cast<double>(context_evictions);
+  cache["context_hit_rate"] = context_hit_rate();
+  cache["memo_hits"] = static_cast<double>(memo_hits);
+  cache["memo_misses"] = static_cast<double>(memo_misses);
+  j["cache"] = std::move(cache);
   return j;
 }
 

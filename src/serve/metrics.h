@@ -44,8 +44,25 @@ class LatencyHistogram {
   /// exact observed [min, max].
   [[nodiscard]] double percentile(double p) const;
 
-  /// {count, mean_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms}
+  /// Raw count of bucket `b` (for cross-run merging and re-bucketing).
+  [[nodiscard]] std::uint64_t bucket_count(int b) const;
+  /// Lower/upper latency bound (ms) covered by bucket `b`.  Bucket 0 is
+  /// [0, kLowestMs); bucket b >= 1 is [kLowestMs * kGrowth^(b-1),
+  /// kLowestMs * kGrowth^b); the last bucket is open-ended above.
+  [[nodiscard]] static double bucket_lower_ms(int b);
+  [[nodiscard]] static double bucket_upper_ms(int b);
+
+  /// {count, mean_ms, sum_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms,
+  ///  bucket_lowest_ms, bucket_growth, buckets: [[index, count], ...]}.
+  /// `buckets` is sparse (zero buckets omitted) — the raw export makes
+  /// histograms mergeable across runs (docs/BENCH_SCHEMA.md).
   [[nodiscard]] api::Json to_json() const;
+
+  /// Strict inverse of to_json() (percentile keys are ignored; the raw
+  /// buckets are authoritative).  Throws defa::CheckError on a histogram
+  /// whose bucket counts don't sum to `count` or whose scale parameters
+  /// don't match this build's kLowestMs/kGrowth.
+  [[nodiscard]] static LatencyHistogram from_json(const api::Json& j);
 
   void merge(const LatencyHistogram& other);
 
@@ -75,6 +92,21 @@ struct MetricsSnapshot {
   LatencyHistogram total_ms;      ///< admission -> response
   /// (benchmark name, completed-ok count) in first-seen order.
   std::vector<std::pair<std::string, std::uint64_t>> per_benchmark;
+
+  /// Engine cache effectiveness at snapshot time (filled by
+  /// Server::metrics(), zero for a bare ServerMetrics::snapshot()).  The
+  /// locality scheduler is judged on context_hit_rate under a bounded
+  /// context pool — see docs/BENCH_SCHEMA.md.
+  std::uint64_t context_hits = 0;
+  std::uint64_t context_misses = 0;
+  std::uint64_t context_evictions = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+  [[nodiscard]] double context_hit_rate() const noexcept {
+    const std::uint64_t total = context_hits + context_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(context_hits) / static_cast<double>(total);
+  }
 
   [[nodiscard]] api::Json to_json() const;
 };

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file scenario.h
+/// Scenario files: a JSON description of a whole load-generation
+/// experiment — the weighted traffic mix, the arrival process, the server
+/// configuration, and an optional arrival-rate sweep — so a benchmark run
+/// is a checked-in artifact instead of a pile of command-line flags.
+/// `defa_loadgen --scenario FILE` consumes this format (worked example in
+/// docs/SERVING.md; the emitted sweep report is documented in
+/// docs/BENCH_SCHEMA.md).
+///
+/// File shape (strict: unknown keys throw):
+///   {
+///     "name": "mixed_key",               // optional experiment label
+///     "requests": 128,                   // total requests per run
+///     "seed": 1,                         // schedule + arrival jitter seed
+///     "timeout_ms": 0,                   // per-request deadline, 0 = none
+///     "arrival": {                       // closed or open loop
+///       "process": "poisson",            // "closed" | "fixed" | "poisson"
+///       "rate_qps": 400,                 //   open loop only
+///       "concurrency": 4                 //   closed loop only
+///     },
+///     "server": {                        // all optional
+///       "workers": 0, "queue_capacity": 1024,
+///       "policy": "locality", "locality_window": 8,
+///       "max_contexts": 2, "memoize_results": false
+///     },
+///     "sweep": {                         // optional: --sweep runs these
+///       "rates_qps": [100, 200, 400],
+///       "policies": ["fifo", "locality"] // default: both
+///     },
+///     "scenarios": [                     // >= 1 weighted mix entries
+///       {"name": "tiny_defa", "weight": 4, "priority": "normal",
+///        "request": {"preset": "tiny", "outputs": ["functional"]}}
+///     ]
+///   }
+
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.h"
+
+namespace defa::serve {
+
+/// Arrival-rate sweep description: each configured rate is driven
+/// open-loop once per policy, producing one latency-vs-load curve per
+/// policy over identical request schedules.
+struct SweepSpec {
+  std::vector<double> rates_qps;
+  std::vector<SchedulePolicy> policies;  ///< default {kFifo, kLocality}
+};
+
+/// A parsed scenario file: the base LoadGenOptions (single-run settings)
+/// plus the optional sweep block.
+struct ScenarioFile {
+  std::string name;
+  LoadGenOptions base;
+  bool has_sweep = false;
+  SweepSpec sweep;
+};
+
+/// Strict parse of the scenario-file format above.  Throws
+/// defa::CheckError on unknown keys, an empty mix, non-positive or
+/// non-finite weights, duplicate scenario names, unknown
+/// priority/policy/process names, or malformed embedded requests.
+[[nodiscard]] ScenarioFile scenario_file_from_json(const api::Json& j);
+
+/// Read + parse a scenario file from disk.
+[[nodiscard]] ScenarioFile load_scenario_file(const std::string& path);
+
+/// One sweep measurement: `run_loadgen` at (rate, policy).
+struct SweepPoint {
+  double rate_qps = 0;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  LoadReport report;
+};
+
+/// A full latency-vs-load sweep (the BENCH_serve_sweep.json artifact).
+struct SweepReport {
+  std::string name;
+  int requests = 0;
+  std::vector<SweepPoint> points;  ///< rate-major, policy-minor order
+
+  /// {"bench": "serve_sweep", "curve": [per-point summary rows with
+  ///  p50/p95/p99, achieved qps and context-cache hit rate], "points":
+  ///  [full LoadReport objects]} — see docs/BENCH_SCHEMA.md.
+  [[nodiscard]] api::Json to_json() const;
+};
+
+/// Run the sweep: every configured arrival rate under every configured
+/// policy, identical request schedule per (rate, policy) pair so the
+/// policies are directly comparable.  Requires `file.has_sweep`.
+[[nodiscard]] SweepReport run_sweep(const ScenarioFile& file);
+
+}  // namespace defa::serve

@@ -33,6 +33,20 @@ std::optional<Priority> priority_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+const char* policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kFifo: return "fifo";
+    case SchedulePolicy::kLocality: return "locality";
+  }
+  return "fifo";
+}
+
+std::optional<SchedulePolicy> policy_from_name(const std::string& name) {
+  if (name == "fifo") return SchedulePolicy::kFifo;
+  if (name == "locality") return SchedulePolicy::kLocality;
+  return std::nullopt;
+}
+
 const char* status_name(ResponseStatus s) {
   switch (s) {
     case ResponseStatus::kOk: return "ok";
@@ -53,8 +67,9 @@ Priority Server::dispatch_slot(std::uint64_t slot) {
 }
 
 Server::Server(ServerOptions options)
-    : options_(options), engine_(options.engine) {
+    : options_(options), engine_(options.engine), paused_(options.start_paused) {
   DEFA_CHECK(options_.queue_capacity > 0, "Server: queue_capacity must be positive");
+  DEFA_CHECK(options_.locality_window >= 1, "Server: locality_window must be >= 1");
   if (options_.max_concurrency <= 0) {
     options_.max_concurrency = ThreadPool::global().size();
   }
@@ -83,6 +98,20 @@ std::future<ServeResponse> Server::submit(ServeRequest req) {
     return future;
   }
 
+  // The affinity identity is the Engine's context-cache key.  Only the
+  // locality policy reads it, so FIFO admission skips the resolve cost.
+  // A request malformed enough that its key cannot be resolved still gets
+  // queued (the error surfaces from Engine::run with a proper response);
+  // it just joins the empty-key affinity class.
+  std::string key;
+  if (options_.policy == SchedulePolicy::kLocality) {
+    try {
+      key = req.request.workload_key();
+    } catch (const std::exception&) {
+      key.clear();
+    }
+  }
+
   bool spawn = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -95,16 +124,31 @@ std::future<ServeResponse> Server::submit(ServeRequest req) {
       return future;
     }
     auto& q = queues_[static_cast<std::size_t>(req.priority)];
-    q.push_back(Entry{std::move(req), std::move(promise), now});
+    q.push_back(Entry{std::move(req), std::move(key), std::move(promise), now, -1});
     ++queued_total_;
     ++outstanding_;
-    if (active_loops_ < options_.max_concurrency) {
+    if (!paused_ && active_loops_ < options_.max_concurrency) {
       ++active_loops_;
       spawn = true;
     }
   }
   if (spawn) ThreadPool::global().submit([this] { drain_loop(); });
   return future;
+}
+
+void Server::resume() {
+  int spawn = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!paused_) return;
+    paused_ = false;
+    const auto want = static_cast<std::int64_t>(queued_total_);
+    while (active_loops_ < options_.max_concurrency && active_loops_ < want) {
+      ++active_loops_;
+      ++spawn;
+    }
+  }
+  for (int i = 0; i < spawn; ++i) ThreadPool::global().submit([this] { drain_loop(); });
 }
 
 bool Server::pop_best_locked(Entry& out) {
@@ -118,10 +162,46 @@ bool Server::pop_best_locked(Entry& out) {
     if (p != static_cast<std::size_t>(preferred)) order[k++] = p;
   }
   for (const std::size_t p : order) {
-    if (queues_[p].empty()) continue;
-    out = std::move(queues_[p].front());
-    queues_[p].pop_front();
+    std::deque<Entry>& q = queues_[p];
+    if (q.empty()) continue;
+
+    // kFifo: oldest request in the selected class.  kLocality: keep the
+    // active workload key's window going while its fairness budget lasts;
+    // once the budget is spent, the oldest *different*-key request runs
+    // (so a same-key flood cannot starve minority keys).  Affinity only
+    // reorders within the class the priority pattern already selected.
+    std::size_t pick = 0;
+    if (options_.policy == SchedulePolicy::kLocality) {
+      if (affinity_run_ < options_.locality_window) {
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          if (q[i].key == affinity_key_) {
+            pick = i;
+            break;
+          }
+        }
+        // No queued request shares the active key: fall through to the
+        // oldest entry, which opens a fresh affinity window.
+      } else {
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          if (q[i].key != affinity_key_) {
+            pick = i;
+            break;
+          }
+        }
+        // Only the active key is queued: its window simply continues.
+      }
+    }
+
+    out = std::move(q[static_cast<std::size_t>(pick)]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(pick));
     --queued_total_;
+    out.dispatch_index = popped_seq_++;
+    if (out.key == affinity_key_) {
+      ++affinity_run_;
+    } else {
+      affinity_key_ = out.key;
+      affinity_run_ = 1;
+    }
     return true;
   }
   return false;
@@ -149,6 +229,7 @@ void Server::process(Entry entry) {
   const Clock::time_point dispatched = Clock::now();
   ServeResponse resp;
   resp.id = entry.req.id;
+  resp.dispatch_index = entry.dispatch_index;
   resp.queue_ms = ms_between(entry.admitted, dispatched);
 
   if (entry.req.deadline.has_value() && *entry.req.deadline <= dispatched) {
@@ -189,6 +270,7 @@ void Server::finish_one() {
 }
 
 void Server::drain() {
+  resume();  // a paused server would otherwise never become idle
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return outstanding_ == 0 && active_loops_ == 0; });
 }
@@ -201,7 +283,14 @@ MetricsSnapshot Server::metrics() const {
     depth = queued_total_;
     in_flight = outstanding_;
   }
-  return metrics_.snapshot(depth, in_flight);
+  MetricsSnapshot snap = metrics_.snapshot(depth, in_flight);
+  const api::Engine::CacheStats cache = engine_.cache_stats();
+  snap.context_hits = cache.context.hits;
+  snap.context_misses = cache.context.misses;
+  snap.context_evictions = cache.context.evictions;
+  snap.memo_hits = cache.memo_hits;
+  snap.memo_misses = cache.memo_misses;
+  return snap;
 }
 
 std::size_t Server::queued() const {

@@ -19,9 +19,19 @@
 ///    (`dispatch_slot`), so under a sustained flood of high-priority
 ///    traffic a low-priority request still reaches the engine within
 ///    `kDispatchPatternLen` dispatches.
+///  * **Cache locality (optional)** — under `SchedulePolicy::kLocality`
+///    the scheduler keeps draining requests that share the Engine workload
+///    key of the most recent dispatch (QUILL-style affinity batching), so
+///    same-workload requests hit the Engine's ContextPool warm.  A
+///    fairness budget (`locality_window`) bounds each key's run: after
+///    `locality_window` consecutive same-key dispatches the oldest
+///    *different*-key request is dispatched, so no key is starved.
+///    Affinity reorders only *within* the priority class the weighted
+///    pattern selected — priorities and deadlines behave exactly as under
+///    kFifo.
 ///  * **Determinism** — evaluation goes through `Engine::run`, so results
-///    are bit-identical to sequential runs regardless of concurrency or
-///    dispatch order.
+///    are bit-identical to sequential runs regardless of concurrency,
+///    dispatch order or scheduling policy.
 
 #include <array>
 #include <chrono>
@@ -35,7 +45,7 @@
 
 #include "api/engine.h"
 #include "serve/metrics.h"
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace defa::serve {
 
@@ -45,6 +55,16 @@ inline constexpr int kPriorityClasses = 3;
 [[nodiscard]] const char* priority_name(Priority p);
 /// nullopt on an unknown name ("high" | "normal" | "low").
 [[nodiscard]] std::optional<Priority> priority_from_name(const std::string& name);
+
+/// Dispatch-order policy within a priority class.
+enum class SchedulePolicy {
+  kFifo,      ///< oldest-first within the class the weighted pattern picked
+  kLocality,  ///< same-workload-key affinity batching with a fairness budget
+};
+
+[[nodiscard]] const char* policy_name(SchedulePolicy p);
+/// nullopt on an unknown name ("fifo" | "locality").
+[[nodiscard]] std::optional<SchedulePolicy> policy_from_name(const std::string& name);
 
 enum class ResponseStatus {
   kOk,
@@ -75,6 +95,9 @@ struct ServeResponse {
   double queue_ms = 0;  ///< admission -> dispatch (or rejection)
   double run_ms = 0;    ///< evaluation only
   double total_ms = 0;  ///< admission -> response
+  /// 0-based order in which the scheduler popped this request from the
+  /// queue; -1 when it was never dispatched (rejected at submit time).
+  std::int64_t dispatch_index = -1;
 };
 
 struct ServerOptions {
@@ -82,6 +105,14 @@ struct ServerOptions {
   int max_concurrency = 0;
   /// Bounded admission queue; submits beyond it are rejected.
   std::size_t queue_capacity = 1024;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// kLocality fairness budget: max consecutive same-key dispatches before
+  /// the scheduler must serve the oldest different-key request (>= 1).
+  int locality_window = 8;
+  /// When true the Server admits but does not dispatch until `resume()` —
+  /// lets callers stage a whole queue so dispatch order is deterministic
+  /// (batch prefill, scheduling tests).
+  bool start_paused = false;
   api::Engine::Options engine;
 };
 
@@ -97,7 +128,12 @@ class Server {
   /// resolves, with a rejection status when the request is not run.
   [[nodiscard]] std::future<ServeResponse> submit(ServeRequest req);
 
-  /// Block until the queue is empty and no request is evaluating.
+  /// Start dispatching (no-op unless constructed with `start_paused`).
+  void resume();
+
+  /// Block until the queue is empty and no request is evaluating.  On a
+  /// paused server this resumes dispatch first (drain would never finish
+  /// otherwise).
   void drain();
 
   [[nodiscard]] MetricsSnapshot metrics() const;
@@ -113,8 +149,10 @@ class Server {
  private:
   struct Entry {
     ServeRequest req;
+    std::string key;  ///< Engine workload key (locality affinity identity)
     std::promise<ServeResponse> promise;
     std::chrono::steady_clock::time_point admitted;
+    std::int64_t dispatch_index = -1;  ///< set by pop_best_locked
   };
 
   void drain_loop();
@@ -132,7 +170,13 @@ class Server {
   std::size_t queued_total_ = 0;                            // guarded by mu_
   std::int64_t outstanding_ = 0;  ///< admitted, future not yet set
   int active_loops_ = 0;          ///< drain loops running on the pool
+  bool paused_ = false;           ///< admits but does not dispatch
   std::uint64_t dispatch_seq_ = 0;
+  std::int64_t popped_seq_ = 0;   ///< dispatch_index source
+  // kLocality state: the workload key of the active affinity window and
+  // how many consecutive dispatches it has received.
+  std::string affinity_key_;      // guarded by mu_
+  int affinity_run_ = 0;          // guarded by mu_
 };
 
 }  // namespace defa::serve

@@ -42,6 +42,7 @@ api::Json to_json(const ServeResponse& r) {
   j["queue_ms"] = r.queue_ms;
   j["run_ms"] = r.run_ms;
   j["total_ms"] = r.total_ms;
+  j["dispatch_index"] = static_cast<double>(r.dispatch_index);
   if (r.status == ResponseStatus::kOk) {
     j["result"] = api::to_json(*r.result);
   } else {

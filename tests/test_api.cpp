@@ -219,6 +219,57 @@ TEST(Engine, MemoizationCanBeDisabled) {
   EXPECT_EQ(engine.memoized_results(), 0u);
 }
 
+TEST(Engine, CacheStatsCountHitsAndMisses) {
+  Engine engine;
+  const EvalRequest req = tiny_request();
+  (void)engine.run(req);  // memo miss + context miss
+  (void)engine.run(req);  // memo hit; the context pool is not touched
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.memo_misses, 1u);
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.context.misses, 1u);
+  EXPECT_EQ(stats.context.hits, 0u);
+  EXPECT_EQ(stats.context.evictions, 0u);
+}
+
+TEST(Engine, BoundedContextPoolEvictsLruAndStaysCorrect) {
+  // Unbounded reference results for three distinct workloads.
+  Engine reference;
+  Engine::Options opts;
+  opts.max_contexts = 2;
+  opts.memoize_results = false;  // every run really touches the pool
+  Engine engine(opts);
+
+  const ModelConfig m = ModelConfig::tiny();
+  std::vector<EvalRequest> reqs;
+  for (const std::uint64_t seed : {m.seed, m.seed + 1, m.seed + 2}) {
+    EvalRequest r;
+    r.preset = "tiny";
+    workload::SceneParams sp;
+    sp.seed = seed;
+    r.scene = sp;
+    reqs.push_back(std::move(r));
+  }
+
+  // Cycle through 3 workloads twice against a 2-context pool: every get
+  // misses (LRU always evicted the workload that comes back next) but the
+  // rebuilt contexts reproduce bit-identical results.
+  for (int round = 0; round < 2; ++round) {
+    for (const EvalRequest& r : reqs) {
+      EXPECT_EQ(engine.run(r), reference.run(r));
+      EXPECT_LE(engine.cached_contexts(), 2u);
+    }
+  }
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.context.misses, 6u);
+  EXPECT_EQ(stats.context.hits, 0u);
+  EXPECT_EQ(stats.context.evictions, 4u);
+
+  // Re-touching the most recent workloads now hits.
+  (void)engine.run(reqs[2]);
+  EXPECT_EQ(engine.cache_stats().context.hits, 1u);
+}
+
 // ---------------------------------------------------------- batch determinism
 
 TEST(Engine, BatchMatchesSequentialBitwise) {

@@ -17,12 +17,13 @@
 #include "api/engine.h"
 #include "api/request.h"
 #include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "serve/loadgen.h"
 #include "serve/metrics.h"
+#include "serve/scenario.h"
 #include "serve/scheduler.h"
 #include "serve/server_loop.h"
-#include "serve/thread_pool.h"
 
 namespace defa::serve {
 namespace {
@@ -122,6 +123,68 @@ TEST(LatencyHistogram, JsonHasPercentileKeys) {
     EXPECT_TRUE(j.contains(key)) << key;
   }
   EXPECT_EQ(j.at("count").as_int(), 1);
+}
+
+TEST(LatencyHistogram, RawBucketExportRoundTripsAndMerges) {
+  LatencyHistogram a, b;
+  for (int i = 1; i <= 500; ++i) a.record(0.01 * i);    // 0.01 .. 5 ms
+  for (int i = 1; i <= 300; ++i) b.record(10.0 * i);    // 10 .. 3000 ms
+  const api::Json ja = a.to_json();
+
+  // The sparse export's counts sum to the total observation count.
+  std::uint64_t bucket_sum = 0;
+  for (const api::Json& pair : ja.at("buckets").items()) {
+    bucket_sum += static_cast<std::uint64_t>(pair.at(std::size_t{1}).as_int());
+  }
+  EXPECT_EQ(bucket_sum, a.count());
+
+  // Round trip: the parsed histogram reproduces counts and percentiles.
+  const LatencyHistogram a2 =
+      LatencyHistogram::from_json(api::Json::parse(ja.dump()));
+  EXPECT_EQ(a2.count(), a.count());
+  EXPECT_EQ(a2.min(), a.min());
+  EXPECT_EQ(a2.max(), a.max());
+  EXPECT_EQ(a2.percentile(50), a.percentile(50));
+  EXPECT_EQ(a2.percentile(99), a.percentile(99));
+
+  // Cross-run merge: parse both exports, merge, compare with the direct
+  // in-memory merge (the documented BENCH_SCHEMA.md procedure).
+  LatencyHistogram merged_direct = a;
+  merged_direct.merge(b);
+  LatencyHistogram merged_json = LatencyHistogram::from_json(a.to_json());
+  merged_json.merge(LatencyHistogram::from_json(b.to_json()));
+  EXPECT_EQ(merged_json.count(), merged_direct.count());
+  EXPECT_EQ(merged_json.min(), merged_direct.min());
+  EXPECT_EQ(merged_json.max(), merged_direct.max());
+  EXPECT_EQ(merged_json.percentile(50), merged_direct.percentile(50));
+  EXPECT_EQ(merged_json.percentile(95), merged_direct.percentile(95));
+  EXPECT_EQ(merged_json.mean(), merged_direct.mean());
+}
+
+TEST(LatencyHistogram, FromJsonRejectsInconsistentExports) {
+  LatencyHistogram h;
+  h.record(1.0);
+  h.record(2.0);
+  // Tamper with the count so buckets no longer sum to it.
+  api::Json j = h.to_json();
+  j["count"] = 3;
+  EXPECT_THROW((void)LatencyHistogram::from_json(j), CheckError);
+  // Wrong scale parameters are rejected rather than silently re-bucketed.
+  api::Json j2 = h.to_json();
+  j2["bucket_growth"] = 2.0;
+  EXPECT_THROW((void)LatencyHistogram::from_json(j2), CheckError);
+}
+
+TEST(LatencyHistogram, BucketBoundsBracketObservations) {
+  LatencyHistogram h;
+  const double ms = 7.3;
+  h.record(ms);
+  const api::Json j = h.to_json();
+  ASSERT_EQ(j.at("buckets").size(), 1u);
+  const int b = static_cast<int>(j.at("buckets").at(std::size_t{0})
+                                     .at(std::size_t{0}).as_int());
+  EXPECT_LE(LatencyHistogram::bucket_lower_ms(b), ms);
+  EXPECT_GT(LatencyHistogram::bucket_upper_ms(b), ms);
 }
 
 // ------------------------------------------------------- Server: determinism
@@ -342,6 +405,185 @@ TEST(Server, HighPriorityFloodDoesNotStarveLowPriority) {
   EXPECT_LT(low_resp.total_ms, max_high_total);
 }
 
+// ------------------------------------------------- Server: locality policy
+
+/// One tiny-preset request on scene `scene_seed` (0 = the default scene).
+/// Distinct scenes have distinct Engine workload keys.
+ServeRequest scene_request(std::uint64_t scene_seed, const std::string& id) {
+  ServeRequest r;
+  r.id = id;
+  r.request.preset = "tiny";
+  if (scene_seed != 0) {
+    workload::SceneParams scene;
+    scene.seed = scene_seed;
+    r.request.scene = scene;
+  }
+  return r;
+}
+
+TEST(ServerLocality, SameKeyRequestsDispatchAdjacentlyUnderMixedKeyLoad) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;   // serial dispatch: one global dispatch order
+  opts.start_paused = true;   // stage the whole queue -> deterministic order
+  opts.policy = SchedulePolicy::kLocality;
+  opts.locality_window = 100;  // budget larger than either key's backlog
+  Server server(opts);
+
+  // Perfectly interleaved submissions of two workload keys.
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(scene_request(0, "a" + std::to_string(i))));
+    futures.push_back(server.submit(scene_request(977, "b" + std::to_string(i))));
+  }
+  server.resume();
+
+  // Reconstruct the dispatch order and count key switches: locality must
+  // drain one key's window before touching the other (1 switch), where
+  // FIFO order would alternate every dispatch (15 switches).
+  std::vector<std::pair<std::int64_t, std::string>> order;  // (index, key)
+  for (auto& f : futures) {
+    const ServeResponse resp = f.get();
+    ASSERT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+    ASSERT_GE(resp.dispatch_index, 0);
+    order.emplace_back(resp.dispatch_index, resp.result->workload_key);
+  }
+  std::sort(order.begin(), order.end());
+  int switches = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i].second != order[i - 1].second) ++switches;
+  }
+  EXPECT_EQ(switches, 1);
+  // Submission order is preserved within each key's window.
+  EXPECT_EQ(order.front().second, order[7].second);
+}
+
+TEST(ServerLocality, FairnessBudgetBoundsKeyMonopoly) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;
+  opts.start_paused = true;
+  opts.policy = SchedulePolicy::kLocality;
+  opts.locality_window = 2;  // after 2 same-key dispatches, rotate keys
+  Server server(opts);
+
+  // A flood of one key with a single other-key request buried at the end:
+  // the fairness budget must hand the minority key a slot after at most
+  // `locality_window` majority dispatches instead of parking it behind
+  // the whole flood.
+  std::vector<std::future<ServeResponse>> flood;
+  for (int i = 0; i < 10; ++i) {
+    flood.push_back(server.submit(scene_request(0, "flood" + std::to_string(i))));
+  }
+  std::future<ServeResponse> minority =
+      server.submit(scene_request(977, "minority"));
+  server.resume();
+
+  const ServeResponse m = minority.get();
+  ASSERT_EQ(m.status, ResponseStatus::kOk) << m.error;
+  EXPECT_EQ(m.dispatch_index, 2);  // exactly after the first exhausted window
+  for (auto& f : flood) EXPECT_EQ(f.get().status, ResponseStatus::kOk);
+}
+
+TEST(ServerLocality, DeadlineRejectionStillHonored) {
+  ServerOptions opts;
+  opts.max_concurrency = 1;
+  opts.start_paused = true;
+  opts.policy = SchedulePolicy::kLocality;
+  Server server(opts);
+
+  std::future<ServeResponse> ok = server.submit(scene_request(0, "ok"));
+  ServeRequest doomed = scene_request(0, "doomed");
+  doomed.deadline = std::chrono::steady_clock::now();  // expires immediately
+  std::future<ServeResponse> rejected = server.submit(std::move(doomed));
+  server.resume();
+
+  EXPECT_EQ(ok.get().status, ResponseStatus::kOk);
+  const ServeResponse r = rejected.get();
+  EXPECT_EQ(r.status, ResponseStatus::kRejectedDeadline);
+  EXPECT_FALSE(r.result.has_value());
+}
+
+TEST(ServerLocality, HigherContextHitRateThanFifoUnderBoundedPool) {
+  // Interleaved two-key traffic against a context pool that only holds one
+  // context, with result memoization off so every request really touches
+  // the pool.  FIFO alternates keys and misses every time; locality drains
+  // one key's window at a time and almost always hits.
+  const auto run_policy = [](SchedulePolicy policy) {
+    ServerOptions opts;
+    opts.max_concurrency = 1;
+    opts.start_paused = true;
+    opts.policy = policy;
+    opts.locality_window = 8;
+    opts.engine.max_contexts = 1;
+    opts.engine.memoize_results = false;
+    Server server(opts);
+    std::vector<std::future<ServeResponse>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(server.submit(scene_request(0, "a" + std::to_string(i))));
+      futures.push_back(server.submit(scene_request(977, "b" + std::to_string(i))));
+    }
+    server.resume();
+    for (auto& f : futures) EXPECT_EQ(f.get().status, ResponseStatus::kOk);
+    server.drain();
+    return server.metrics();
+  };
+
+  const MetricsSnapshot fifo = run_policy(SchedulePolicy::kFifo);
+  const MetricsSnapshot locality = run_policy(SchedulePolicy::kLocality);
+  // FIFO: strict a/b alternation evicts the other key's context every
+  // single dispatch.  Locality: one miss per window of 8.
+  EXPECT_EQ(fifo.context_hits, 0u);
+  EXPECT_EQ(fifo.context_misses, 16u);
+  EXPECT_EQ(locality.context_hits, 14u);
+  EXPECT_EQ(locality.context_misses, 2u);
+  EXPECT_GT(locality.context_hit_rate(), fifo.context_hit_rate());
+}
+
+TEST(ServerLocality, ResultsBitIdenticalToFifoAndSequential) {
+  const std::vector<EvalRequest> requests = mixed_key_requests();
+
+  // Sequential reference on an unbounded, memoizing engine.
+  api::Engine reference;
+  std::vector<EvalResult> expected;
+  expected.reserve(requests.size());
+  for (const EvalRequest& r : requests) expected.push_back(reference.run(r));
+
+  const auto run_policy = [&](SchedulePolicy policy) {
+    ServerOptions opts;
+    opts.policy = policy;
+    // Stress the rebuild path too: bounded contexts + no memo mean some
+    // workloads are evicted and reconstructed mid-run.
+    opts.engine.max_contexts = 2;
+    opts.engine.memoize_results = false;
+    Server server(opts);
+    std::vector<std::future<ServeResponse>> futures;
+    futures.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ServeRequest sr;
+      sr.id = "req" + std::to_string(i);
+      sr.request = requests[i];
+      sr.priority = static_cast<Priority>(i % kPriorityClasses);
+      futures.push_back(server.submit(std::move(sr)));
+    }
+    std::vector<EvalResult> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) {
+      const ServeResponse resp = f.get();
+      EXPECT_EQ(resp.status, ResponseStatus::kOk) << resp.error;
+      results.push_back(*resp.result);
+    }
+    return results;
+  };
+
+  const std::vector<EvalResult> fifo = run_policy(SchedulePolicy::kFifo);
+  const std::vector<EvalResult> locality = run_policy(SchedulePolicy::kLocality);
+  ASSERT_EQ(fifo.size(), expected.size());
+  ASSERT_EQ(locality.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fifo[i], expected[i]) << "fifo request " << i;
+    EXPECT_EQ(locality[i], expected[i]) << "locality request " << i;
+  }
+}
+
 // ----------------------------------------------------------- EvalRequest JSON
 
 TEST(RequestJson, RoundTripPreservesRequestIdentity) {
@@ -442,16 +684,180 @@ TEST(ServeLoop, ServesLinesInArrivalOrder) {
   EXPECT_EQ(responses[5].at("metrics").at("completed_ok").as_int(), 3);
 }
 
+// ------------------------------------------------------------- scenario files
+
+TEST(ScenarioFile, ParsesFullDescription) {
+  const api::Json j = api::Json::parse(R"({
+    "name": "mixed",
+    "requests": 48,
+    "seed": 9,
+    "timeout_ms": 25,
+    "arrival": {"process": "poisson", "rate_qps": 300},
+    "server": {"workers": 2, "queue_capacity": 64, "policy": "locality",
+               "locality_window": 4, "max_contexts": 2, "memoize_results": false},
+    "sweep": {"rates_qps": [100, 200]},
+    "scenarios": [
+      {"name": "a", "weight": 3,
+       "request": {"preset": "tiny", "outputs": ["functional"]}},
+      {"name": "b", "priority": "low",
+       "request": {"preset": "tiny", "scene": {"seed": 42}}}
+    ]
+  })");
+  const ScenarioFile f = scenario_file_from_json(j);
+  EXPECT_EQ(f.name, "mixed");
+  EXPECT_EQ(f.base.requests, 48);
+  EXPECT_EQ(f.base.seed, 9u);
+  EXPECT_EQ(f.base.timeout_ms, 25.0);
+  EXPECT_EQ(f.base.mode, LoadGenOptions::Mode::kOpen);
+  EXPECT_TRUE(f.base.poisson);
+  EXPECT_EQ(f.base.rate_qps, 300.0);
+  EXPECT_EQ(f.base.server.max_concurrency, 2);
+  EXPECT_EQ(f.base.server.queue_capacity, 64u);
+  EXPECT_EQ(f.base.server.policy, SchedulePolicy::kLocality);
+  EXPECT_EQ(f.base.server.locality_window, 4);
+  EXPECT_EQ(f.base.server.engine.max_contexts, 2u);
+  EXPECT_FALSE(f.base.server.engine.memoize_results);
+  ASSERT_TRUE(f.has_sweep);
+  EXPECT_EQ(f.sweep.rates_qps, (std::vector<double>{100.0, 200.0}));
+  // Policies default to the FIFO-vs-locality comparison.
+  EXPECT_EQ(f.sweep.policies,
+            (std::vector<SchedulePolicy>{SchedulePolicy::kFifo,
+                                         SchedulePolicy::kLocality}));
+  ASSERT_EQ(f.base.scenarios.size(), 2u);
+  EXPECT_EQ(f.base.scenarios[0].name, "a");
+  EXPECT_EQ(f.base.scenarios[0].weight, 3.0);
+  EXPECT_EQ(f.base.scenarios[1].priority, Priority::kLow);
+}
+
+TEST(ScenarioFile, RejectsMalformedDescriptions) {
+  const auto parse = [](const std::string& text) {
+    return scenario_file_from_json(api::Json::parse(text));
+  };
+  const std::string ok_mix =
+      R"("scenarios": [{"name": "a", "request": {"preset": "tiny"}}])";
+  // Empty / missing mix.
+  EXPECT_THROW((void)parse(R"({"scenarios": []})"), CheckError);
+  EXPECT_THROW((void)parse(R"({"requests": 4})"), CheckError);
+  // Bad weights: zero, negative, non-finite strings are malformed JSON, so
+  // zero/negative are the interesting cases.
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [{"name": "a", "weight": 0,
+                       "request": {"preset": "tiny"}}]})"),
+               CheckError);
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [{"name": "a", "weight": -1,
+                       "request": {"preset": "tiny"}}]})"),
+               CheckError);
+  // Unknown keys at every level.
+  EXPECT_THROW((void)parse(R"({"scenariosss": [], )" + ok_mix + "}"), CheckError);
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [{"name": "a", "weihgt": 1,
+                       "request": {"preset": "tiny"}}]})"),
+               CheckError);
+  EXPECT_THROW((void)parse(R"({"server": {"polciy": "fifo"}, )" + ok_mix + "}"),
+               CheckError);
+  // Unknown scenario/priority/policy/process names.
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [{"name": "a", "priority": "urgent",
+                       "request": {"preset": "tiny"}}]})"),
+               CheckError);
+  EXPECT_THROW((void)parse(R"({"server": {"policy": "lifo"}, )" + ok_mix + "}"),
+               CheckError);
+  EXPECT_THROW(
+      (void)parse(R"({"arrival": {"process": "bursty"}, )" + ok_mix + "}"),
+      CheckError);
+  // A request the Engine would reject fails at parse time.
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [{"name": "a",
+                       "request": {"preset": "nonexistent"}}]})"),
+               CheckError);
+  // Duplicate scenario names.
+  EXPECT_THROW((void)parse(
+                   R"({"scenarios": [
+                       {"name": "a", "request": {"preset": "tiny"}},
+                       {"name": "a", "request": {"preset": "tiny"}}]})"),
+               CheckError);
+  // Closed-loop settings mixed into an open-loop arrival block and back.
+  EXPECT_THROW((void)parse(R"({"arrival": {"process": "closed", "rate_qps": 10}, )" +
+                           ok_mix + "}"),
+               CheckError);
+  EXPECT_THROW((void)parse(
+                   R"({"arrival": {"process": "poisson", "concurrency": 2}, )" +
+                   ok_mix + "}"),
+               CheckError);
+  // Sweep needs at least one positive rate.
+  EXPECT_THROW((void)parse(R"({"sweep": {"rates_qps": []}, )" + ok_mix + "}"),
+               CheckError);
+  EXPECT_THROW((void)parse(R"({"sweep": {"rates_qps": [-5]}, )" + ok_mix + "}"),
+               CheckError);
+  // A sweep drives open-loop rates, so an explicitly closed-loop arrival
+  // would be silently discarded — rejected at parse time instead.
+  EXPECT_THROW((void)parse(R"({"arrival": {"process": "closed"},
+                               "sweep": {"rates_qps": [100]}, )" +
+                           ok_mix + "}"),
+               CheckError);
+  // Omitting 'arrival' entirely is fine (the sweep supplies the rates).
+  EXPECT_NO_THROW((void)parse(R"({"sweep": {"rates_qps": [100]}, )" + ok_mix + "}"));
+}
+
+TEST(ScenarioFile, SweepComparesPoliciesOnIdenticalSchedules) {
+  ScenarioFile file;
+  file.name = "unit";
+  file.base.requests = 24;
+  file.base.seed = 3;
+  file.base.server.max_concurrency = 1;
+  file.base.server.engine.max_contexts = 1;
+  file.base.server.engine.memoize_results = false;
+  file.base.scenarios = smoke_mix();
+  file.has_sweep = true;
+  file.sweep.rates_qps = {2000.0};
+  file.sweep.policies = {SchedulePolicy::kFifo, SchedulePolicy::kLocality};
+
+  const SweepReport report = run_sweep(file);
+  ASSERT_EQ(report.points.size(), 2u);
+  for (const SweepPoint& pt : report.points) {
+    EXPECT_EQ(pt.report.mode, "open");
+    EXPECT_EQ(pt.report.completed_ok, 24u);
+    // Identical schedule per policy: the per-scenario ok-counts match.
+    ASSERT_EQ(pt.report.per_scenario.size(),
+              report.points[0].report.per_scenario.size());
+    for (std::size_t s = 0; s < pt.report.per_scenario.size(); ++s) {
+      EXPECT_EQ(pt.report.per_scenario[s].completed_ok,
+                report.points[0].report.per_scenario[s].completed_ok);
+    }
+  }
+  EXPECT_EQ(report.points[0].report.policy, "fifo");
+  EXPECT_EQ(report.points[1].report.policy, "locality");
+
+  // The emitted sweep JSON carries the per-point curve with hit rates.
+  const api::Json j = api::Json::parse(report.to_json().dump(2));
+  EXPECT_EQ(j.at("bench").as_string(), "serve_sweep");
+  ASSERT_EQ(j.at("curve").size(), 2u);
+  for (const api::Json& row : j.at("curve").items()) {
+    for (const char* key : {"rate_qps", "policy", "achieved_qps", "p50_ms",
+                            "p95_ms", "p99_ms", "context_hit_rate"}) {
+      EXPECT_TRUE(row.contains(key)) << key;
+    }
+  }
+  EXPECT_EQ(j.at("points").size(), 2u);
+}
+
 // --------------------------------------------------------------------- loadgen
 
 void check_bench_serve_json(const api::Json& j) {
   for (const char* key :
-       {"bench", "mode", "requests", "completed_ok", "elapsed_ms", "achieved_qps",
-        "latency_ms", "queue_ms", "run_ms", "per_scenario", "server_metrics"}) {
+       {"bench", "mode", "policy", "requests", "completed_ok", "elapsed_ms",
+        "achieved_qps", "latency_ms", "queue_ms", "run_ms", "per_scenario",
+        "server_metrics"}) {
     EXPECT_TRUE(j.contains(key)) << key;
   }
-  for (const char* key : {"p50_ms", "p95_ms", "p99_ms"}) {
+  for (const char* key : {"p50_ms", "p95_ms", "p99_ms", "buckets", "sum_ms",
+                          "bucket_lowest_ms", "bucket_growth"}) {
     EXPECT_TRUE(j.at("latency_ms").contains(key)) << key;
+  }
+  for (const char* key : {"context_hits", "context_misses", "context_hit_rate",
+                          "memo_hits", "memo_misses"}) {
+    EXPECT_TRUE(j.at("server_metrics").at("cache").contains(key)) << key;
   }
   EXPECT_GT(j.at("achieved_qps").as_number(), 0.0);
 }

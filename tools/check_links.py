@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in Markdown files.
+
+    python3 tools/check_links.py README.md docs/*.md
+
+Checks every inline Markdown link `[text](target)`:
+  * external schemes (http/https/mailto) are skipped;
+  * `#fragment`-only targets must match a heading in the same file;
+  * relative targets must exist on disk (resolved against the file's
+    directory), and a `path#fragment` target must match a heading in the
+    linked Markdown file.
+
+Exits nonzero listing every dead link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def heading_anchor(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r"[ ]", "-", text)
+
+
+def anchors_of(path: Path) -> set:
+    # Strip code fences first: a column-0 '# comment' in a shell block is
+    # not a heading.
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {heading_anchor(h) for h in HEADING_RE.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # links inside code blocks aren't links
+    errors = []
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        if target.startswith("#"):
+            if heading_anchor(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: dead anchor '{target}'")
+            continue
+        rel, _, fragment = target.partition("#")
+        dest = (path.parent / rel).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: dead link '{target}' -> {dest}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if heading_anchor(fragment) not in anchors_of(dest):
+                errors.append(f"{path}: dead anchor '{target}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} file(s), no dead relative links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

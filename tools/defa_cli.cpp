@@ -21,7 +21,7 @@
 #include "api/engine.h"
 #include "api/registry.h"
 #include "api/result_io.h"
-#include "serve/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -74,7 +74,7 @@ int cmd_run(const std::vector<std::string>& args) {
   }
 
   // Every experiment runs (failures don't abort the rest); with --jobs > 1
-  // they fan out over the shared serve::ThreadPool, buffering tables so
+  // they fan out over the shared defa::ThreadPool, buffering tables so
   // output still appears in name order.  The Engine is shared either way,
   // so experiments touching the same benchmark reuse one context.
   defa::api::Engine engine;
@@ -88,7 +88,7 @@ int cmd_run(const std::vector<std::string>& args) {
       std::string error;
     };
     std::vector<Outcome> outcomes(names.size());
-    defa::serve::ThreadPool::global().run_indexed(
+    defa::ThreadPool::global().run_indexed(
         static_cast<std::int64_t>(names.size()), jobs, [&](std::int64_t i) {
           const auto idx = static_cast<std::size_t>(i);
           std::ostringstream tables;

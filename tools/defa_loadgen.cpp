@@ -1,16 +1,27 @@
 // defa_loadgen — open/closed-loop traffic generator for the serve stack.
 //
-//   defa_loadgen [--mode closed|open] [--requests N] [--concurrency N]
+//   defa_loadgen [--scenario FILE] [--sweep]
+//                [--mode closed|open] [--requests N] [--concurrency N]
 //                [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]
 //                [--mix smoke|default] [--workers N] [--queue-capacity N]
+//                [--policy fifo|locality] [--locality-window N]
+//                [--max-contexts N] [--no-memo]
 //                [--out FILE] [--smoke] [--quiet]
 //
-// Drives a fresh serve::Server with a weighted scenario mix (model presets
-// x scenes x prune configs), then prints a latency/throughput summary and
-// optionally writes the full report (p50/p95/p99 latency, achieved QPS,
-// per-scenario breakdown, server metrics) as JSON — the repo's
-// BENCH_serve.json artifact.
+// Drives a fresh serve::Server with a weighted scenario mix and prints a
+// latency/throughput summary; --out writes the full report (raw latency
+// histograms, achieved QPS, per-scenario breakdown, server metrics with
+// context-cache hit rates) as JSON — the repo's BENCH_serve.json artifact.
 //
+// The mix comes from a JSON scenario file (--scenario; format in
+// docs/SERVING.md) or one of the two built-in mixes (--mix).  Flags given
+// after --scenario override the file's settings.
+//
+//   --sweep   requires a scenario file with a "sweep" block: drives every
+//             configured arrival rate under every configured policy (FIFO
+//             vs locality by default) and emits one latency-vs-load curve
+//             per policy, with context-cache hit rate per point
+//             (docs/BENCH_SCHEMA.md describes the output).
 //   --smoke   shorthand for the CI configuration: closed loop, 64 requests,
 //             concurrency 4, smoke mix, --out BENCH_serve.json.
 
@@ -18,15 +29,18 @@
 #include <string>
 
 #include "api/result_io.h"
-#include "serve/loadgen.h"
+#include "serve/scenario.h"
 
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: defa_loadgen [--mode closed|open] [--requests N] [--concurrency N]\n"
+      << "usage: defa_loadgen [--scenario FILE] [--sweep]\n"
+      << "                    [--mode closed|open] [--requests N] [--concurrency N]\n"
       << "                    [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]\n"
       << "                    [--mix smoke|default] [--workers N] [--queue-capacity N]\n"
+      << "                    [--policy fifo|locality] [--locality-window N]\n"
+      << "                    [--max-contexts N] [--no-memo]\n"
       << "                    [--out FILE] [--smoke] [--quiet]\n";
   return 2;
 }
@@ -34,11 +48,12 @@ int usage() {
 void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
   out << "mode            " << r.mode;
   if (r.mode == "closed") {
-    out << " (concurrency " << r.concurrency << ")\n";
+    out << " (concurrency " << r.concurrency << ")";
   } else {
-    out << " (offered " << r.offered_qps << " qps)\n";
+    out << " (offered " << r.offered_qps << " qps)";
   }
-  out << "requests        " << r.requests << "  (ok " << r.completed_ok
+  out << ", policy " << r.policy << "\n"
+      << "requests        " << r.requests << "  (ok " << r.completed_ok
       << ", overload " << r.rejected_overload << ", deadline " << r.rejected_deadline
       << ", error " << r.errors << ")\n"
       << "elapsed         " << r.elapsed_ms << " ms\n"
@@ -47,19 +62,39 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
       << r.latency_ms.percentile(95) << "   p99 " << r.latency_ms.percentile(99)
       << "   max " << r.latency_ms.max() << "\n"
       << "queue wait (ms) p50 " << r.queue_ms.percentile(50) << "   p99 "
-      << r.queue_ms.percentile(99) << "\n";
+      << r.queue_ms.percentile(99) << "\n"
+      << "context cache   hit rate " << r.server_metrics.context_hit_rate()
+      << "  (hits " << r.server_metrics.context_hits << ", misses "
+      << r.server_metrics.context_misses << ", evictions "
+      << r.server_metrics.context_evictions << ")\n";
   for (const auto& s : r.per_scenario) {
     out << "  " << s.name << ": " << s.completed_ok << " ok, p50 "
         << s.latency_ms.percentile(50) << " ms\n";
   }
 }
 
+void print_sweep_summary(const defa::serve::SweepReport& r, std::ostream& out) {
+  out << "sweep           " << (r.name.empty() ? "(unnamed)" : r.name) << ", "
+      << r.requests << " requests per point\n"
+      << "rate_qps  policy    achieved  p50_ms    p99_ms    hit_rate\n";
+  for (const auto& pt : r.points) {
+    const defa::serve::MetricsSnapshot& m = pt.report.server_metrics;
+    out << pt.rate_qps << "  " << defa::serve::policy_name(pt.policy) << "  "
+        << pt.report.achieved_qps << "  " << pt.report.latency_ms.percentile(50)
+        << "  " << pt.report.latency_ms.percentile(99) << "  "
+        << m.context_hit_rate() << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
-  defa::serve::LoadGenOptions options;
+  defa::serve::ScenarioFile scenario;  // .base drives single runs
   std::string out_path;
   std::string mix = "smoke";
+  bool have_scenario_file = false;
+  bool mix_flag_given = false;  // --mix/--smoke conflict with --scenario
+  bool sweep = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,7 +102,14 @@ int main(int argc, char** argv) try {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
-    if (arg == "--mode") {
+    defa::serve::LoadGenOptions& options = scenario.base;
+    if (arg == "--scenario") {
+      if ((v = value()) == nullptr) return usage();
+      scenario = defa::serve::load_scenario_file(v);
+      have_scenario_file = true;
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--mode") {
       if ((v = value()) == nullptr) return usage();
       const std::string mode = v;
       if (mode == "closed") {
@@ -97,12 +139,29 @@ int main(int argc, char** argv) try {
     } else if (arg == "--mix") {
       if ((v = value()) == nullptr) return usage();
       mix = v;
+      mix_flag_given = true;
     } else if (arg == "--workers") {
       if ((v = value()) == nullptr) return usage();
       options.server.max_concurrency = std::stoi(v);
     } else if (arg == "--queue-capacity") {
       if ((v = value()) == nullptr) return usage();
       options.server.queue_capacity = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--policy") {
+      if ((v = value()) == nullptr) return usage();
+      const auto policy = defa::serve::policy_from_name(v);
+      if (!policy.has_value()) {
+        std::cerr << "unknown policy '" << v << "' (fifo|locality)\n";
+        return 2;
+      }
+      options.server.policy = *policy;
+    } else if (arg == "--locality-window") {
+      if ((v = value()) == nullptr) return usage();
+      options.server.locality_window = std::stoi(v);
+    } else if (arg == "--max-contexts") {
+      if ((v = value()) == nullptr) return usage();
+      options.server.engine.max_contexts = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--no-memo") {
+      options.server.engine.memoize_results = false;
     } else if (arg == "--out") {
       if ((v = value()) == nullptr) return usage();
       out_path = v;
@@ -111,6 +170,7 @@ int main(int argc, char** argv) try {
       options.requests = 64;
       options.concurrency = 4;
       mix = "smoke";
+      mix_flag_given = true;
       if (out_path.empty()) out_path = "BENCH_serve.json";
     } else if (arg == "--quiet") {
       quiet = true;
@@ -122,16 +182,41 @@ int main(int argc, char** argv) try {
       return 2;
     }
   }
-  if (mix == "smoke") {
-    options.scenarios = defa::serve::smoke_mix();
-  } else if (mix == "default") {
-    options.scenarios = defa::serve::default_mix();
-  } else {
-    std::cerr << "unknown mix '" << mix << "' (smoke|default)\n";
+  if (have_scenario_file && mix_flag_given) {
+    // The mix comes from exactly one place; silently ignoring one of the
+    // two would benchmark something the user didn't ask for.
+    std::cerr << "--mix/--smoke cannot be combined with --scenario "
+                 "(the scenario file defines the mix)\n";
     return 2;
   }
+  if (!have_scenario_file) {
+    if (mix == "smoke") {
+      scenario.base.scenarios = defa::serve::smoke_mix();
+    } else if (mix == "default") {
+      scenario.base.scenarios = defa::serve::default_mix();
+    } else {
+      std::cerr << "unknown mix '" << mix << "' (smoke|default)\n";
+      return 2;
+    }
+  }
 
-  const defa::serve::LoadReport report = defa::serve::run_loadgen(options);
+  if (sweep) {
+    if (!scenario.has_sweep) {
+      std::cerr << "--sweep needs a --scenario file with a \"sweep\" block\n";
+      return 2;
+    }
+    const defa::serve::SweepReport report = defa::serve::run_sweep(scenario);
+    if (!quiet) print_sweep_summary(report, std::cout);
+    if (!out_path.empty()) {
+      defa::api::write_json_file(out_path, report.to_json());
+      if (!quiet) std::cout << "wrote " << out_path << "\n";
+    }
+    std::uint64_t ok = 0;
+    for (const auto& pt : report.points) ok += pt.report.completed_ok;
+    return ok > 0 ? 0 : 1;
+  }
+
+  const defa::serve::LoadReport report = defa::serve::run_loadgen(scenario.base);
   if (!quiet) print_summary(report, std::cout);
   if (!out_path.empty()) {
     defa::api::write_json_file(out_path, report.to_json());

@@ -1,7 +1,9 @@
 // defa_serve — JSON-lines request/response server over defa::serve.
 //
 //   defa_serve [--in FILE] [--out FILE] [--workers N]
-//              [--queue-capacity N] [--metrics]
+//              [--queue-capacity N] [--policy fifo|locality]
+//              [--locality-window N] [--max-contexts N] [--no-memo]
+//              [--metrics]
 //
 // Reads one request per line (a bare EvalRequest object, or an envelope
 // {"id", "priority", "timeout_ms", "request"}) from stdin or --in, serves
@@ -24,7 +26,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: defa_serve [--in FILE] [--out FILE] [--workers N]\n"
-            << "                  [--queue-capacity N] [--metrics]\n";
+            << "                  [--queue-capacity N] [--policy fifo|locality]\n"
+            << "                  [--locality-window N] [--max-contexts N] [--no-memo]\n"
+            << "                  [--metrics]\n";
   return 2;
 }
 
@@ -54,6 +58,25 @@ int main(int argc, char** argv) try {
       const char* v = value();
       if (v == nullptr) return usage();
       options.server.queue_capacity = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      const auto policy = defa::serve::policy_from_name(v);
+      if (!policy.has_value()) {
+        std::cerr << "unknown policy '" << v << "' (fifo|locality)\n";
+        return 2;
+      }
+      options.server.policy = *policy;
+    } else if (arg == "--locality-window") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.locality_window = std::stoi(v);
+    } else if (arg == "--max-contexts") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.engine.max_contexts = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--no-memo") {
+      options.server.engine.memoize_results = false;
     } else if (arg == "--metrics") {
       options.emit_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
