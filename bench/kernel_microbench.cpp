@@ -1,6 +1,10 @@
 // Wall-clock microbenchmarks of the hot kernels of the functional model:
 // bilinear interpolation forms, the integer datapath, softmax, matmul and
-// the full fused MSGS aggregate on the tiny model.
+// the full fused MSGS aggregate on the tiny model — plus the backend
+// matrix: every registered kernels::Backend timed on the fused MSGS +
+// aggregation kernel per PruneConfig variant, with speedups against the
+// reference backend.  `--json BENCH_kernels.json` emits the repo's
+// kernel-trajectory artifact (schema in docs/BENCH_SCHEMA.md).
 //
 // Thin wrapper: the experiment body lives in the registry
 // (src/api/builtin_experiments.cpp) and runs through the shared Engine.

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 #include <ostream>
 
 #include "api/registry.h"
@@ -15,6 +16,7 @@
 #include "common/table.h"
 #include "core/experiments.h"
 #include "core/msgs.h"
+#include "kernels/plan.h"
 #include "nn/bilinear.h"
 #include "nn/linear.h"
 #include "nn/softmax.h"
@@ -715,6 +717,115 @@ double time_ns_per_op(F&& f, double budget_s = 0.05) {
   return elapsed_s * 1e9 / static_cast<double>(iters);
 }
 
+/// Noise-robust timer for the backend matrix: calibrates an iteration
+/// count to ~`batch_s` of wall time, then reports the *minimum* ns/call
+/// over `reps` batches.  The minimum is the standard robust estimator for
+/// ratio comparisons on shared machines — transient load inflates some
+/// batches, never deflates one.
+template <typename F>
+double min_ns_per_op(F&& f, double batch_s = 0.02, int reps = 5) {
+  using Clock = std::chrono::steady_clock;
+  f();  // warmup
+  const auto c0 = Clock::now();
+  f();
+  const double once_s = std::chrono::duration<double>(Clock::now() - c0).count();
+  const auto iters = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(batch_s / std::max(once_s, 1e-9)));
+  double best_s = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (std::int64_t i = 0; i < iters; ++i) f();
+    const double batch = std::chrono::duration<double>(Clock::now() - t0).count();
+    best_s = std::min(best_s, batch / static_cast<double>(iters));
+  }
+  return best_s * 1e9;
+}
+
+/// Backend-matrix section of the microbench: the fused MSGS + aggregation
+/// kernel of every registered backend, timed per PruneConfig-shaped
+/// variant on the tiny preset's default scene workload, with speedups
+/// against the `reference` backend.  Plan-consuming backends get the
+/// cached per-layer sampling plan, matching how the EncoderPipeline calls
+/// them in steady state.
+Json run_backend_matrix(std::ostream& os) {
+  const ModelConfig m = ModelConfig::tiny();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  Rng rng(4);
+  const Tensor values = Tensor::randn({m.n_in(), m.d_model}, rng);
+  const nn::MsdaFields f = wl.layer_fields(0);
+  const Tensor probs = nn::softmax_lastdim(f.logits);
+  const kernels::SamplingPlan plan = kernels::SamplingPlan::build(m, f.locs);
+  prune::PapStats pap_stats;
+  const prune::PointMask pap_mask =
+      prune::pap_prune(m, probs, core::PruneConfig::only_pap().pap_tau, &pap_stats);
+
+  struct Variant {
+    const char* config;           ///< PruneConfig-style label
+    const prune::PointMask* mask;
+    bool quantized;
+  };
+  const Variant variants[] = {
+      {"baseline", nullptr, false},
+      {"PAP", &pap_mask, false},
+      {"INT12", nullptr, true},
+      {"PAP+INT12", &pap_mask, true},
+  };
+
+  const double n_queries = static_cast<double>(m.n_in());
+  TextTable t({"kernel", "config", "backend", "ns/query", "speedup vs reference"});
+  Json matrix = Json::array();
+  double sink = 0.0;
+  // The reference backend is timed first per variant: it defines the
+  // denominator every other backend's speedup is reported against.
+  std::vector<std::string> ordered{"reference"};
+  for (const std::string& name : kernels::backend_names()) {
+    if (name != "reference") ordered.push_back(name);
+  }
+  for (const Variant& variant : variants) {
+    double reference_ns = 0.0;
+    for (const std::string& name : ordered) {
+      const kernels::Backend& backend = kernels::backend(name);
+      kernels::MsgsSpec spec;
+      spec.point_mask = variant.mask;
+      spec.quantized = variant.quantized;
+      spec.plan = &plan;
+      const double ns = min_ns_per_op([&] {
+        sink += backend.run_msgs(m, values, probs, f.locs, spec)(0, 0);
+      });
+      if (name == "reference") reference_ns = ns;
+      const double speedup = reference_ns > 0.0 ? reference_ns / ns : 0.0;
+      t.new_row()
+          .add("msgs_aggregate")
+          .add(variant.config)
+          .add(name)
+          .add_num(ns / n_queries, 1)
+          .add_num(speedup, 2);
+      Json row = Json::object();
+      row["kernel"] = "msgs_aggregate";
+      row["config"] = variant.config;
+      row["backend"] = name;
+      row["ns_per_op"] = ns;
+      row["ns_per_query"] = ns / n_queries;
+      row["speedup_vs_reference"] = speedup;
+      matrix.push_back(std::move(row));
+    }
+  }
+  os << "Backend matrix (tiny preset, default scene; plan reused as in the\n"
+        "EncoderPipeline steady state; 'reference' rows define speedup 1.0)\n\n";
+  os << t.str() << "\n";
+  os << fmt("(checksum %.3g — ignore; defeats dead-code elimination)\n\n", sink);
+
+  Json out = Json::object();
+  Json names = Json::array();
+  for (const std::string& name : kernels::backend_names()) names.push_back(name);
+  out["backends"] = std::move(names);
+  out["workload"] = "tiny/default-scene";
+  out["rows"] = std::move(matrix);
+  return out;
+}
+
 Json run_microbench_exp(Engine&, std::ostream& os) {
   os << "Kernel microbenchmarks (wall-clock; coarse, relative costs)\n\n";
 
@@ -790,10 +901,11 @@ Json run_microbench_exp(Engine&, std::ostream& os) {
   }
 
   os << t.str() << "\n";
-  os << fmt("(checksum %.3g — ignores; defeats dead-code elimination)\n", sink);
+  os << fmt("(checksum %.3g — ignores; defeats dead-code elimination)\n\n", sink);
 
   Json out = Json::object();
   out["rows"] = std::move(rows);
+  out["backend_matrix"] = run_backend_matrix(os);
   return out;
 }
 
@@ -843,9 +955,11 @@ void register_builtin_experiments() {
            "Where the sliding-window DRAM stream starts to bind under "
            "Fig. 9-style tiling.",
            run_ablation_scaling_exp});
-    r.add({"microbench", "Kernel microbenchmarks",
+    r.add({"microbench", "Kernel microbenchmarks + backend matrix",
            "Wall-clock costs of the hot functional-model kernels (bilinear "
-           "forms, INT12 datapath, softmax, matmul, fused MSGS).",
+           "forms, INT12 datapath, softmax, matmul) and the per-backend "
+           "fused-MSGS matrix with speedups vs the reference backend "
+           "(the BENCH_kernels.json artifact).",
            run_microbench_exp});
     return true;
   }();

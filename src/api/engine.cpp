@@ -4,10 +4,15 @@
 
 #include "common/parallel.h"
 #include "common/thread_pool.h"
+#include "kernels/backend.h"
 
 namespace defa::api {
 
-Engine::Engine(Options options) : options_(options), pool_(options.max_contexts) {}
+Engine::Engine(Options options) : options_(options), pool_(options.max_contexts) {
+  DEFA_CHECK(options_.backend.empty() ||
+                 kernels::find_backend(options_.backend) != nullptr,
+             "Engine: unknown backend '" + options_.backend + "'");
+}
 
 std::shared_ptr<core::BenchmarkContext> Engine::context(
     const ModelConfig& m, const workload::SceneParams& scene) {
@@ -35,26 +40,41 @@ Engine::CacheStats Engine::cache_stats() const {
   const std::lock_guard<std::mutex> lock(memo_mu_);
   s.memo_hits = memo_hits_;
   s.memo_misses = memo_misses_;
+  s.memo_evictions = memo_evictions_;
   return s;
 }
 
 EvalResult Engine::run(const EvalRequest& request) {
   request.validate();
   if (!options_.memoize_results) return evaluate(request);
-  const std::string key = request.request_key();
+  const std::string key = request.request_key(options_.backend);
   {
     const std::lock_guard<std::mutex> lock(memo_mu_);
     const auto it = memo_.find(key);
     if (it != memo_.end()) {
       ++memo_hits_;
-      return it->second;
+      it->second.last_used = ++memo_tick_;
+      return it->second.result;
     }
     ++memo_misses_;
   }
   EvalResult result = evaluate(request);
   {
     const std::lock_guard<std::mutex> lock(memo_mu_);
-    memo_.emplace(key, result);
+    if (memo_.find(key) == memo_.end()) {
+      // Mirror ContextPool: when an insert would exceed the bound, drop
+      // the least-recently-used entry (concurrent evaluations of the same
+      // key dedup on the find above).
+      if (options_.max_memo > 0 && memo_.size() >= options_.max_memo) {
+        auto lru = memo_.begin();
+        for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+          if (it->second.last_used < lru->second.last_used) lru = it;
+        }
+        memo_.erase(lru);
+        ++memo_evictions_;
+      }
+      memo_.emplace(key, MemoEntry{result, ++memo_tick_});
+    }
   }
   return result;
 }
@@ -219,7 +239,8 @@ EnergyStats energy_stats(const ModelConfig& m, const HwConfig& hw,
 
 AccuracyStats accuracy_stats(const ModelConfig& m, const core::PruneConfig& cfg,
                              const core::EncoderPipeline& pipe,
-                             const core::EncoderResult* enc) {
+                             const core::EncoderResult* enc,
+                             const kernels::Backend& backend) {
   using accuracy::ApModel;
   using accuracy::Technique;
   const ApModel& ap = ApModel::paper_calibrated();
@@ -240,7 +261,8 @@ AccuracyStats accuracy_stats(const ModelConfig& m, const core::PruneConfig& cfg,
                             const core::PruneConfig& isolated) {
     TechniqueDrop d;
     d.technique = name;
-    d.measured_error = reuse_enc ? enc->final_nrmse : pipe.run(isolated).final_nrmse;
+    d.measured_error =
+        reuse_enc ? enc->final_nrmse : pipe.run(isolated, &backend).final_nrmse;
     d.ap_drop = ap.drop(t, d.measured_error);
     a.drops.push_back(std::move(d));
   };
@@ -274,6 +296,7 @@ EvalResult Engine::evaluate(const EvalRequest& request) {
   const ModelConfig m = request.resolve_model();
   const workload::SceneParams scene = request.resolve_scene(m);
   const core::PruneConfig cfg = request.resolve_prune(m);
+  const kernels::Backend& backend = kernels::backend(request.resolve_backend(options_.backend));
   const std::shared_ptr<core::BenchmarkContext> ctx = pool_.get(m, scene);
 
   EvalResult result;
@@ -290,9 +313,12 @@ EvalResult Engine::evaluate(const EvalRequest& request) {
   core::EncoderResult enc_local;
   if (need_encoder) {
     if (default_cfg) {
-      enc = &ctx->defa_result();  // shared cache hit across requests
+      // Shared cache across requests: the first caller's backend performs
+      // the one-time build; backends are bit-identical, so reusing the
+      // cached result under any requested backend returns the same bytes.
+      enc = &ctx->defa_result(&backend);
     } else {
-      enc_local = ctx->pipeline().run(cfg);
+      enc_local = ctx->pipeline().run(cfg, &backend);
       enc = &enc_local;
     }
   }
@@ -314,7 +340,7 @@ EvalResult Engine::evaluate(const EvalRequest& request) {
   }
 
   if ((request.outputs & kAccuracy) != 0) {
-    result.accuracy = accuracy_stats(m, cfg, ctx->pipeline(), enc);
+    result.accuracy = accuracy_stats(m, cfg, ctx->pipeline(), enc, backend);
   }
 
   return result;

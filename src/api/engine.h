@@ -38,6 +38,17 @@ class Engine {
     /// ordering matter: the serve-layer locality scheduler exists to keep
     /// same-key requests adjacent so they hit this cache.
     std::size_t max_contexts = 0;
+    /// Bound on memoized EvalResults (entry count); 0 = unbounded.  A
+    /// positive bound turns the result memo into an LRU cache, mirroring
+    /// `max_contexts`; evictions are counted in CacheStats.
+    std::size_t max_memo = 0;
+    /// Compute backend every evaluation runs on, by kernels-registry name
+    /// ("reference", "fused", ...).  Empty selects the process default
+    /// (the DEFA_BACKEND environment variable, else "reference").  A
+    /// request's own `backend` field overrides this per request.  All
+    /// registered backends produce bit-identical results, so this is a
+    /// pure performance knob.
+    std::string backend;
   };
 
   Engine() : Engine(Options{}) {}
@@ -71,18 +82,26 @@ class Engine {
     core::ContextPool::CacheStats context;  ///< (model, scene) context cache
     std::uint64_t memo_hits = 0;            ///< run() served from the memo
     std::uint64_t memo_misses = 0;          ///< run() had to evaluate
+    std::uint64_t memo_evictions = 0;       ///< LRU entries dropped (max_memo)
   };
   [[nodiscard]] CacheStats cache_stats() const;
 
  private:
+  struct MemoEntry {
+    EvalResult result;
+    std::uint64_t last_used = 0;  ///< tick of the most recent run() touch
+  };
+
   [[nodiscard]] EvalResult evaluate(const EvalRequest& request);
 
   Options options_;
   core::ContextPool pool_;
   mutable std::mutex memo_mu_;
-  std::unordered_map<std::string, EvalResult> memo_;
-  std::uint64_t memo_hits_ = 0;    // guarded by memo_mu_
-  std::uint64_t memo_misses_ = 0;  // guarded by memo_mu_
+  std::unordered_map<std::string, MemoEntry> memo_;  // guarded by memo_mu_
+  std::uint64_t memo_tick_ = 0;       // guarded by memo_mu_
+  std::uint64_t memo_hits_ = 0;       // guarded by memo_mu_
+  std::uint64_t memo_misses_ = 0;     // guarded by memo_mu_
+  std::uint64_t memo_evictions_ = 0;  // guarded by memo_mu_
 };
 
 }  // namespace defa::api

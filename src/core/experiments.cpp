@@ -51,17 +51,17 @@ const EncoderPipeline& BenchmarkContext::pipeline() {
   return *pipe_;
 }
 
-void BenchmarkContext::ensure_defa_locked() {
+void BenchmarkContext::ensure_defa_locked(const kernels::Backend* backend) {
   ensure_workload_locked();
   if (defa_ == nullptr) {
     defa_ = std::make_unique<EncoderResult>(
-        pipe_->run(PruneConfig::defa_default(model_)));
+        pipe_->run(PruneConfig::defa_default(model_), backend));
   }
 }
 
-const EncoderResult& BenchmarkContext::defa_result() {
+const EncoderResult& BenchmarkContext::defa_result(const kernels::Backend* backend) {
   const std::lock_guard<std::mutex> lock(mu_);
-  ensure_defa_locked();
+  ensure_defa_locked(backend);
   return *defa_;
 }
 

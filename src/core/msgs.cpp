@@ -1,96 +1,6 @@
 #include "core/msgs.h"
 
-#include <array>
-#include <vector>
-
-#include "common/parallel.h"
-#include "nn/bilinear.h"
-#include "quant/fixed_point.h"
-#include "quant/qmsgs.h"
-
 namespace defa::core {
-
-namespace {
-
-/// fp32 path: identical math to nn::msgs_aggregate_ref, plus point masking.
-void run_fp32(const ModelConfig& m, const Tensor& values, const Tensor& probs,
-              const Tensor& locs, const prune::PointMask* pmask, Tensor& out) {
-  const int dh = m.d_head();
-  parallel_for(0, m.n_in(), [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t q = begin; q < end; ++q) {
-      std::span<float> orow = out.row(q);
-      for (int h = 0; h < m.n_heads; ++h) {
-        std::span<float> head_out = orow.subspan(static_cast<std::size_t>(h * dh),
-                                                 static_cast<std::size_t>(dh));
-        for (int l = 0; l < m.n_levels; ++l) {
-          for (int p = 0; p < m.n_points; ++p) {
-            if (pmask != nullptr && !pmask->keep(q, h, l, p)) continue;
-            const float weight = probs(q, h, static_cast<std::int64_t>(l) * m.n_points + p);
-            nn::bi_sample_accumulate(m, values, l, locs(q, h, l, p, 0),
-                                     locs(q, h, l, p, 1), h * dh, dh, weight, head_out);
-          }
-        }
-      }
-    }
-  });
-}
-
-/// Integer datapath: INTn value codes, Q0.frac fractions, Horner BI,
-/// fixed-point aggregation with int32 accumulation at the value scale.
-void run_quantized(const ModelConfig& m, const Tensor& values, const Tensor& probs,
-                   const Tensor& locs, const MsgsOptions& opt, Tensor& out) {
-  const int dh = m.d_head();
-  const quant::QTensor qvalues(values, opt.act_bits);
-  const float out_scale = qvalues.spec().scale;
-  const std::int64_t d = m.d_model;
-
-  parallel_for(0, m.n_in(), [&](std::int64_t begin, std::int64_t end) {
-    std::vector<std::int32_t> acc(static_cast<std::size_t>(dh));
-    for (std::int64_t q = begin; q < end; ++q) {
-      std::span<float> orow = out.row(q);
-      for (int h = 0; h < m.n_heads; ++h) {
-        std::fill(acc.begin(), acc.end(), 0);
-        for (int l = 0; l < m.n_levels; ++l) {
-          for (int p = 0; p < m.n_points; ++p) {
-            if (opt.point_mask != nullptr && !opt.point_mask->keep(q, h, l, p)) continue;
-            const float prob = probs(q, h, static_cast<std::int64_t>(l) * m.n_points + p);
-            const std::int32_t prob_q = quant::to_fraction_code(prob, opt.frac_bits);
-            if (prob_q == 0) continue;
-
-            const nn::BiPoint bp =
-                nn::bi_locate(locs(q, h, l, p, 0), locs(q, h, l, p, 1));
-            const std::int32_t t0_q = quant::to_fraction_code(bp.t0, opt.frac_bits);
-            const std::int32_t t1_q = quant::to_fraction_code(bp.t1, opt.frac_bits);
-
-            // Gather neighbor code rows (nullptr => zero padding).
-            std::array<const std::int16_t*, 4> nb{nullptr, nullptr, nullptr, nullptr};
-            nn::for_each_neighbor(m, l, bp, [&](int which, std::int64_t token) {
-              nb[static_cast<std::size_t>(which)] =
-                  &qvalues.codes()[static_cast<std::size_t>(token * d + h * dh)];
-            });
-
-            for (int c = 0; c < dh; ++c) {
-              const std::int32_t n0 = nb[0] != nullptr ? nb[0][c] : 0;
-              const std::int32_t n1 = nb[1] != nullptr ? nb[1][c] : 0;
-              const std::int32_t n2 = nb[2] != nullptr ? nb[2][c] : 0;
-              const std::int32_t n3 = nb[3] != nullptr ? nb[3][c] : 0;
-              const std::int32_t s =
-                  quant::bi_horner_int(n0, n1, n2, n3, t0_q, t1_q, opt.frac_bits);
-              acc[static_cast<std::size_t>(c)] +=
-                  quant::ag_weight_int(s, prob_q, opt.frac_bits);
-            }
-          }
-        }
-        for (int c = 0; c < dh; ++c) {
-          orow[static_cast<std::size_t>(h * dh + c)] =
-              static_cast<float>(acc[static_cast<std::size_t>(c)]) * out_scale;
-        }
-      }
-    }
-  });
-}
-
-}  // namespace
 
 Tensor run_msgs(const ModelConfig& m, const Tensor& values, const Tensor& probs,
                 const Tensor& locs, const MsgsOptions& options) {
@@ -99,13 +9,14 @@ Tensor run_msgs(const ModelConfig& m, const Tensor& values, const Tensor& probs,
   DEFA_CHECK(probs.rank() == 3 && probs.dim(0) == m.n_in(), "probs must be (N, H, L*P)");
   DEFA_CHECK(locs.rank() == 5 && locs.dim(0) == m.n_in(), "locs must be (N, H, L, P, 2)");
 
-  Tensor out({m.n_in(), m.d_model});
-  if (options.quantized) {
-    run_quantized(m, values, probs, locs, options, out);
-  } else {
-    run_fp32(m, values, probs, locs, options.point_mask, out);
-  }
-  return out;
+  const kernels::Backend& backend = kernels::backend_or_default(options.backend);
+  kernels::MsgsSpec spec;
+  spec.point_mask = options.point_mask;
+  spec.quantized = options.quantized;
+  spec.act_bits = options.act_bits;
+  spec.frac_bits = options.frac_bits;
+  spec.plan = options.plan;
+  return backend.run_msgs(m, values, probs, locs, spec);
 }
 
 }  // namespace defa::core

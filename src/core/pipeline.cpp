@@ -4,9 +4,7 @@
 
 #include "common/stats.h"
 #include "core/msgs.h"
-#include "nn/linear.h"
 #include "nn/norm.h"
-#include "nn/softmax.h"
 #include "quant/fixed_point.h"
 
 namespace defa::core {
@@ -148,20 +146,35 @@ void quantize_offsets(const ModelConfig& m, const Tensor& ref_norm, int bits,
 
 }  // namespace
 
-void EncoderPipeline::ensure_reference() const {
-  std::call_once(ref_once_, [this] { build_reference(); });
+void EncoderPipeline::ensure_reference(const kernels::Backend* backend) const {
+  std::call_once(ref_once_, [this, backend] { build_reference(backend); });
 }
 
-void EncoderPipeline::build_reference() const {
+namespace {
+
+/// Plan-cache key of one layer's dense geometry.
+std::string layer_plan_key(int layer) { return "layer" + std::to_string(layer); }
+
+}  // namespace
+
+void EncoderPipeline::build_reference(const kernels::Backend* backend_opt) const {
   const ModelConfig& m = wl_.model();
+  const kernels::Backend& backend = kernels::backend_or_default(backend_opt);
   Tensor x_ref = wl_.fmap();
   ref_.reserve(static_cast<std::size_t>(m.n_layers));
   for (int layer = 0; layer < m.n_layers; ++layer) {
     LayerRef lr;
     lr.fields = wl_.layer_fields(layer);
-    lr.probs = nn::softmax_lastdim(lr.fields.logits);
-    const Tensor v_ref = nn::matmul(x_ref, layer_value_weights(m, layer));
-    lr.out_ref = run_msgs(m, v_ref, lr.probs, lr.fields.locs, MsgsOptions{});
+    lr.probs = backend.softmax_lastdim(lr.fields.logits);
+    const Tensor v_ref = backend.matmul(x_ref, layer_value_weights(m, layer));
+    std::shared_ptr<const kernels::SamplingPlan> plan;
+    if (backend.wants_plan()) {
+      plan = plan_cache_.get(layer_plan_key(layer), m, lr.fields.locs);
+    }
+    MsgsOptions opt;
+    opt.backend = &backend;
+    opt.plan = plan.get();
+    lr.out_ref = run_msgs(m, v_ref, lr.probs, lr.fields.locs, opt);
     x_ref.add_(lr.out_ref);
     nn::rms_norm_rows(x_ref);
     ref_.push_back(std::move(lr));
@@ -181,8 +194,11 @@ const Tensor& EncoderPipeline::layer_probs(int layer) const {
   return ref_[static_cast<std::size_t>(layer)].probs;
 }
 
-EncoderResult EncoderPipeline::run(const PruneConfig& cfg) const {
-  ensure_reference();
+
+EncoderResult EncoderPipeline::run(const PruneConfig& cfg,
+                                   const kernels::Backend* backend_opt) const {
+  ensure_reference(backend_opt);
+  const kernels::Backend& backend = kernels::backend_or_default(backend_opt);
   const ModelConfig& m = wl_.model();
   EncoderResult result;
   result.config_label = cfg.label;
@@ -233,10 +249,18 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg) const {
     Tensor probs_hw = probs;
     if (cfg.quantize) {
       quantize_offsets(m, wl_.ref_norm(), cfg.bits, locs);
-      probs_hw = nn::softmax_lastdim(quant::fake_quantize(fields.logits, cfg.bits));
+      probs_hw = backend.softmax_lastdim(quant::fake_quantize(fields.logits, cfg.bits));
     }
     if (cfg.narrow) {
       ls.clamp = prune::clamp_to_range(m, wl_.ref_norm(), cfg.ranges, locs);
+    }
+    // Quantization and range narrowing move the sampling locations; only
+    // the unmoved dense geometry can reuse the cached per-layer plan, and
+    // only plan-consuming backends need one at all.
+    const bool dense_geometry = !cfg.quantize && !cfg.narrow;
+    std::shared_ptr<const kernels::SamplingPlan> plan;
+    if (dense_geometry && backend.wants_plan()) {
+      plan = plan_cache_.get(layer_plan_key(layer), m, locs);
     }
 
     // (2) PAP point mask from the (hardware) softmax probabilities
@@ -250,10 +274,10 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg) const {
     if (cfg.quantize) {
       const Tensor xq = quant::fake_quantize(x, cfg.bits);
       const Tensor wq = quant::fake_quantize(w_value, cfg.bits);
-      v = nn::matmul(xq, wq);
+      v = backend.matmul(xq, wq);
       v = quant::fake_quantize(v, cfg.bits);
     } else {
-      v = nn::matmul(x, w_value);
+      v = backend.matmul(x, w_value);
     }
     if (cfg.fwp) zero_pruned_rows(m, fmask, v);
 
@@ -263,6 +287,8 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg) const {
     opt.quantized = cfg.quantize;
     opt.act_bits = cfg.bits;
     opt.frac_bits = cfg.bits;
+    opt.backend = &backend;
+    opt.plan = plan.get();
     const Tensor out = run_msgs(m, v, probs_hw, locs, opt);
 
     // (5) frequency counting -> fmap mask for the next block

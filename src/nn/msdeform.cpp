@@ -68,11 +68,13 @@ Tensor locs_from_offsets(const ModelConfig& m, const Tensor& ref_norm,
     for (std::int64_t q = begin; q < end; ++q) {
       const float rx = ref_norm(q, 0);
       const float ry = ref_norm(q, 1);
-      for (int h = 0; h < m.n_heads; ++h) {
-        for (int l = 0; l < m.n_levels; ++l) {
-          const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
-          const float cx = rx * static_cast<float>(lv.w) - 0.5f;
-          const float cy = ry * static_cast<float>(lv.h) - 0.5f;
+      // The per-level center is head-invariant, so compute it once per
+      // (query, level) instead of once per (query, head, level).
+      for (int l = 0; l < m.n_levels; ++l) {
+        const LevelShape& lv = m.levels[static_cast<std::size_t>(l)];
+        const float cx = rx * static_cast<float>(lv.w) - 0.5f;
+        const float cy = ry * static_cast<float>(lv.h) - 0.5f;
+        for (int h = 0; h < m.n_heads; ++h) {
           for (int p = 0; p < m.n_points; ++p) {
             locs(q, h, l, p, 0) += cx;
             locs(q, h, l, p, 1) += cy;
@@ -132,11 +134,13 @@ Tensor msgs_aggregate_ref(const ModelConfig& m, const Tensor& values,
 }
 
 Tensor msdeform_forward_ref(const ModelConfig& m, const Tensor& x,
-                            const Tensor& ref_norm, const MsdaWeights& weights) {
+                            const Tensor& ref_norm, const MsdaWeights& weights,
+                            const kernels::Backend* backend) {
+  const kernels::Backend& b = kernels::backend_or_default(backend);
   const MsdaFields f = fields_from_weights(m, x, ref_norm, weights);
-  const Tensor probs = softmax_lastdim(f.logits);
-  const Tensor values = linear(x, weights.w_value, &weights.b_value);
-  return msgs_aggregate_ref(m, values, probs, f.locs);
+  const Tensor probs = b.softmax_lastdim(f.logits);
+  const Tensor values = b.linear(x, weights.w_value, &weights.b_value);
+  return b.run_msgs(m, values, probs, f.locs, kernels::MsgsSpec{});
 }
 
 }  // namespace defa::nn

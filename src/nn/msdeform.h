@@ -15,6 +15,7 @@
 /// Both converge on `msgs_aggregate_ref`, the dense fp32 golden aggregate.
 
 #include "config/model_config.h"
+#include "kernels/backend.h"
 #include "tensor/tensor.h"
 
 namespace defa::nn {
@@ -62,9 +63,12 @@ struct MsdaFields {
                                         const Tensor& probs, const Tensor& locs);
 
 /// Full Eq. 1 forward (softmax + value projection + MSGS + concat) from
-/// weights.  Returns the (N, D) attention output.
+/// weights.  Returns the (N, D) attention output.  The linear/softmax/MSGS
+/// work runs on `backend` (nullptr selects kernels::default_backend());
+/// every registered backend produces bit-identical fp32 results.
 [[nodiscard]] Tensor msdeform_forward_ref(const ModelConfig& m, const Tensor& x,
                                           const Tensor& ref_norm,
-                                          const MsdaWeights& weights);
+                                          const MsdaWeights& weights,
+                                          const kernels::Backend* backend = nullptr);
 
 }  // namespace defa::nn

@@ -154,6 +154,7 @@ api::Json MetricsSnapshot::to_json() const {
   cache["context_hit_rate"] = context_hit_rate();
   cache["memo_hits"] = static_cast<double>(memo_hits);
   cache["memo_misses"] = static_cast<double>(memo_misses);
+  cache["memo_evictions"] = static_cast<double>(memo_evictions);
   j["cache"] = std::move(cache);
   return j;
 }

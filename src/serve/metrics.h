@@ -102,6 +102,7 @@ struct MetricsSnapshot {
   std::uint64_t context_evictions = 0;
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
+  std::uint64_t memo_evictions = 0;  ///< result-memo LRU drops (max_memo)
   [[nodiscard]] double context_hit_rate() const noexcept {
     const std::uint64_t total = context_hits + context_misses;
     return total == 0 ? 0.0

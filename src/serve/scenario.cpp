@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "api/request.h"
 #include "common/check.h"
+#include "kernels/backend.h"
 
 namespace defa::serve {
 
@@ -52,7 +54,8 @@ void parse_server(const api::Json& j, ServerOptions& out) {
   DEFA_CHECK(j.is_object(), "scenario: 'server' must be an object");
   check_keys(j,
              {"workers", "queue_capacity", "policy", "locality_window",
-              "max_contexts", "memoize_results", "max_parallel_requests"},
+              "max_contexts", "max_memo", "memoize_results",
+              "max_parallel_requests", "backend"},
              "'server'");
   if (const api::Json* v = j.find("workers")) {
     out.max_concurrency = static_cast<int>(v->as_int());
@@ -78,8 +81,18 @@ void parse_server(const api::Json& j, ServerOptions& out) {
     DEFA_CHECK(n >= 0, "scenario: 'max_contexts' must be >= 0");
     out.engine.max_contexts = static_cast<std::size_t>(n);
   }
+  if (const api::Json* v = j.find("max_memo")) {
+    const std::int64_t n = v->as_int();
+    DEFA_CHECK(n >= 0, "scenario: 'max_memo' must be >= 0");
+    out.engine.max_memo = static_cast<std::size_t>(n);
+  }
   if (const api::Json* v = j.find("memoize_results")) {
     out.engine.memoize_results = v->as_bool();
+  }
+  if (const api::Json* v = j.find("backend")) {
+    out.engine.backend = v->as_string();
+    DEFA_CHECK(kernels::find_backend(out.engine.backend) != nullptr,
+               "scenario: unknown backend '" + out.engine.backend + "'");
   }
   if (const api::Json* v = j.find("max_parallel_requests")) {
     out.engine.max_parallel_requests = static_cast<int>(v->as_int());
@@ -221,6 +234,26 @@ api::Json SweepReport::to_json() const {
   for (const SweepPoint& pt : points) full.push_back(pt.report.to_json());
   j["points"] = std::move(full);
   return j;
+}
+
+std::string SweepReport::to_csv() const {
+  std::ostringstream csv;
+  csv << "rate_qps,policy,achieved_qps,completed_ok,rejected_overload,"
+         "rejected_deadline,errors,p50_ms,p95_ms,p99_ms,queue_p50_ms,"
+         "context_hit_rate,context_hits,context_misses,context_evictions\n";
+  for (const SweepPoint& pt : points) {
+    const MetricsSnapshot& m = pt.report.server_metrics;
+    csv << pt.rate_qps << ',' << policy_name(pt.policy) << ','
+        << pt.report.achieved_qps << ',' << pt.report.completed_ok << ','
+        << pt.report.rejected_overload << ',' << pt.report.rejected_deadline << ','
+        << pt.report.errors << ',' << pt.report.latency_ms.percentile(50) << ','
+        << pt.report.latency_ms.percentile(95) << ','
+        << pt.report.latency_ms.percentile(99) << ','
+        << pt.report.queue_ms.percentile(50) << ',' << m.context_hit_rate() << ','
+        << m.context_hits << ',' << m.context_misses << ','
+        << m.context_evictions << '\n';
+  }
+  return csv.str();
 }
 
 SweepReport run_sweep(const ScenarioFile& file) {

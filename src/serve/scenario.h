@@ -23,7 +23,8 @@
 ///     "server": {                        // all optional
 ///       "workers": 0, "queue_capacity": 1024,
 ///       "policy": "locality", "locality_window": 8,
-///       "max_contexts": 2, "memoize_results": false
+///       "max_contexts": 2, "max_memo": 64, "memoize_results": false,
+///       "backend": "fused"               // kernels-registry name
 ///     },
 ///     "sweep": {                         // optional: --sweep runs these
 ///       "rates_qps": [100, 200, 400],
@@ -85,6 +86,11 @@ struct SweepReport {
   ///  p50/p95/p99, achieved qps and context-cache hit rate], "points":
   ///  [full LoadReport objects]} — see docs/BENCH_SCHEMA.md.
   [[nodiscard]] api::Json to_json() const;
+
+  /// The curve as CSV (header + one row per rate x policy point, same
+  /// columns as the JSON "curve" rows) — the plot-ready sidecar
+  /// `defa_loadgen --sweep --out` writes next to the JSON report.
+  [[nodiscard]] std::string to_csv() const;
 };
 
 /// Run the sweep: every configured arrival rate under every configured

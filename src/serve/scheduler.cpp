@@ -290,6 +290,7 @@ MetricsSnapshot Server::metrics() const {
   snap.context_evictions = cache.context.evictions;
   snap.memo_hits = cache.memo_hits;
   snap.memo_misses = cache.memo_misses;
+  snap.memo_evictions = cache.memo_evictions;
   return snap;
 }
 

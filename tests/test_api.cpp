@@ -270,6 +270,62 @@ TEST(Engine, BoundedContextPoolEvictsLruAndStaysCorrect) {
   EXPECT_EQ(engine.cache_stats().context.hits, 1u);
 }
 
+TEST(Engine, BoundedMemoEvictsLruAndStaysCorrect) {
+  // Unbounded reference results for three distinct requests.
+  Engine reference;
+  Engine::Options opts;
+  opts.max_memo = 2;
+  Engine engine(opts);
+
+  std::vector<EvalRequest> reqs;
+  for (const int bits : {8, 10, 12}) {
+    EvalRequest r;
+    r.preset = "tiny";
+    r.prune = core::PruneConfig::only_quant(bits);
+    reqs.push_back(std::move(r));
+  }
+
+  // Cycle through 3 request identities twice against a 2-entry memo: the
+  // second round always misses (LRU evicted the entry that comes back
+  // next) but re-evaluation reproduces bit-identical results.
+  for (int round = 0; round < 2; ++round) {
+    for (const EvalRequest& r : reqs) {
+      EXPECT_EQ(engine.run(r), reference.run(r));
+      EXPECT_LE(engine.memoized_results(), 2u);
+    }
+  }
+  const Engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.memo_misses, 6u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  EXPECT_EQ(stats.memo_evictions, 4u);
+
+  // Re-touching the most recent request now hits without evicting.
+  (void)engine.run(reqs[2]);
+  EXPECT_EQ(engine.cache_stats().memo_hits, 1u);
+  EXPECT_EQ(engine.cache_stats().memo_evictions, 4u);
+}
+
+TEST(Engine, MemoLruFollowsRecencyOfUse) {
+  Engine::Options opts;
+  opts.max_memo = 2;
+  Engine engine(opts);
+  EvalRequest a = tiny_request();
+  EvalRequest b = tiny_request();
+  b.prune = core::PruneConfig::only_pap();
+  EvalRequest c = tiny_request();
+  c.prune = core::PruneConfig::only_fwp();
+
+  (void)engine.run(a);  // memo: {a}
+  (void)engine.run(b);  // memo: {a, b}
+  (void)engine.run(a);  // touch a -> b is now LRU
+  (void)engine.run(c);  // evicts b, not a
+  EXPECT_EQ(engine.cache_stats().memo_evictions, 1u);
+  (void)engine.run(a);  // still resident
+  EXPECT_EQ(engine.cache_stats().memo_hits, 2u);
+  (void)engine.run(b);  // evicted above -> miss again
+  EXPECT_EQ(engine.cache_stats().memo_misses, 4u);
+}
+
 // ---------------------------------------------------------- batch determinism
 
 TEST(Engine, BatchMatchesSequentialBitwise) {

@@ -1,0 +1,354 @@
+// Tests for the pluggable compute-backend layer (src/kernels/): registry
+// behavior, the backend-equivalence suite (fused vs reference must be
+// bit-identical in fp32 and exactly equal on the INTn datapath, under
+// every PruneConfig shape), sampling-plan correctness and plan-cache
+// reuse, and the unknown-backend error paths of the Engine / request /
+// scenario surfaces.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "api/engine.h"
+#include "api/request.h"
+#include "core/msgs.h"
+#include "core/pipeline.h"
+#include "kernels/backend.h"
+#include "kernels/plan.h"
+#include "nn/msdeform.h"
+#include "nn/softmax.h"
+#include "prune/pap.h"
+#include "serve/scenario.h"
+#include "workload/scene.h"
+
+namespace defa {
+namespace {
+
+using core::EncoderPipeline;
+using core::EncoderResult;
+using core::MsgsOptions;
+using core::PruneConfig;
+
+struct Fixture {
+  ModelConfig m = ModelConfig::tiny();
+  workload::SceneWorkload wl;
+  Tensor values;
+  Tensor probs;
+  Tensor locs;
+
+  Fixture() : wl(make_wl()) {
+    Rng rng(17);
+    values = Tensor::randn({m.n_in(), m.d_model}, rng);
+    const nn::MsdaFields f = wl.layer_fields(0);
+    probs = nn::softmax_lastdim(f.logits);
+    locs = f.locs;
+  }
+
+  workload::SceneWorkload make_wl() {
+    workload::SceneParams p;
+    p.seed = m.seed;
+    return workload::SceneWorkload(m, p);
+  }
+};
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.at_flat(i), b.at_flat(i)) << what << " diverges at flat index " << i;
+  }
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(KernelRegistry, BuiltinBackendsRegistered) {
+  const std::vector<std::string> names = kernels::backend_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fused"), names.end());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(KernelRegistry, FindAndLookup) {
+  EXPECT_NE(kernels::find_backend("reference"), nullptr);
+  EXPECT_EQ(kernels::find_backend("no_such_backend"), nullptr);
+  EXPECT_EQ(kernels::backend("fused").name(), "fused");
+  EXPECT_THROW((void)kernels::backend("no_such_backend"), CheckError);
+  try {
+    (void)kernels::backend("no_such_backend");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    // The error must list the known names so operators can self-serve.
+    EXPECT_NE(std::string(e.what()).find("reference"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fused"), std::string::npos);
+  }
+}
+
+TEST(KernelRegistry, DefaultBackendFollowsEnvironment) {
+  const char* saved = std::getenv("DEFA_BACKEND");
+  const std::string restore = saved != nullptr ? saved : "";
+  unsetenv("DEFA_BACKEND");
+  EXPECT_EQ(kernels::default_backend_name(), "reference");
+  setenv("DEFA_BACKEND", "fused", 1);
+  EXPECT_EQ(kernels::default_backend_name(), "fused");
+  // Unknown names fall back to the reference backend instead of failing
+  // every evaluation in the process.
+  setenv("DEFA_BACKEND", "no_such_backend", 1);
+  EXPECT_EQ(kernels::default_backend_name(), "reference");
+  if (saved != nullptr) {
+    setenv("DEFA_BACKEND", restore.c_str(), 1);
+  } else {
+    unsetenv("DEFA_BACKEND");
+  }
+}
+
+// ------------------------------------------------------- kernel equivalence
+
+TEST(BackendEquivalence, DenseFp32BitIdentical) {
+  Fixture fx;
+  const kernels::Backend& ref = kernels::backend("reference");
+  const kernels::Backend& fused = kernels::backend("fused");
+  const kernels::MsgsSpec spec;
+  expect_bitwise_equal(ref.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       "dense fp32");
+}
+
+TEST(BackendEquivalence, PapMaskedFp32BitIdentical) {
+  Fixture fx;
+  prune::PapStats stats;
+  const prune::PointMask mask = prune::pap_prune(fx.m, fx.probs, 0.03, &stats);
+  ASSERT_GT(stats.fraction_pruned(), 0.0);  // the mask must actually prune
+  kernels::MsgsSpec spec;
+  spec.point_mask = &mask;
+  const kernels::Backend& ref = kernels::backend("reference");
+  const kernels::Backend& fused = kernels::backend("fused");
+  expect_bitwise_equal(ref.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       "PAP-masked fp32");
+}
+
+TEST(BackendEquivalence, QuantizedExactlyEqualAcrossWidths) {
+  Fixture fx;
+  const kernels::Backend& ref = kernels::backend("reference");
+  const kernels::Backend& fused = kernels::backend("fused");
+  for (const int bits : {8, 10, 12, 14}) {
+    kernels::MsgsSpec spec;
+    spec.quantized = true;
+    spec.act_bits = bits;
+    spec.frac_bits = bits;
+    expect_bitwise_equal(ref.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                         fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                         ("INT" + std::to_string(bits)).c_str());
+  }
+}
+
+TEST(BackendEquivalence, MaskedQuantizedExactlyEqual) {
+  Fixture fx;
+  prune::PapStats stats;
+  const prune::PointMask mask = prune::pap_prune(fx.m, fx.probs, 0.03, &stats);
+  kernels::MsgsSpec spec;
+  spec.point_mask = &mask;
+  spec.quantized = true;
+  const kernels::Backend& ref = kernels::backend("reference");
+  const kernels::Backend& fused = kernels::backend("fused");
+  expect_bitwise_equal(ref.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, spec),
+                       "PAP-masked INT12");
+}
+
+TEST(BackendEquivalence, MsdeformForwardBitIdentical) {
+  const ModelConfig m = ModelConfig::tiny();
+  Rng rng(23);
+  const nn::MsdaWeights w = nn::MsdaWeights::random(m, rng);
+  const Tensor x = Tensor::randn({m.n_in(), m.d_model}, rng);
+  const Tensor ref_norm = nn::reference_points(m);
+  expect_bitwise_equal(
+      nn::msdeform_forward_ref(m, x, ref_norm, w, &kernels::backend("reference")),
+      nn::msdeform_forward_ref(m, x, ref_norm, w, &kernels::backend("fused")),
+      "msdeform forward");
+}
+
+// ---------------------------------------------------- pipeline equivalence
+
+/// Every PruneConfig shape the experiments use, on the tiny model.
+std::vector<PruneConfig> all_prune_configs(const ModelConfig& m) {
+  return {PruneConfig::baseline(),    PruneConfig::defa_default(m),
+          PruneConfig::only_fwp(),    PruneConfig::only_pap(),
+          PruneConfig::only_narrow(m), PruneConfig::only_quant(12),
+          PruneConfig::only_quant(8)};
+}
+
+TEST(BackendEquivalence, PipelineRunsIdenticalUnderEveryPruneConfig) {
+  const ModelConfig m = ModelConfig::tiny();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const EncoderPipeline pipe(wl);
+  const kernels::Backend& ref = kernels::backend("reference");
+  const kernels::Backend& fused = kernels::backend("fused");
+  for (const PruneConfig& cfg : all_prune_configs(m)) {
+    const EncoderResult a = pipe.run(cfg, &ref);
+    const EncoderResult b = pipe.run(cfg, &fused);
+    ASSERT_EQ(a.layers.size(), b.layers.size()) << cfg.label;
+    EXPECT_EQ(a.final_nrmse, b.final_nrmse) << cfg.label;
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+      EXPECT_EQ(a.layers[i].out_nrmse, b.layers[i].out_nrmse)
+          << cfg.label << " layer " << i;
+      EXPECT_EQ(a.layers[i].kept_points, b.layers[i].kept_points)
+          << cfg.label << " layer " << i;
+      EXPECT_EQ(a.layers[i].kept_pixels, b.layers[i].kept_pixels)
+          << cfg.label << " layer " << i;
+    }
+  }
+}
+
+TEST(BackendEquivalence, EngineResultsIdenticalAcrossBackends) {
+  api::EvalRequest req;
+  req.preset = "tiny";
+  req.outputs = api::kFunctional | api::kAccuracy;
+
+  api::Engine::Options ref_opts;
+  ref_opts.backend = "reference";
+  api::Engine ref_engine(ref_opts);
+  api::Engine::Options fused_opts;
+  fused_opts.backend = "fused";
+  api::Engine fused_engine(fused_opts);
+  EXPECT_EQ(ref_engine.run(req), fused_engine.run(req));
+
+  // Per-request overlay beats the engine option: the same engine must
+  // produce the same bytes under both overlays.
+  api::EvalRequest overlay = req;
+  overlay.backend = "fused";
+  EXPECT_EQ(ref_engine.run(req), ref_engine.run(overlay));
+}
+
+// ------------------------------------------------------------ sampling plan
+
+TEST(SamplingPlan, PlanAndPlanlessCallsMatchBitwise) {
+  Fixture fx;
+  const kernels::SamplingPlan plan = kernels::SamplingPlan::build(fx.m, fx.locs);
+  EXPECT_TRUE(plan.matches(fx.m));
+  const kernels::Backend& fused = kernels::backend("fused");
+  kernels::MsgsSpec with_plan;
+  with_plan.plan = &plan;
+  expect_bitwise_equal(
+      fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, kernels::MsgsSpec{}),
+      fused.run_msgs(fx.m, fx.values, fx.probs, fx.locs, with_plan),
+      "plan vs planless");
+}
+
+TEST(SamplingPlan, RejectsWrongShapes) {
+  Fixture fx;
+  Tensor bad_locs({fx.m.n_in(), fx.m.n_heads, fx.m.n_levels, fx.m.n_points, 3});
+  EXPECT_THROW((void)kernels::SamplingPlan::build(fx.m, bad_locs), CheckError);
+
+  // A plan built for another model must be rejected by the fused backend.
+  const ModelConfig other = ModelConfig::small();
+  workload::SceneParams sp;
+  sp.seed = other.seed;
+  const workload::SceneWorkload wl(other, sp);
+  const kernels::SamplingPlan plan =
+      kernels::SamplingPlan::build(other, wl.layer_fields(0).locs);
+  kernels::MsgsSpec spec;
+  spec.plan = &plan;
+  EXPECT_THROW((void)kernels::backend("fused").run_msgs(fx.m, fx.values, fx.probs,
+                                                        fx.locs, spec),
+               CheckError);
+}
+
+TEST(PlanCache, SecondGetHitsAndSharesThePlan) {
+  Fixture fx;
+  kernels::PlanCache cache;
+  const auto a = cache.get("layer0", fx.m, fx.locs);
+  const auto b = cache.get("layer0", fx.m, fx.locs);
+  EXPECT_EQ(a.get(), b.get());  // same shared plan object
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  (void)cache.get("layer1", fx.m, fx.locs);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);  // counters survive clear()
+}
+
+TEST(PlanCache, PipelineReusesLayerPlansAcrossConfigs) {
+  const ModelConfig m = ModelConfig::tiny();
+  workload::SceneParams sp;
+  sp.seed = m.seed;
+  const workload::SceneWorkload wl(m, sp);
+  const EncoderPipeline pipe(wl);
+  const kernels::Backend& fused = kernels::backend("fused");
+
+  // Building the reference trajectory populates one plan per layer...
+  (void)pipe.run(PruneConfig::baseline(), &fused);
+  const kernels::PlanCache::Stats after_build = pipe.plan_cache_stats();
+  EXPECT_EQ(after_build.misses, static_cast<std::uint64_t>(m.n_layers));
+
+  // ...and dense-geometry configs (PAP/FWP-only) only ever hit.
+  (void)pipe.run(PruneConfig::only_pap(), &fused);
+  (void)pipe.run(PruneConfig::only_fwp(), &fused);
+  const kernels::PlanCache::Stats after_runs = pipe.plan_cache_stats();
+  EXPECT_EQ(after_runs.misses, after_build.misses);
+  EXPECT_GE(after_runs.hits,
+            after_build.hits + 2 * static_cast<std::uint64_t>(m.n_layers));
+
+  // Geometry-moving configs (quantize/narrow) bypass the cache entirely.
+  (void)pipe.run(PruneConfig::only_quant(12), &fused);
+  EXPECT_EQ(pipe.plan_cache_stats().misses, after_runs.misses);
+}
+
+// ------------------------------------------------------- unknown-name paths
+
+TEST(BackendErrors, EngineOptionsRejectUnknownBackend) {
+  api::Engine::Options opts;
+  opts.backend = "no_such_backend";
+  EXPECT_THROW(api::Engine{opts}, CheckError);
+}
+
+TEST(BackendErrors, RequestValidateRejectsUnknownBackend) {
+  api::EvalRequest req;
+  req.preset = "tiny";
+  req.backend = "no_such_backend";
+  EXPECT_THROW(req.validate(), CheckError);
+  api::Engine engine;
+  EXPECT_THROW((void)engine.run(req), CheckError);
+}
+
+TEST(BackendErrors, RequestJsonRoundTripsBackendField) {
+  api::EvalRequest req;
+  req.preset = "tiny";
+  req.backend = "fused";
+  const api::EvalRequest parsed = api::eval_request_from_json(api::to_json(req));
+  ASSERT_TRUE(parsed.backend.has_value());
+  EXPECT_EQ(*parsed.backend, "fused");
+  EXPECT_EQ(parsed.request_key(), req.request_key());
+
+  // An absent field stays absent (engine default applies at run time).
+  api::EvalRequest plain;
+  plain.preset = "tiny";
+  EXPECT_FALSE(api::eval_request_from_json(api::to_json(plain)).backend.has_value());
+}
+
+TEST(BackendErrors, ScenarioFileRejectsUnknownBackend) {
+  const char* text = R"({
+    "scenarios": [{"name": "t", "request": {"preset": "tiny"}}],
+    "server": {"backend": "no_such_backend"}
+  })";
+  EXPECT_THROW((void)serve::scenario_file_from_json(api::Json::parse(text)),
+               CheckError);
+}
+
+TEST(BackendErrors, ScenarioFileAcceptsBackendAndMaxMemo) {
+  const char* text = R"({
+    "scenarios": [{"name": "t", "request": {"preset": "tiny"}}],
+    "server": {"backend": "fused", "max_memo": 32}
+  })";
+  const serve::ScenarioFile file =
+      serve::scenario_file_from_json(api::Json::parse(text));
+  EXPECT_EQ(file.base.server.engine.backend, "fused");
+  EXPECT_EQ(file.base.server.engine.max_memo, 32u);
+}
+
+}  // namespace
+}  // namespace defa

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -840,6 +841,21 @@ TEST(ScenarioFile, SweepComparesPoliciesOnIdenticalSchedules) {
     }
   }
   EXPECT_EQ(j.at("points").size(), 2u);
+
+  // The CSV sidecar mirrors the curve: a header plus one row per point,
+  // each with as many fields as the header names.
+  const std::string csv = report.to_csv();
+  std::vector<std::string> lines;
+  std::istringstream csv_stream(csv);
+  for (std::string line; std::getline(csv_stream, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u + report.points.size());
+  EXPECT_EQ(lines[0].substr(0, 16), "rate_qps,policy,");
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  for (const std::string& line : lines) EXPECT_EQ(commas(line), commas(lines[0]));
+  EXPECT_NE(lines[1].find("fifo"), std::string::npos);
+  EXPECT_NE(lines[2].find("locality"), std::string::npos);
 }
 
 // --------------------------------------------------------------------- loadgen
@@ -856,7 +872,7 @@ void check_bench_serve_json(const api::Json& j) {
     EXPECT_TRUE(j.at("latency_ms").contains(key)) << key;
   }
   for (const char* key : {"context_hits", "context_misses", "context_hit_rate",
-                          "memo_hits", "memo_misses"}) {
+                          "memo_hits", "memo_misses", "memo_evictions"}) {
     EXPECT_TRUE(j.at("server_metrics").at("cache").contains(key)) << key;
   }
   EXPECT_GT(j.at("achieved_qps").as_number(), 0.0);

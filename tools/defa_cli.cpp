@@ -6,6 +6,9 @@
 //   defa_cli run --all [--json FILE]      run everything
 //   defa_cli run ... --jobs N             fan experiments over the shared
 //                                         thread pool, N at a time
+//   defa_cli run ... --backend NAME       evaluate on a kernels backend
+//                                         (reference|fused|...; also the
+//                                         DEFA_BACKEND env var)
 //   defa_cli validate FILE                parse a JSON file emitted by run
 //
 // All experiments share one Engine, so e.g. `defa_cli run fig6b fig9 table1`
@@ -22,13 +25,16 @@
 #include "api/registry.h"
 #include "api/result_io.h"
 #include "common/thread_pool.h"
+#include "kernels/backend.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " list\n"
-            << "       " << argv0 << " run <name>... [--jobs N] [--json FILE]\n"
-            << "       " << argv0 << " run --all [--jobs N] [--json FILE]\n"
+            << "       " << argv0
+            << " run <name>... [--jobs N] [--backend NAME] [--json FILE]\n"
+            << "       " << argv0
+            << " run --all [--jobs N] [--backend NAME] [--json FILE]\n"
             << "       " << argv0 << " validate FILE\n";
   return 2;
 }
@@ -47,12 +53,21 @@ int cmd_list() {
 int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> names;
   std::string json_path;
+  defa::api::Engine::Options engine_options;
   bool all = false;
   int jobs = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") {
       if (i + 1 >= args.size()) return usage("defa_cli");
       json_path = args[++i];
+    } else if (args[i] == "--backend") {
+      if (i + 1 >= args.size()) return usage("defa_cli");
+      engine_options.backend = args[++i];
+      if (defa::kernels::find_backend(engine_options.backend) == nullptr) {
+        std::cerr << "unknown backend '" << engine_options.backend
+                  << "' (known: " << defa::kernels::known_backends() << ")\n";
+        return 2;
+      }
     } else if (args[i] == "--jobs") {
       if (i + 1 >= args.size()) return usage("defa_cli");
       jobs = std::stoi(args[++i]);
@@ -77,7 +92,7 @@ int cmd_run(const std::vector<std::string>& args) {
   // they fan out over the shared defa::ThreadPool, buffering tables so
   // output still appears in name order.  The Engine is shared either way,
   // so experiments touching the same benchmark reuse one context.
-  defa::api::Engine engine;
+  defa::api::Engine engine(engine_options);
   defa::api::Json combined = defa::api::Json::object();
   int failures = 0;
   if (jobs > 1) {

@@ -5,8 +5,8 @@
 //                [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]
 //                [--mix smoke|default] [--workers N] [--queue-capacity N]
 //                [--policy fifo|locality] [--locality-window N]
-//                [--max-contexts N] [--no-memo]
-//                [--out FILE] [--smoke] [--quiet]
+//                [--max-contexts N] [--max-memo N] [--no-memo]
+//                [--backend NAME] [--out FILE] [--smoke] [--quiet]
 //
 // Drives a fresh serve::Server with a weighted scenario mix and prints a
 // latency/throughput summary; --out writes the full report (raw latency
@@ -21,14 +21,18 @@
 //             configured arrival rate under every configured policy (FIFO
 //             vs locality by default) and emits one latency-vs-load curve
 //             per policy, with context-cache hit rate per point
-//             (docs/BENCH_SCHEMA.md describes the output).
+//             (docs/BENCH_SCHEMA.md describes the output).  With --out it
+//             also writes a plot-ready CSV sidecar (one row per
+//             rate x policy point) next to the JSON report.
 //   --smoke   shorthand for the CI configuration: closed loop, 64 requests,
 //             concurrency 4, smoke mix, --out BENCH_serve.json.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "api/result_io.h"
+#include "kernels/backend.h"
 #include "serve/scenario.h"
 
 namespace {
@@ -40,8 +44,8 @@ int usage() {
       << "                    [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]\n"
       << "                    [--mix smoke|default] [--workers N] [--queue-capacity N]\n"
       << "                    [--policy fifo|locality] [--locality-window N]\n"
-      << "                    [--max-contexts N] [--no-memo]\n"
-      << "                    [--out FILE] [--smoke] [--quiet]\n";
+      << "                    [--max-contexts N] [--max-memo N] [--no-memo]\n"
+      << "                    [--backend NAME] [--out FILE] [--smoke] [--quiet]\n";
   return 2;
 }
 
@@ -160,8 +164,19 @@ int main(int argc, char** argv) try {
     } else if (arg == "--max-contexts") {
       if ((v = value()) == nullptr) return usage();
       options.server.engine.max_contexts = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--max-memo") {
+      if ((v = value()) == nullptr) return usage();
+      options.server.engine.max_memo = static_cast<std::size_t>(std::stoul(v));
     } else if (arg == "--no-memo") {
       options.server.engine.memoize_results = false;
+    } else if (arg == "--backend") {
+      if ((v = value()) == nullptr) return usage();
+      if (defa::kernels::find_backend(v) == nullptr) {
+        std::cerr << "unknown backend '" << v
+                  << "' (known: " << defa::kernels::known_backends() << ")\n";
+        return 2;
+      }
+      options.server.engine.backend = v;
     } else if (arg == "--out") {
       if ((v = value()) == nullptr) return usage();
       out_path = v;
@@ -210,6 +225,20 @@ int main(int argc, char** argv) try {
     if (!out_path.empty()) {
       defa::api::write_json_file(out_path, report.to_json());
       if (!quiet) std::cout << "wrote " << out_path << "\n";
+      // Plot-ready sidecar: the curve rows as CSV next to the JSON report.
+      const std::size_t dot = out_path.find_last_of("./");
+      const std::string csv_path =
+          (dot != std::string::npos && out_path[dot] == '.'
+               ? out_path.substr(0, dot)
+               : out_path) +
+          ".csv";
+      std::ofstream csv(csv_path);
+      if (!csv.good()) {
+        std::cerr << "error: cannot open '" << csv_path << "' for writing\n";
+        return 1;
+      }
+      csv << report.to_csv();
+      if (!quiet) std::cout << "wrote " << csv_path << "\n";
     }
     std::uint64_t ok = 0;
     for (const auto& pt : report.points) ok += pt.report.completed_ok;

@@ -2,8 +2,8 @@
 //
 //   defa_serve [--in FILE] [--out FILE] [--workers N]
 //              [--queue-capacity N] [--policy fifo|locality]
-//              [--locality-window N] [--max-contexts N] [--no-memo]
-//              [--metrics]
+//              [--locality-window N] [--max-contexts N] [--max-memo N]
+//              [--no-memo] [--backend NAME] [--metrics]
 //
 // Reads one request per line (a bare EvalRequest object, or an envelope
 // {"id", "priority", "timeout_ms", "request"}) from stdin or --in, serves
@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "serve/server_loop.h"
 
 namespace {
@@ -27,7 +28,8 @@ namespace {
 int usage() {
   std::cerr << "usage: defa_serve [--in FILE] [--out FILE] [--workers N]\n"
             << "                  [--queue-capacity N] [--policy fifo|locality]\n"
-            << "                  [--locality-window N] [--max-contexts N] [--no-memo]\n"
+            << "                  [--locality-window N] [--max-contexts N]\n"
+            << "                  [--max-memo N] [--no-memo] [--backend NAME]\n"
             << "                  [--metrics]\n";
   return 2;
 }
@@ -75,8 +77,21 @@ int main(int argc, char** argv) try {
       const char* v = value();
       if (v == nullptr) return usage();
       options.server.engine.max_contexts = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--max-memo") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.engine.max_memo = static_cast<std::size_t>(std::stoul(v));
     } else if (arg == "--no-memo") {
       options.server.engine.memoize_results = false;
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      if (defa::kernels::find_backend(v) == nullptr) {
+        std::cerr << "unknown backend '" << v
+                  << "' (known: " << defa::kernels::known_backends() << ")\n";
+        return 2;
+      }
+      options.server.engine.backend = v;
     } else if (arg == "--metrics") {
       options.emit_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
