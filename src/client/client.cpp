@@ -1,0 +1,394 @@
+#include "client/client.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.h"
+#include "serve/server_loop.h"
+
+namespace defa::client {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a)
+      .count();
+}
+
+/// The spawned child's pipes, framed by the shared `serve::FdConnection`
+/// (shutdown() closes the child's stdin — the stdio transport's EOF; the
+/// server loop drains and exits, which in turn EOFs our read side).
+/// Also reaps the child on destruction.
+class SpawnedProcessConnection : public serve::FdConnection {
+ public:
+  SpawnedProcessConnection(int read_fd, int write_fd, pid_t child)
+      : serve::FdConnection(read_fd, write_fd, /*is_socket=*/false),
+        child_(child) {}
+
+  ~SpawnedProcessConnection() override {
+    shutdown();
+    if (child_ > 0) {
+      int status = 0;
+      ::waitpid(child_, &status, 0);
+    }
+  }
+
+ private:
+  pid_t child_ = -1;
+};
+
+void ignore_sigpipe_once() {
+  // A peer that vanishes mid-write must surface as EPIPE, not kill the
+  // process.  Sockets use MSG_NOSIGNAL; pipes need the handler change.
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------- Impl
+
+struct Client::Impl {
+  /// Resolves one pending call.  `frame == nullptr` means the call failed
+  /// locally (`code` says how: transport loss, oversized frame).
+  using FrameHandler = std::function<void(
+      const api::Json* frame, serve::ErrorCode code, const std::string& error)>;
+
+  explicit Impl(std::unique_ptr<serve::Connection> c) : conn(std::move(c)) {
+    DEFA_CHECK(conn != nullptr, "client: null connection");
+    reader = std::thread([this] { read_loop(); });
+  }
+
+  ~Impl() {
+    conn->shutdown();
+    if (reader.joinable()) reader.join();
+  }
+
+  void read_loop() {
+    std::string text;
+    while (conn->read_frame(text)) {
+      if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+      api::Json frame;
+      std::string id;
+      try {
+        frame = api::Json::parse(text);
+        if (const api::Json* i = frame.find("id")) id = i->as_string();
+      } catch (const std::exception&) {
+        continue;  // not ours to crash on; the unparseable frame is dropped
+      }
+      // An error frame the server could not attribute (id "" — it refused
+      // to parse our frame at all, e.g. oversized) cannot be correlated
+      // to one call.  The stream is desynced: fail every pending call
+      // with the server's reason instead of leaving one hanging forever.
+      if (id.empty() && frame.contains("ok") && !frame.at("ok").as_bool()) {
+        std::string reason = "server answered an unattributable error";
+        try {
+          reason += ": " + frame.at("error").at("message").as_string();
+        } catch (const std::exception&) {
+        }
+        fail_all(serve::ErrorCode::kTransport, reason);
+        continue;
+      }
+      FrameHandler handler;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto it = pending.find(id);
+        if (it == pending.end()) continue;  // unknown id (e.g. metrics line)
+        handler = std::move(it->second);
+        pending.erase(it);
+      }
+      handler(&frame, serve::ErrorCode::kInternal, "");
+    }
+    // EOF / error: fail everything still outstanding, and every call that
+    // arrives after.
+    fail_all(serve::ErrorCode::kTransport,
+             "connection closed with the call in flight");
+  }
+
+  /// Fail every pending call and refuse new ones.
+  void fail_all(serve::ErrorCode code, const std::string& reason) {
+    std::unordered_map<std::string, FrameHandler> orphaned;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      dead = true;
+      orphaned.swap(pending);
+    }
+    for (auto& [id, handler] : orphaned) handler(nullptr, code, reason);
+  }
+
+  /// Register `handler` under a fresh wire id and send the frame.  The
+  /// handler fires exactly once, possibly before this returns.  `mu` is
+  /// never held across the (potentially blocking) socket write — the
+  /// reader needs it to dispatch responses, and a full-duplex stall with
+  /// both sides' buffers full must not wedge response delivery.
+  void send_call(const std::string& method, api::Json params, FrameHandler handler) {
+    std::string id;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!dead) id = "c" + std::to_string(next_id++);
+    }
+    if (id.empty()) {
+      handler(nullptr, serve::ErrorCode::kTransport, "connection is closed");
+      return;
+    }
+    const std::string text =
+        serve::make_request_frame(id, method, std::move(params)).dump();
+    // Refuse frames the server would refuse: it answers oversized frames
+    // with an unattributable (id-less) error, which would otherwise
+    // poison every pending call on this connection.
+    if (text.size() > serve::ProtocolOptions{}.max_frame_bytes) {
+      handler(nullptr, serve::ErrorCode::kOversized,
+              "request frame of " + std::to_string(text.size()) +
+                  " bytes exceeds the protocol frame limit");
+      return;
+    }
+    bool registered = false;
+    {
+      // Register before writing (the response can race the write), and
+      // re-check `dead`: fail_all may have swept `pending` since the id
+      // was allocated, and an entry added after the sweep would leak.
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!dead) {
+        pending.emplace(id, std::move(handler));
+        registered = true;
+      }
+    }
+    if (!registered) {
+      handler(nullptr, serve::ErrorCode::kTransport, "connection is closed");
+      return;
+    }
+    bool wrote;
+    {
+      const std::lock_guard<std::mutex> wlock(write_mu);
+      wrote = conn->write_frame(text);
+    }
+    if (!wrote) {
+      // Broken pipe: take the handler back and fail it (unless the
+      // reader got the response or failed it first).
+      FrameHandler orphan;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto it = pending.find(id);
+        if (it == pending.end()) return;
+        orphan = std::move(it->second);
+        pending.erase(it);
+      }
+      orphan(nullptr, serve::ErrorCode::kTransport, "connection is closed");
+    }
+  }
+
+  /// Sync call returning the whole response frame; throws RpcError on
+  /// transport loss.
+  api::Json call_frame(const std::string& method, api::Json params) {
+    auto prom = std::make_shared<std::promise<api::Json>>();
+    std::future<api::Json> fut = prom->get_future();
+    send_call(method, std::move(params),
+              [prom](const api::Json* frame, serve::ErrorCode code,
+                     const std::string& error) {
+                if (frame == nullptr) {
+                  prom->set_exception(
+                      std::make_exception_ptr(RpcError(code, error)));
+                } else {
+                  prom->set_value(*frame);
+                }
+              });
+    return fut.get();
+  }
+
+  std::unique_ptr<serve::Connection> conn;
+  std::thread reader;
+  std::mutex mu;        ///< guards pending/dead/next_id
+  std::mutex write_mu;  ///< serializes write_frame (nested inside mu)
+  std::unordered_map<std::string, FrameHandler> pending;
+  std::uint64_t next_id = 1;
+  bool dead = false;
+};
+
+// --------------------------------------------------------------------- Client
+
+Client::Client(std::unique_ptr<serve::Connection> conn)
+    : impl_(std::make_unique<Impl>(std::move(conn))) {}
+Client::~Client() = default;
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+
+Client Client::connect(const std::string& endpoint) {
+  const serve::Endpoint ep = serve::parse_endpoint(endpoint);
+  return connect_tcp(ep.host, ep.port);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  ignore_sigpipe_once();
+  return Client(serve::tcp_connect(host, port));
+}
+
+Client Client::spawn(const std::vector<std::string>& argv) {
+  DEFA_CHECK(!argv.empty(), "client: spawn needs a command line");
+  ignore_sigpipe_once();
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  DEFA_CHECK(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+             "client: pipe() failed: " + std::string(std::strerror(errno)));
+  const pid_t pid = ::fork();
+  DEFA_CHECK(pid >= 0, "client: fork() failed: " + std::string(std::strerror(errno)));
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    // exec failed: exit hard, the parent sees EOF on its read pipe.
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  return Client(std::make_unique<SpawnedProcessConnection>(from_child[0], to_child[1],
+                                                           pid));
+}
+
+std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
+  api::Json params = api::Json::object();
+  params["request"] = api::to_json(req.request);
+  if (req.priority != serve::Priority::kNormal) {
+    params["priority"] = serve::priority_name(req.priority);
+  }
+  if (req.timeout_ms > 0) params["timeout_ms"] = req.timeout_ms;
+
+  auto prom = std::make_shared<std::promise<serve::ServeResponse>>();
+  std::future<serve::ServeResponse> fut = prom->get_future();
+  const std::string user_id = req.id;
+  const Clock::time_point sent = Clock::now();
+  impl_->send_call(
+      "eval", std::move(params),
+      [prom, user_id, sent](const api::Json* frame, serve::ErrorCode code,
+                            const std::string& error) {
+        serve::ServeResponse resp;
+        if (frame == nullptr) {
+          resp.status = serve::status_for(code);
+          resp.error = error;
+        } else {
+          try {
+            resp = serve::serve_response_from_frame(*frame);
+          } catch (const std::exception& e) {
+            resp.status = serve::ResponseStatus::kError;
+            resp.error = std::string("malformed response frame: ") + e.what();
+          }
+          // The client-observed round trip is the latency a remote caller
+          // actually experiences; server-side queue/run stay as reported.
+          resp.total_ms = ms_between(sent, Clock::now());
+        }
+        resp.id = user_id;
+        prom->set_value(std::move(resp));
+      });
+  return fut;
+}
+
+serve::ServeResponse Client::eval_response(const api::EvalRequest& req,
+                                           serve::Priority priority,
+                                           double timeout_ms) {
+  serve::ServeRequest sr;
+  sr.request = req;
+  sr.priority = priority;
+  sr.timeout_ms = timeout_ms;
+  return submit(std::move(sr)).get();
+}
+
+api::EvalResult Client::eval(const api::EvalRequest& req) {
+  serve::ServeResponse resp = eval_response(req);
+  if (resp.status != serve::ResponseStatus::kOk) {
+    throw RpcError(serve::error_code_for(resp.status), resp.error);
+  }
+  return std::move(*resp.result);
+}
+
+std::vector<serve::ServeResponse> Client::eval_batch(
+    const std::vector<api::EvalRequest>& requests, serve::Priority priority,
+    double timeout_ms) {
+  DEFA_CHECK(!requests.empty(), "client: eval_batch needs at least one request");
+  api::Json params = api::Json::object();
+  api::Json arr = api::Json::array();
+  for (const api::EvalRequest& r : requests) {
+    api::Json item = api::Json::object();
+    item["request"] = api::to_json(r);
+    arr.push_back(std::move(item));
+  }
+  params["requests"] = std::move(arr);
+  if (priority != serve::Priority::kNormal) {
+    params["priority"] = serve::priority_name(priority);
+  }
+  if (timeout_ms > 0) params["timeout_ms"] = timeout_ms;
+
+  const api::Json result = call("eval_batch", std::move(params));
+  const api::Json& items = result.at("results");
+  DEFA_CHECK(items.is_array() && items.size() == requests.size(),
+             "client: eval_batch answered " + std::to_string(items.size()) +
+                 " results for " + std::to_string(requests.size()) + " requests");
+  std::vector<serve::ServeResponse> out;
+  out.reserve(items.size());
+  for (const api::Json& item : items.items()) {
+    // Items mirror response frames minus the id; reuse the frame decoder.
+    api::Json frame = api::Json::object();
+    frame["ok"] = item.at("ok").as_bool();
+    if (const api::Json* r = item.find("result")) frame["result"] = *r;
+    if (const api::Json* e = item.find("error")) frame["error"] = *e;
+    out.push_back(serve::serve_response_from_frame(frame));
+  }
+  return out;
+}
+
+api::Json Client::call(const std::string& method, api::Json params) {
+  const api::Json frame = impl_->call_frame(method, std::move(params));
+  if (frame.at("ok").as_bool()) return frame.at("result");
+  const api::Json& err = frame.at("error");
+  const std::optional<serve::ErrorCode> code =
+      serve::error_code_from_name(err.at("code").as_string());
+  throw RpcError(code.value_or(serve::ErrorCode::kInternal),
+                 err.at("message").as_string());
+}
+
+api::Json Client::ping() { return call("ping"); }
+
+serve::MetricsSnapshot Client::metrics() {
+  return serve::MetricsSnapshot::from_json(call("metrics"));
+}
+
+std::vector<std::string> Client::backends() {
+  const api::Json result = call("backends");
+  std::vector<std::string> names;
+  for (const api::Json& n : result.at("backends").items()) {
+    names.push_back(n.as_string());
+  }
+  return names;
+}
+
+api::Json Client::experiments() { return call("experiments"); }
+
+api::Json Client::run_experiment(const std::string& name) {
+  api::Json params = api::Json::object();
+  params["name"] = name;
+  return call("experiment", std::move(params));
+}
+
+api::Json Client::drain() { return call("drain"); }
+
+const char* Client::transport_name() const noexcept {
+  return impl_->conn->transport_name();
+}
+
+}  // namespace defa::client

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file client.h
+/// `defa::client::Client` — the Protocol v1 client library
+/// (docs/PROTOCOL.md).  Connects to a `defa_serve` process over TCP
+/// (`--listen`) or over the stdio of a child process it spawns itself,
+/// and exposes the wire methods as typed calls:
+///
+///   client::Client c = client::Client::connect("127.0.0.1:7411");
+///   api::EvalRequest req;
+///   req.preset = "tiny";
+///   api::EvalResult result = c.eval(req);          // sync, throws RpcError
+///
+///   std::future<serve::ServeResponse> f = c.submit(r2);  // pipelined
+///
+/// Requests are **pipelined**: `submit()` writes the frame and returns a
+/// future immediately, any number may be in flight, and a background
+/// reader correlates completion-order responses back by frame id — so one
+/// client connection saturates a multi-worker server.  All methods are
+/// thread-safe (writes are serialized; the reader owns the socket's read
+/// side).
+///
+/// Scheduler rejections (overload/deadline/shutdown) come back as
+/// statuses in the returned `ServeResponse`, mirroring the in-process
+/// `serve::Server::submit` contract; the convenience `eval()` wrapper
+/// turns any non-ok outcome into a typed `RpcError` instead.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "serve/protocol.h"
+
+namespace defa::client {
+
+/// Typed RPC failure: the protocol error code plus the server's message
+/// (`code() == serve::ErrorCode::kTransport` when the connection died).
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(serve::ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] serve::ErrorCode code() const noexcept { return code_; }
+
+ private:
+  serve::ErrorCode code_;
+};
+
+class Client {
+ public:
+  /// Adopt an established connection (tests hand in loopback sockets).
+  explicit Client(std::unique_ptr<serve::Connection> conn);
+  ~Client();  ///< fails pending calls, joins the reader, closes
+  Client(Client&&) noexcept;
+  Client& operator=(Client&&) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// TCP-connect to "HOST:PORT" (":PORT"/"PORT" default to loopback).
+  [[nodiscard]] static Client connect(const std::string& endpoint);
+  [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
+  /// Spawn `argv` (e.g. {"./build/defa_serve"}) as a child process and
+  /// speak Protocol v1 over its stdin/stdout.  The child is terminated
+  /// (stdin closed, then waited) when the Client is destroyed.
+  [[nodiscard]] static Client spawn(const std::vector<std::string>& argv);
+
+  // ---- pipelined eval ----------------------------------------------------
+  /// Send one eval frame; the future resolves when its response arrives
+  /// (any number may be in flight).  `req.id` is echoed back in the
+  /// response; correlation uses internal wire ids, so duplicate ids are
+  /// fine.  `total_ms` in the response is the client-observed round trip
+  /// (queue_ms/run_ms/dispatch_index stay server-reported).  Transport
+  /// loss resolves the future with status kError rather than throwing.
+  [[nodiscard]] std::future<serve::ServeResponse> submit(serve::ServeRequest req);
+
+  /// Sync eval; returns the full response envelope.
+  [[nodiscard]] serve::ServeResponse eval_response(
+      const api::EvalRequest& req, serve::Priority priority = serve::Priority::kNormal,
+      double timeout_ms = 0);
+
+  /// Sync eval; returns the result or throws RpcError on any non-ok
+  /// outcome (including scheduler rejections).
+  [[nodiscard]] api::EvalResult eval(const api::EvalRequest& req);
+
+  /// One `eval_batch` frame: all requests evaluated server-side, one
+  /// response per request in request order.  Throws RpcError when the
+  /// batch itself fails (transport, malformed params); per-item failures
+  /// come back as statuses.
+  [[nodiscard]] std::vector<serve::ServeResponse> eval_batch(
+      const std::vector<api::EvalRequest>& requests,
+      serve::Priority priority = serve::Priority::kNormal, double timeout_ms = 0);
+
+  // ---- admin methods -----------------------------------------------------
+  /// Generic sync RPC: returns the `result` payload or throws RpcError.
+  api::Json call(const std::string& method, api::Json params = {});
+
+  /// Round trip returning the server's info block (policy, workers,
+  /// queue_capacity, backend, draining).
+  api::Json ping();
+  /// The server's live metrics, parsed back into a snapshot.
+  [[nodiscard]] serve::MetricsSnapshot metrics();
+  /// Registered backend names on the server.
+  [[nodiscard]] std::vector<std::string> backends();
+  /// The server's experiment registry ({"experiments": [...]}).
+  api::Json experiments();
+  /// Run one registered experiment server-side; returns {"name",
+  /// "tables", "json"} (defa_cli run --connect prints "tables" verbatim).
+  api::Json run_experiment(const std::string& name);
+  /// Graceful server shutdown: stop admitting, finish in-flight, return
+  /// final metrics ({"drained": true, "metrics": ...}).
+  api::Json drain();
+
+  /// "tcp" | "stdio" — stamped into remote load reports.
+  [[nodiscard]] const char* transport_name() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace defa::client

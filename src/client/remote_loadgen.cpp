@@ -1,0 +1,33 @@
+#include "client/remote_loadgen.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace defa::client {
+
+serve::LoadReport run_remote_loadgen(const serve::LoadGenOptions& options,
+                                     Client& client) {
+  serve::LoadTarget target;
+  target.submit = [&client](serve::ServeRequest req) {
+    return client.submit(std::move(req));
+  };
+  target.metrics = [&client] {
+    // The in-process wrapper drains before sampling so the in-flight
+    // gauge is settled.  Remotely, the last response frame can arrive a
+    // beat before the server's own bookkeeping decrements the gauge —
+    // poll it quiet (bounded) instead of snapshotting a transient.
+    serve::MetricsSnapshot m = client.metrics();
+    for (int i = 0; i < 50 && (m.in_flight > 0 || m.queue_depth > 0); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      m = client.metrics();
+    }
+    return m;
+  };
+  target.transport = client.transport_name();
+  // The dispatch policy lives in the server process; ask it.
+  target.policy = client.ping().at("server").at("policy").as_string();
+  return serve::run_loadgen_against(options, target);
+}
+
+}  // namespace defa::client

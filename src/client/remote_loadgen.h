@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file remote_loadgen.h
+/// Drive a *separate* `defa_serve` process with the serve-layer load
+/// generator: the same schedules, mixes and report schema as in-process
+/// `serve::run_loadgen`, but every request travels the wire through a
+/// `client::Client` — `defa_loadgen --connect HOST:PORT` uses this, so
+/// BENCH_serve.json gains an apples-to-apples in-process vs cross-process
+/// comparison (the report's `transport` field tells them apart).
+
+#include "client/client.h"
+#include "serve/loadgen.h"
+
+namespace defa::client {
+
+/// Run the configured traffic against `client`'s server.  Ignores
+/// `options.server` (the remote process owns its configuration; the
+/// report's `policy` and `server_metrics` are fetched over the wire via
+/// `ping`/`metrics`).  Latencies are client-observed round trips.
+[[nodiscard]] serve::LoadReport run_remote_loadgen(
+    const serve::LoadGenOptions& options, Client& client);
+
+}  // namespace defa::client

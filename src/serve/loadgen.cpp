@@ -106,12 +106,14 @@ api::Json LoadReport::to_json() const {
   j["bench"] = "serve";
   j["mode"] = mode;
   j["policy"] = policy;
+  j["transport"] = transport;
   j["requests"] = requests;
   j["concurrency"] = concurrency;
   j["offered_qps"] = offered_qps;
   j["completed_ok"] = static_cast<double>(completed_ok);
   j["rejected_overload"] = static_cast<double>(rejected_overload);
   j["rejected_deadline"] = static_cast<double>(rejected_deadline);
+  j["rejected_shutdown"] = static_cast<double>(rejected_shutdown);
   j["errors"] = static_cast<double>(errors);
   j["elapsed_ms"] = elapsed_ms;
   j["achieved_qps"] = achieved_qps;
@@ -131,17 +133,34 @@ api::Json LoadReport::to_json() const {
 }
 
 LoadReport run_loadgen(const LoadGenOptions& options) {
+  // One scope owns the Server: the target wrapper drains it before the
+  // final metrics sample, exactly as the pre-LoadTarget code did.
+  Server server(options.server);
+  LoadTarget target;
+  target.submit = [&server](ServeRequest req) { return server.submit(std::move(req)); };
+  target.metrics = [&server] {
+    server.drain();  // settle the in-flight gauge before reading it
+    return server.metrics();
+  };
+  target.transport = "inproc";
+  target.policy = policy_name(options.server.policy);
+  return run_loadgen_against(options, target);
+}
+
+LoadReport run_loadgen_against(const LoadGenOptions& options,
+                               const LoadTarget& target) {
   DEFA_CHECK(options.requests > 0, "loadgen: requests must be positive");
+  DEFA_CHECK(target.submit != nullptr && target.metrics != nullptr,
+             "loadgen: target needs submit and metrics functions");
   const std::vector<Scenario> mix =
       options.scenarios.empty() ? smoke_mix() : options.scenarios;
   const std::vector<std::size_t> schedule =
       make_schedule(mix, options.requests, options.seed);
 
-  Server server(options.server);
-
   LoadReport report;
   report.mode = options.mode == LoadGenOptions::Mode::kClosed ? "closed" : "open";
-  report.policy = policy_name(options.server.policy);
+  report.policy = target.policy;
+  report.transport = target.transport;
   report.requests = options.requests;
   report.concurrency =
       options.mode == LoadGenOptions::Mode::kClosed ? options.concurrency : 0;
@@ -181,6 +200,7 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
       }
       case ResponseStatus::kRejectedOverload: ++report.rejected_overload; break;
       case ResponseStatus::kRejectedDeadline: ++report.rejected_deadline; break;
+      case ResponseStatus::kRejectedShutdown: ++report.rejected_shutdown; break;
       case ResponseStatus::kError:
       case ResponseStatus::kBadRequest: ++report.errors; break;
     }
@@ -201,7 +221,7 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
         while (true) {
           const int k = next.fetch_add(1);
           if (k >= options.requests) return;
-          record(k, server.submit(make_request(k)).get());
+          record(k, target.submit(make_request(k)).get());
         }
       });
     }
@@ -219,7 +239,7 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
       std::this_thread::sleep_until(
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double, std::milli>(next_arrival_ms)));
-      futures.push_back(server.submit(make_request(k)));
+      futures.push_back(target.submit(make_request(k)));
       const double gap =
           options.poisson ? -mean_gap_ms * std::log(1.0 - rng.uniform()) : mean_gap_ms;
       next_arrival_ms += gap;
@@ -227,7 +247,6 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
     for (int k = 0; k < options.requests; ++k) record(k, futures[static_cast<std::size_t>(k)].get());
   }
 
-  server.drain();
   report.elapsed_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
                           Clock::now() - start)
                           .count();
@@ -235,7 +254,7 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
                             ? static_cast<double>(report.completed_ok) /
                                   (report.elapsed_ms / 1e3)
                             : 0.0;
-  report.server_metrics = server.metrics();
+  report.server_metrics = target.metrics();
   return report;
 }
 

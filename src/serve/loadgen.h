@@ -10,6 +10,8 @@
 /// same request sequence.
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -57,12 +59,16 @@ struct LoadGenOptions {
 struct LoadReport {
   std::string mode;    ///< "closed" | "open"
   std::string policy;  ///< "fifo" | "locality" (the server's dispatch policy)
+  /// How requests reached the scheduler: "inproc" (same-process Server),
+  /// or the client transport ("tcp" | "stdio") for `--connect` runs.
+  std::string transport = "inproc";
   int requests = 0;
   int concurrency = 0;
   double offered_qps = 0;  ///< open loop only (0 for closed)
   std::uint64_t completed_ok = 0;
   std::uint64_t rejected_overload = 0;
   std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_shutdown = 0;
   std::uint64_t errors = 0;
   double elapsed_ms = 0;
   double achieved_qps = 0;  ///< ok completions / elapsed
@@ -84,5 +90,24 @@ struct LoadReport {
 /// Drive a fresh Server with the configured traffic and collect the
 /// report.  Blocks until every request resolved.
 [[nodiscard]] LoadReport run_loadgen(const LoadGenOptions& options);
+
+/// Where the generated traffic goes.  `run_loadgen` wraps an in-process
+/// Server in one of these; `defa::client::run_remote_loadgen` wraps a
+/// `client::Client`, so one driver measures both sides of the
+/// in-process-vs-cross-process comparison with identical schedules.
+struct LoadTarget {
+  /// Submit one request; the future must always resolve.
+  std::function<std::future<ServeResponse>(ServeRequest)> submit;
+  /// Final server metrics for the report, sampled after every request
+  /// resolved (the in-process wrapper drains first).
+  std::function<MetricsSnapshot()> metrics;
+  std::string transport = "inproc";  ///< stamped into LoadReport::transport
+  std::string policy;                ///< the *server's* dispatch policy name
+};
+
+/// Drive an arbitrary target with the configured traffic.  Ignores
+/// `options.server` (the target owns its server configuration).
+[[nodiscard]] LoadReport run_loadgen_against(const LoadGenOptions& options,
+                                             const LoadTarget& target);
 
 }  // namespace defa::serve

@@ -136,6 +136,7 @@ api::Json MetricsSnapshot::to_json() const {
   j["completed_ok"] = static_cast<double>(completed_ok);
   j["rejected_overload"] = static_cast<double>(rejected_overload);
   j["rejected_deadline"] = static_cast<double>(rejected_deadline);
+  j["rejected_shutdown"] = static_cast<double>(rejected_shutdown);
   j["errors"] = static_cast<double>(errors);
   j["in_flight"] = static_cast<double>(in_flight);
   j["queue_depth"] = static_cast<double>(queue_depth);
@@ -159,6 +160,40 @@ api::Json MetricsSnapshot::to_json() const {
   return j;
 }
 
+MetricsSnapshot MetricsSnapshot::from_json(const api::Json& j) {
+  DEFA_CHECK(j.is_object(), "MetricsSnapshot: expected a JSON object");
+  MetricsSnapshot s;
+  const auto u64 = [&](const char* key) {
+    return static_cast<std::uint64_t>(j.at(key).as_int());
+  };
+  s.submitted = u64("submitted");
+  s.completed_ok = u64("completed_ok");
+  s.rejected_overload = u64("rejected_overload");
+  s.rejected_deadline = u64("rejected_deadline");
+  // Absent in exports from builds before the drain protocol; default 0.
+  if (j.contains("rejected_shutdown")) s.rejected_shutdown = u64("rejected_shutdown");
+  s.errors = u64("errors");
+  s.in_flight = j.at("in_flight").as_int();
+  s.queue_depth = static_cast<std::size_t>(j.at("queue_depth").as_int());
+  s.uptime_ms = j.at("uptime_ms").as_number();
+  s.qps = j.at("qps").as_number();
+  s.queue_ms = LatencyHistogram::from_json(j.at("queue_ms"));
+  s.run_ms = LatencyHistogram::from_json(j.at("run_ms"));
+  s.total_ms = LatencyHistogram::from_json(j.at("total_ms"));
+  for (const auto& [name, n] : j.at("per_benchmark").members()) {
+    s.per_benchmark.emplace_back(name, static_cast<std::uint64_t>(n.as_int()));
+  }
+  const api::Json& cache = j.at("cache");
+  s.context_hits = static_cast<std::uint64_t>(cache.at("context_hits").as_int());
+  s.context_misses = static_cast<std::uint64_t>(cache.at("context_misses").as_int());
+  s.context_evictions =
+      static_cast<std::uint64_t>(cache.at("context_evictions").as_int());
+  s.memo_hits = static_cast<std::uint64_t>(cache.at("memo_hits").as_int());
+  s.memo_misses = static_cast<std::uint64_t>(cache.at("memo_misses").as_int());
+  s.memo_evictions = static_cast<std::uint64_t>(cache.at("memo_evictions").as_int());
+  return s;
+}
+
 // ------------------------------------------------------------- ServerMetrics
 
 ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
@@ -171,6 +206,11 @@ void ServerMetrics::on_submitted() {
 void ServerMetrics::on_rejected_overload() {
   const std::lock_guard<std::mutex> lock(mu_);
   ++data_.rejected_overload;
+}
+
+void ServerMetrics::on_rejected_shutdown() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++data_.rejected_shutdown;
 }
 
 void ServerMetrics::on_rejected_deadline(double queue_ms) {

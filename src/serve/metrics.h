@@ -82,6 +82,7 @@ struct MetricsSnapshot {
   std::uint64_t completed_ok = 0;
   std::uint64_t rejected_overload = 0;
   std::uint64_t rejected_deadline = 0;
+  std::uint64_t rejected_shutdown = 0;  ///< submitted during/after drain
   std::uint64_t errors = 0;
   std::int64_t in_flight = 0;     ///< admitted, response not yet delivered
   std::size_t queue_depth = 0;    ///< waiting for dispatch at snapshot time
@@ -110,6 +111,13 @@ struct MetricsSnapshot {
   }
 
   [[nodiscard]] api::Json to_json() const;
+
+  /// Inverse of to_json(): rebuilds a snapshot from the exported form
+  /// (histograms through `LatencyHistogram::from_json`).  The remote
+  /// `defa_loadgen --connect` path uses this to embed the *server*
+  /// process's metrics in its report.  Throws defa::CheckError on missing
+  /// keys or inconsistent histograms.
+  [[nodiscard]] static MetricsSnapshot from_json(const api::Json& j);
 };
 
 /// Thread-safe metrics sink.  All mutators are O(1) under one mutex; the
@@ -120,6 +128,7 @@ class ServerMetrics {
 
   void on_submitted();
   void on_rejected_overload();
+  void on_rejected_shutdown();
   void on_rejected_deadline(double queue_ms);
   void on_completed(const std::string& benchmark, double queue_ms, double run_ms,
                     double total_ms);

@@ -1,0 +1,540 @@
+#include "serve/protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/request.h"
+#include "common/check.h"
+#include "kernels/backend.h"
+#include "serve/server_loop.h"
+
+namespace defa::serve {
+
+// ------------------------------------------------------------------ ErrorCode
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kValidation: return "validation";
+    case ErrorCode::kVersion: return "version";
+    case ErrorCode::kUnknownMethod: return "unknown_method";
+    case ErrorCode::kOversized: return "oversized";
+    case ErrorCode::kOverload: return "overload";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTransport: return "transport";
+  }
+  return "internal";
+}
+
+std::optional<ErrorCode> error_code_from_name(const std::string& name) {
+  for (const ErrorCode c :
+       {ErrorCode::kParse, ErrorCode::kValidation, ErrorCode::kVersion,
+        ErrorCode::kUnknownMethod, ErrorCode::kOversized, ErrorCode::kOverload,
+        ErrorCode::kDeadline, ErrorCode::kShutdown, ErrorCode::kInternal,
+        ErrorCode::kTransport}) {
+    if (name == error_code_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+ErrorCode error_code_for(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kOk: return ErrorCode::kInternal;  // not an error
+    case ResponseStatus::kRejectedOverload: return ErrorCode::kOverload;
+    case ResponseStatus::kRejectedDeadline: return ErrorCode::kDeadline;
+    case ResponseStatus::kRejectedShutdown: return ErrorCode::kShutdown;
+    case ResponseStatus::kError: return ErrorCode::kInternal;
+    case ResponseStatus::kBadRequest: return ErrorCode::kValidation;
+  }
+  return ErrorCode::kInternal;
+}
+
+ResponseStatus status_for(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOverload: return ResponseStatus::kRejectedOverload;
+    case ErrorCode::kDeadline: return ResponseStatus::kRejectedDeadline;
+    case ErrorCode::kShutdown: return ResponseStatus::kRejectedShutdown;
+    case ErrorCode::kInternal: return ResponseStatus::kError;
+    case ErrorCode::kTransport: return ResponseStatus::kError;
+    case ErrorCode::kParse:
+    case ErrorCode::kValidation:
+    case ErrorCode::kVersion:
+    case ErrorCode::kUnknownMethod:
+    case ErrorCode::kOversized: return ResponseStatus::kBadRequest;
+  }
+  return ResponseStatus::kError;
+}
+
+// --------------------------------------------------------------------- frames
+
+api::Json make_request_frame(const std::string& id, const std::string& method,
+                             api::Json params) {
+  api::Json j = api::Json::object();
+  j["v"] = kProtocolVersion;
+  j["id"] = id;
+  j["method"] = method;
+  if (!params.is_null()) j["params"] = std::move(params);
+  return j;
+}
+
+api::Json make_ok_frame(const std::string& id, api::Json result) {
+  api::Json j = api::Json::object();
+  j["v"] = kProtocolVersion;
+  j["id"] = id;
+  j["ok"] = true;
+  j["result"] = std::move(result);
+  return j;
+}
+
+api::Json make_error_frame(const std::string& id, ErrorCode code,
+                           const std::string& message) {
+  api::Json j = api::Json::object();
+  j["v"] = kProtocolVersion;
+  j["id"] = id;
+  j["ok"] = false;
+  api::Json err = api::Json::object();
+  err["code"] = error_code_name(code);
+  err["message"] = message;
+  j["error"] = std::move(err);
+  return j;
+}
+
+api::Json eval_result_payload(const ServeResponse& r) {
+  DEFA_CHECK(r.status == ResponseStatus::kOk && r.result.has_value(),
+             "protocol: eval_result_payload needs a completed response");
+  api::Json j = api::Json::object();
+  j["queue_ms"] = r.queue_ms;
+  j["run_ms"] = r.run_ms;
+  j["total_ms"] = r.total_ms;
+  j["dispatch_index"] = static_cast<double>(r.dispatch_index);
+  j["result"] = api::to_json(*r.result);
+  return j;
+}
+
+api::Json eval_response_frame(const std::string& id, const ServeResponse& r) {
+  if (r.status == ResponseStatus::kOk) {
+    return make_ok_frame(id, eval_result_payload(r));
+  }
+  api::Json frame = make_error_frame(id, error_code_for(r.status), r.error);
+  // Scheduler-side rejections still took measurable queue time; surface it
+  // so a remote client sees the same latency breakdown an in-process
+  // caller would.
+  api::Json& err = frame["error"];
+  err["queue_ms"] = r.queue_ms;
+  err["total_ms"] = r.total_ms;
+  return frame;
+}
+
+ServeResponse serve_response_from_frame(const api::Json& frame) {
+  DEFA_CHECK(frame.is_object(), "protocol: response frame must be an object");
+  ServeResponse r;
+  if (const api::Json* id = frame.find("id")) r.id = id->as_string();
+  if (frame.at("ok").as_bool()) {
+    const api::Json& payload = frame.at("result");
+    r.status = ResponseStatus::kOk;
+    r.queue_ms = payload.at("queue_ms").as_number();
+    r.run_ms = payload.at("run_ms").as_number();
+    r.total_ms = payload.at("total_ms").as_number();
+    r.dispatch_index = payload.at("dispatch_index").as_int();
+    r.result = api::eval_result_from_json(payload.at("result"));
+    return r;
+  }
+  const api::Json& err = frame.at("error");
+  const std::optional<ErrorCode> code = error_code_from_name(err.at("code").as_string());
+  r.status = status_for(code.value_or(ErrorCode::kInternal));
+  r.error = err.at("message").as_string();
+  if (const api::Json* q = err.find("queue_ms")) r.queue_ms = q->as_number();
+  if (const api::Json* t = err.find("total_ms")) r.total_ms = t->as_number();
+  return r;
+}
+
+ServeRequest eval_request_from_params(const api::Json& params) {
+  DEFA_CHECK(params.is_object(), "protocol: eval params must be an object");
+  ServeRequest r;
+  if (!params.contains("request")) {
+    r.request = api::eval_request_from_json(params);  // bare EvalRequest
+  } else {
+    for (const auto& [key, value] : params.members()) {
+      // No "id" inside params: the frame id is the correlation identity.
+      DEFA_CHECK(key == "request" || key == "priority" || key == "timeout_ms",
+                 "protocol: unknown eval params key '" + key + "'");
+    }
+    if (const api::Json* p = params.find("priority")) {
+      const std::optional<Priority> pri = priority_from_name(p->as_string());
+      DEFA_CHECK(pri.has_value(), "protocol: unknown priority '" + p->as_string() +
+                                      "' (high|normal|low)");
+      r.priority = *pri;
+    }
+    if (const api::Json* t = params.find("timeout_ms")) r.timeout_ms = t->as_number();
+    r.request = api::eval_request_from_json(params.at("request"));
+  }
+  r.request.validate();
+  return r;
+}
+
+// ------------------------------------------------------------------- sessions
+
+namespace {
+
+/// Shared state of one protocol session.  Completion callbacks fire on
+/// evaluator threads, so writes are serialized under `write_mu` and the
+/// session loop waits for `pending == 0` before returning — the state
+/// must outlive every callback, hence the shared_ptr ownership.
+struct SessionState {
+  explicit SessionState(Connection& c) : conn(&c) {}
+
+  void write(const api::Json& frame) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    // A vanished peer (disconnect mid-batch) makes write_frame return
+    // false; evaluation still completes and the response is dropped —
+    // that is the peer's choice, not an error.
+    conn->write_frame(frame.dump());
+  }
+
+  void add_pending() {
+    const std::lock_guard<std::mutex> lock(pending_mu);
+    ++pending;
+  }
+  void done_pending() {
+    const std::lock_guard<std::mutex> lock(pending_mu);
+    if (--pending == 0) pending_cv.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(pending_mu);
+    pending_cv.wait(lock, [this] { return pending == 0; });
+  }
+
+  Connection* conn;
+  std::mutex write_mu;
+  std::mutex pending_mu;
+  std::condition_variable pending_cv;
+  int pending = 0;
+};
+
+/// In-flight bookkeeping of one eval_batch frame: per-item payload slots
+/// filled from completion callbacks, the frame written when the last
+/// outstanding item lands.
+struct BatchState {
+  std::string id;
+  std::shared_ptr<SessionState> session;
+  std::vector<api::Json> items;
+  std::atomic<int> remaining{0};
+
+  void finish() {
+    api::Json results = api::Json::array();
+    for (api::Json& item : items) results.push_back(std::move(item));
+    api::Json payload = api::Json::object();
+    payload["results"] = std::move(results);
+    session->write(make_ok_frame(id, std::move(payload)));
+    session->done_pending();
+  }
+};
+
+/// One batch item as `{"ok", "result" | "error"}` mirroring single-eval
+/// payloads (items have no ids; order answers position).
+api::Json batch_item_payload(const ServeResponse& r) {
+  api::Json item = api::Json::object();
+  if (r.status == ResponseStatus::kOk) {
+    item["ok"] = true;
+    item["result"] = eval_result_payload(r);
+  } else {
+    item["ok"] = false;
+    api::Json err = api::Json::object();
+    err["code"] = error_code_name(error_code_for(r.status));
+    err["message"] = r.error;
+    err["queue_ms"] = r.queue_ms;
+    err["total_ms"] = r.total_ms;
+    item["error"] = std::move(err);
+  }
+  return item;
+}
+
+api::Json batch_item_error(ErrorCode code, const std::string& message) {
+  api::Json item = api::Json::object();
+  item["ok"] = false;
+  api::Json err = api::Json::object();
+  err["code"] = error_code_name(code);
+  err["message"] = message;
+  item["error"] = std::move(err);
+  return item;
+}
+
+const char* const kKnownMethods =
+    "eval, eval_batch, metrics, backends, experiments, experiment, ping, drain";
+
+void handle_eval(const std::string& id, const api::Json& params, Server& server,
+                 const std::shared_ptr<SessionState>& state) {
+  ServeRequest req = eval_request_from_params(params);
+  state->add_pending();
+  server.submit_async(std::move(req), [id, state](const ServeResponse& resp) {
+    state->write(eval_response_frame(id, resp));
+    state->done_pending();
+  });
+}
+
+void handle_eval_batch(const std::string& id, const api::Json& params,
+                       Server& server, const std::shared_ptr<SessionState>& state) {
+  DEFA_CHECK(params.is_object(), "protocol: eval_batch params must be an object");
+  for (const auto& [key, value] : params.members()) {
+    DEFA_CHECK(key == "requests" || key == "priority" || key == "timeout_ms",
+               "protocol: unknown eval_batch params key '" + key + "'");
+  }
+  Priority batch_priority = Priority::kNormal;
+  double batch_timeout = 0;
+  if (const api::Json* p = params.find("priority")) {
+    const std::optional<Priority> pri = priority_from_name(p->as_string());
+    DEFA_CHECK(pri.has_value(), "protocol: unknown priority '" + p->as_string() + "'");
+    batch_priority = *pri;
+  }
+  if (const api::Json* t = params.find("timeout_ms")) batch_timeout = t->as_number();
+  const api::Json& reqs = params.at("requests");
+  DEFA_CHECK(reqs.is_array() && reqs.size() > 0,
+             "protocol: 'requests' must be a non-empty array");
+
+  auto batch = std::make_shared<BatchState>();
+  batch->id = id;
+  batch->session = state;
+  batch->items.resize(reqs.size());
+
+  // Two passes: parse everything first so `remaining` is final before any
+  // completion callback can observe it (a fast engine could otherwise
+  // finish item 0 and see remaining == 1 mid-construction).
+  std::vector<std::optional<ServeRequest>> parsed(reqs.size());
+  int submitted = 0;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const api::Json& item = reqs.at(i);
+    try {
+      ServeRequest r = eval_request_from_params(item);
+      // Batch-level priority/timeout are defaults for items that did not
+      // set their own — presence decides, so an explicit "normal" (or an
+      // explicit timeout_ms of 0) is honored, not overridden.
+      if (!(item.is_object() && item.contains("priority"))) {
+        r.priority = batch_priority;
+      }
+      if (!(item.is_object() && item.contains("timeout_ms"))) {
+        r.timeout_ms = batch_timeout;
+      }
+      parsed[i] = std::move(r);
+      ++submitted;
+    } catch (const std::exception& e) {
+      batch->items[i] = batch_item_error(ErrorCode::kValidation, e.what());
+    }
+  }
+  state->add_pending();
+  if (submitted == 0) {
+    batch->finish();
+    return;
+  }
+  batch->remaining.store(submitted, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    if (!parsed[i].has_value()) continue;
+    server.submit_async(std::move(*parsed[i]),
+                        [batch, i](const ServeResponse& resp) {
+                          batch->items[i] = batch_item_payload(resp);
+                          if (batch->remaining.fetch_sub(
+                                  1, std::memory_order_acq_rel) == 1) {
+                            batch->finish();
+                          }
+                        });
+  }
+}
+
+api::Json handle_ping(Server& server) {
+  api::Json j = api::Json::object();
+  j["protocol"] = kProtocolVersion;
+  j["pong"] = true;
+  const ServerOptions& opts = server.options();
+  api::Json info = api::Json::object();
+  info["policy"] = policy_name(opts.policy);
+  info["workers"] = opts.max_concurrency;
+  info["queue_capacity"] = static_cast<double>(opts.queue_capacity);
+  info["backend"] = opts.engine.backend.empty() ? kernels::default_backend_name()
+                                                : opts.engine.backend;
+  info["draining"] = server.draining();
+  j["server"] = std::move(info);
+  return j;
+}
+
+api::Json handle_backends(Server& server) {
+  api::Json j = api::Json::object();
+  const ServerOptions& opts = server.options();
+  j["default"] = opts.engine.backend.empty() ? kernels::default_backend_name()
+                                             : opts.engine.backend;
+  api::Json names = api::Json::array();
+  for (const std::string& name : kernels::backend_names()) names.push_back(name);
+  j["backends"] = std::move(names);
+  return j;
+}
+
+api::Json handle_experiments() {
+  api::register_builtin_experiments();
+  api::Json j = api::Json::object();
+  api::Json list = api::Json::array();
+  for (const std::string& name : api::Registry::instance().names()) {
+    const api::Experiment* e = api::Registry::instance().find(name);
+    api::Json entry = api::Json::object();
+    entry["name"] = e->name;
+    entry["title"] = e->title;
+    entry["description"] = e->description;
+    list.push_back(std::move(entry));
+  }
+  j["experiments"] = std::move(list);
+  return j;
+}
+
+api::Json handle_experiment(const api::Json& params, Server& server) {
+  DEFA_CHECK(params.is_object() && params.contains("name"),
+             "protocol: experiment params must be {\"name\": ...}");
+  for (const auto& [key, value] : params.members()) {
+    DEFA_CHECK(key == "name", "protocol: unknown experiment params key '" + key + "'");
+  }
+  api::register_builtin_experiments();
+  const std::string name = params.at("name").as_string();
+  std::ostringstream tables;
+  // Runs inline on the session thread: experiments are driver-grade admin
+  // calls, not latency-sensitive serving traffic, and the shared Engine
+  // keeps them cache-coherent with concurrent evals.
+  api::Json result = api::run_experiment(server.engine(), name, tables);
+  api::Json j = api::Json::object();
+  j["name"] = name;
+  j["tables"] = tables.str();
+  j["json"] = std::move(result);
+  return j;
+}
+
+}  // namespace
+
+SessionResult run_protocol_session(Connection& conn, Server& server,
+                                   const ProtocolOptions& options,
+                                   const std::string* first_frame) {
+  SessionResult out;
+  auto state = std::make_shared<SessionState>(conn);
+
+  // Returns false when the session should end (drain).
+  const auto handle_frame = [&](const std::string& text) -> bool {
+    if (text.find_first_not_of(" \t\r") == std::string::npos) return true;
+    if (text.size() > options.max_frame_bytes) {
+      ++out.bad_frames;
+      state->write(make_error_frame(
+          "", ErrorCode::kOversized,
+          "frame of " + std::to_string(text.size()) + " bytes exceeds the " +
+              std::to_string(options.max_frame_bytes) + "-byte limit"));
+      return true;
+    }
+    api::Json frame;
+    try {
+      frame = api::Json::parse(text);
+    } catch (const std::exception& e) {
+      ++out.bad_frames;
+      state->write(make_error_frame("", ErrorCode::kParse, e.what()));
+      return true;
+    }
+
+    std::string id;
+    try {
+      DEFA_CHECK(frame.is_object(), "frame must be a JSON object");
+      if (const api::Json* i = frame.find("id")) id = i->as_string();
+      for (const auto& [key, value] : frame.members()) {
+        DEFA_CHECK(key == "v" || key == "id" || key == "method" || key == "params",
+                   "unknown envelope key '" + key + "'");
+      }
+      const api::Json* v = frame.find("v");
+      if (v == nullptr || v->as_int() != kProtocolVersion) {
+        ++out.bad_frames;
+        state->write(make_error_frame(
+            id, ErrorCode::kVersion,
+            v == nullptr ? "missing 'v' (this server speaks Protocol v" +
+                               std::to_string(kProtocolVersion) + ")"
+                         : "unsupported protocol version " +
+                               std::to_string(v->as_int()) + " (this server speaks v" +
+                               std::to_string(kProtocolVersion) + ")"));
+        return true;
+      }
+      const std::string method = frame.at("method").as_string();
+      const api::Json* params = frame.find("params");
+      static const api::Json kNull;
+
+      if (method == "eval") {
+        handle_eval(id, params == nullptr ? kNull : *params, server, state);
+      } else if (method == "eval_batch") {
+        handle_eval_batch(id, params == nullptr ? kNull : *params, server, state);
+      } else if (method == "metrics") {
+        state->write(make_ok_frame(id, server.metrics().to_json()));
+      } else if (method == "backends") {
+        state->write(make_ok_frame(id, handle_backends(server)));
+      } else if (method == "experiments") {
+        state->write(make_ok_frame(id, handle_experiments()));
+      } else if (method == "experiment") {
+        state->write(make_ok_frame(
+            id, handle_experiment(params == nullptr ? kNull : *params, server)));
+      } else if (method == "ping") {
+        state->write(make_ok_frame(id, handle_ping(server)));
+      } else if (method == "drain") {
+        server.drain();  // stop admitting, finish in-flight
+        api::Json payload = api::Json::object();
+        payload["drained"] = true;
+        payload["metrics"] = server.metrics().to_json();
+        state->write(make_ok_frame(id, std::move(payload)));
+        out.drained = true;
+        if (options.on_drain) options.on_drain();
+        return false;
+      } else {
+        ++out.bad_frames;
+        state->write(make_error_frame(id, ErrorCode::kUnknownMethod,
+                                      "unknown method '" + method + "' (known: " +
+                                          std::string(kKnownMethods) + ")"));
+      }
+    } catch (const std::exception& e) {
+      ++out.bad_frames;
+      state->write(make_error_frame(id, ErrorCode::kValidation, e.what()));
+    }
+    return true;
+  };
+
+  bool keep_going = first_frame == nullptr || handle_frame(*first_frame);
+  std::string text;
+  while (keep_going && conn.read_frame(text)) keep_going = handle_frame(text);
+  // EOF or drain with evals still in flight (including a peer that
+  // disconnected mid-batch): wait for their callbacks so `state`'s writes
+  // are done before the caller tears the connection down.
+  state->wait_idle();
+  // A drained session is over: shut the connection so the peer sees EOF
+  // instead of waiting on a socket nobody reads anymore.
+  if (out.drained) conn.shutdown();
+  return out;
+}
+
+SessionResult run_serve_connection(Connection& conn, Server& server,
+                                   const ProtocolOptions& options) {
+  // Auto-detection: the first non-blank frame decides the session mode.
+  // An object with a "v" key speaks Protocol v1; anything else (bare
+  // EvalRequest lines, legacy envelopes, even unparseable garbage, which
+  // the legacy loop answers with bad_request) gets the legacy loop.
+  std::string first;
+  while (true) {
+    if (!conn.read_frame(first)) return {};
+    if (first.find_first_not_of(" \t\r") != std::string::npos) break;
+  }
+  bool v1 = false;
+  try {
+    const api::Json j = api::Json::parse(first);
+    v1 = j.is_object() && j.contains("v");
+  } catch (const std::exception&) {
+    v1 = false;
+  }
+  if (v1) return run_protocol_session(conn, server, options, &first);
+  SessionResult out;
+  out.legacy = true;
+  out.bad_frames = run_legacy_session(conn, server, &first);
+  return out;
+}
+
+}  // namespace defa::serve

@@ -133,17 +133,30 @@ std::vector<Scenario> parse_mix(const api::Json& j) {
 
 SweepSpec parse_sweep(const api::Json& j) {
   DEFA_CHECK(j.is_object(), "scenario: 'sweep' must be an object");
-  check_keys(j, {"rates_qps", "policies"}, "'sweep'");
+  check_keys(j, {"rates_qps", "concurrency", "policies"}, "'sweep'");
   SweepSpec sweep;
-  const api::Json& rates = j.at("rates_qps");
-  DEFA_CHECK(rates.is_array() && rates.size() > 0,
-             "scenario: 'sweep.rates_qps' must be a non-empty array");
-  for (const api::Json& r : rates.items()) {
-    const double qps = r.as_number();
-    DEFA_CHECK(std::isfinite(qps) && qps > 0,
-               "scenario: sweep rates must be positive and finite");
-    sweep.rates_qps.push_back(qps);
+  if (const api::Json* rates = j.find("rates_qps")) {
+    DEFA_CHECK(rates->is_array() && rates->size() > 0,
+               "scenario: 'sweep.rates_qps' must be a non-empty array");
+    for (const api::Json& r : rates->items()) {
+      const double qps = r.as_number();
+      DEFA_CHECK(std::isfinite(qps) && qps > 0,
+                 "scenario: sweep rates must be positive and finite");
+      sweep.rates_qps.push_back(qps);
+    }
   }
+  if (const api::Json* concs = j.find("concurrency")) {
+    DEFA_CHECK(concs->is_array() && concs->size() > 0,
+               "scenario: 'sweep.concurrency' must be a non-empty array");
+    for (const api::Json& c : concs->items()) {
+      const std::int64_t n = c.as_int();
+      DEFA_CHECK(n > 0, "scenario: sweep concurrencies must be positive");
+      sweep.concurrencies.push_back(static_cast<int>(n));
+    }
+  }
+  DEFA_CHECK(!sweep.rates_qps.empty() || !sweep.concurrencies.empty(),
+             "scenario: 'sweep' needs 'rates_qps' (open loop) and/or "
+             "'concurrency' (closed loop)");
   if (const api::Json* pols = j.find("policies")) {
     DEFA_CHECK(pols->is_array() && pols->size() > 0,
                "scenario: 'sweep.policies' must be a non-empty array");
@@ -188,11 +201,13 @@ ScenarioFile scenario_file_from_json(const api::Json& j) {
   if (const api::Json* s = j.find("sweep")) {
     file.has_sweep = true;
     file.sweep = parse_sweep(*s);
-    // The sweep drives rates_qps open-loop, so an explicitly closed-loop
-    // arrival spec would be silently discarded — reject it instead.
-    DEFA_CHECK(arrival == nullptr || file.base.mode == LoadGenOptions::Mode::kOpen,
-               "scenario: a 'sweep' block requires an open-loop 'arrival' "
-               "(process 'fixed' or 'poisson', not 'closed')");
+    // Rate points drive rates_qps open-loop, so an explicitly closed-loop
+    // arrival spec would be silently discarded — reject it instead.  A
+    // concurrency-only sweep is closed-loop by nature and accepts either.
+    DEFA_CHECK(file.sweep.rates_qps.empty() || arrival == nullptr ||
+                   file.base.mode == LoadGenOptions::Mode::kOpen,
+               "scenario: a 'sweep.rates_qps' axis requires an open-loop "
+               "'arrival' (process 'fixed' or 'poisson', not 'closed')");
   }
   return file;
 }
@@ -214,6 +229,8 @@ api::Json SweepReport::to_json() const {
     api::Json row = api::Json::object();
     row["rate_qps"] = pt.rate_qps;
     row["policy"] = policy_name(pt.policy);
+    row["mode"] = pt.mode;
+    row["concurrency"] = pt.concurrency;
     row["achieved_qps"] = pt.report.achieved_qps;
     row["completed_ok"] = static_cast<double>(pt.report.completed_ok);
     row["rejected_overload"] = static_cast<double>(pt.report.rejected_overload);
@@ -238,12 +255,14 @@ api::Json SweepReport::to_json() const {
 
 std::string SweepReport::to_csv() const {
   std::ostringstream csv;
-  csv << "rate_qps,policy,achieved_qps,completed_ok,rejected_overload,"
-         "rejected_deadline,errors,p50_ms,p95_ms,p99_ms,queue_p50_ms,"
-         "context_hit_rate,context_hits,context_misses,context_evictions\n";
+  csv << "rate_qps,policy,mode,concurrency,achieved_qps,completed_ok,"
+         "rejected_overload,rejected_deadline,errors,p50_ms,p95_ms,p99_ms,"
+         "queue_p50_ms,context_hit_rate,context_hits,context_misses,"
+         "context_evictions\n";
   for (const SweepPoint& pt : points) {
     const MetricsSnapshot& m = pt.report.server_metrics;
-    csv << pt.rate_qps << ',' << policy_name(pt.policy) << ','
+    csv << pt.rate_qps << ',' << policy_name(pt.policy) << ',' << pt.mode << ','
+        << pt.concurrency << ','
         << pt.report.achieved_qps << ',' << pt.report.completed_ok << ','
         << pt.report.rejected_overload << ',' << pt.report.rejected_deadline << ','
         << pt.report.errors << ',' << pt.report.latency_ms.percentile(50) << ','
@@ -264,13 +283,28 @@ SweepReport run_sweep(const ScenarioFile& file) {
   for (const double rate : file.sweep.rates_qps) {
     for (const SchedulePolicy policy : file.sweep.policies) {
       LoadGenOptions options = file.base;  // same mix, schedule and seed
-      // Open loop per point (a closed-loop arrival spec was rejected at
-      // parse time); the file's fixed/poisson choice is preserved.
+      // Open loop per rate point (a closed-loop arrival spec was rejected
+      // at parse time); the file's fixed/poisson choice is preserved.
       options.mode = LoadGenOptions::Mode::kOpen;
       options.rate_qps = rate;
       options.server.policy = policy;
       SweepPoint pt;
+      pt.mode = "open";
       pt.rate_qps = rate;
+      pt.policy = policy;
+      pt.report = run_loadgen(options);
+      report.points.push_back(std::move(pt));
+    }
+  }
+  for (const int concurrency : file.sweep.concurrencies) {
+    for (const SchedulePolicy policy : file.sweep.policies) {
+      LoadGenOptions options = file.base;
+      options.mode = LoadGenOptions::Mode::kClosed;
+      options.concurrency = concurrency;
+      options.server.policy = policy;
+      SweepPoint pt;
+      pt.mode = "closed";
+      pt.concurrency = concurrency;
       pt.policy = policy;
       pt.report = run_loadgen(options);
       report.points.push_back(std::move(pt));

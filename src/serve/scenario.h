@@ -27,9 +27,10 @@
 ///       "backend": "fused"               // kernels-registry name
 ///     },
 ///     "sweep": {                         // optional: --sweep runs these
-///       "rates_qps": [100, 200, 400],
+///       "rates_qps": [100, 200, 400],    //   open-loop points
+///       "concurrency": [1, 4, 16],       //   closed-loop points
 ///       "policies": ["fifo", "locality"] // default: both
-///     },
+///     },                                 // >= 1 of rates_qps/concurrency
 ///     "scenarios": [                     // >= 1 weighted mix entries
 ///       {"name": "tiny_defa", "weight": 4, "priority": "normal",
 ///        "request": {"preset": "tiny", "outputs": ["functional"]}}
@@ -43,11 +44,13 @@
 
 namespace defa::serve {
 
-/// Arrival-rate sweep description: each configured rate is driven
-/// open-loop once per policy, producing one latency-vs-load curve per
-/// policy over identical request schedules.
+/// Load-sweep description.  Every configured open-loop rate and every
+/// configured closed-loop concurrency is driven once per policy,
+/// producing one latency-vs-load curve per policy over identical request
+/// schedules.  At least one of the two axes must be non-empty.
 struct SweepSpec {
-  std::vector<double> rates_qps;
+  std::vector<double> rates_qps;   ///< open-loop points
+  std::vector<int> concurrencies;  ///< closed-loop points ("concurrency" key)
   std::vector<SchedulePolicy> policies;  ///< default {kFifo, kLocality}
 };
 
@@ -69,9 +72,12 @@ struct ScenarioFile {
 /// Read + parse a scenario file from disk.
 [[nodiscard]] ScenarioFile load_scenario_file(const std::string& path);
 
-/// One sweep measurement: `run_loadgen` at (rate, policy).
+/// One sweep measurement: `run_loadgen` at an open-loop (rate, policy)
+/// or closed-loop (concurrency, policy) point.
 struct SweepPoint {
-  double rate_qps = 0;
+  std::string mode = "open";  ///< "open" | "closed"
+  double rate_qps = 0;        ///< open points; 0 for closed points
+  int concurrency = 0;        ///< closed points; 0 for open points
   SchedulePolicy policy = SchedulePolicy::kFifo;
   LoadReport report;
 };
@@ -80,7 +86,9 @@ struct SweepPoint {
 struct SweepReport {
   std::string name;
   int requests = 0;
-  std::vector<SweepPoint> points;  ///< rate-major, policy-minor order
+  /// Open-loop rate points first (rate-major, policy-minor), then
+  /// closed-loop concurrency points (concurrency-major, policy-minor).
+  std::vector<SweepPoint> points;
 
   /// {"bench": "serve_sweep", "curve": [per-point summary rows with
   ///  p50/p95/p99, achieved qps and context-cache hit rate], "points":

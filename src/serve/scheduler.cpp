@@ -52,6 +52,7 @@ const char* status_name(ResponseStatus s) {
     case ResponseStatus::kOk: return "ok";
     case ResponseStatus::kRejectedOverload: return "rejected_overload";
     case ResponseStatus::kRejectedDeadline: return "rejected_deadline";
+    case ResponseStatus::kRejectedShutdown: return "rejected_shutdown";
     case ResponseStatus::kError: return "error";
     case ResponseStatus::kBadRequest: return "bad_request";
   }
@@ -78,6 +79,29 @@ Server::Server(ServerOptions options)
 Server::~Server() { drain(); }
 
 std::future<ServeResponse> Server::submit(ServeRequest req) {
+  return submit_impl(std::move(req), nullptr);
+}
+
+void Server::submit_async(ServeRequest req, ResponseCallback done) {
+  DEFA_CHECK(done != nullptr, "Server::submit_async: callback must be set");
+  (void)submit_impl(std::move(req), std::move(done));
+}
+
+void Server::deliver(std::promise<ServeResponse>& promise,
+                     const ResponseCallback& callback, ServeResponse resp) {
+  if (callback) {
+    try {
+      callback(resp);
+    } catch (...) {
+      // A throwing sink must not take the scheduler down; the promise
+      // below still resolves, so nothing is lost silently.
+    }
+  }
+  promise.set_value(std::move(resp));
+}
+
+std::future<ServeResponse> Server::submit_impl(ServeRequest req,
+                                               ResponseCallback done) {
   const Clock::time_point now = Clock::now();
   if (!req.deadline.has_value() && req.timeout_ms > 0) {
     req.deadline = now + std::chrono::duration_cast<Clock::duration>(
@@ -94,7 +118,7 @@ std::future<ServeResponse> Server::submit(ServeRequest req) {
     rejection.status = ResponseStatus::kRejectedDeadline;
     rejection.error = "deadline expired before admission";
     metrics_.on_rejected_deadline(0.0);
-    promise.set_value(std::move(rejection));
+    deliver(promise, done, std::move(rejection));
     return future;
   }
 
@@ -115,22 +139,36 @@ std::future<ServeResponse> Server::submit(ServeRequest req) {
   bool spawn = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (queued_total_ >= options_.queue_capacity) {
+    if (draining_) {
+      rejection.status = ResponseStatus::kRejectedShutdown;
+      rejection.error = "server is draining (no longer admitting)";
+    } else if (queued_total_ >= options_.queue_capacity) {
       rejection.status = ResponseStatus::kRejectedOverload;
       rejection.error = "admission queue full (" +
                         std::to_string(options_.queue_capacity) + " waiting)";
-      metrics_.on_rejected_overload();
-      promise.set_value(std::move(rejection));
-      return future;
+    } else {
+      auto& q = queues_[static_cast<std::size_t>(req.priority)];
+      q.push_back(Entry{std::move(req), std::move(key), std::move(promise),
+                        std::move(done), now, -1});
+      ++queued_total_;
+      ++outstanding_;
+      if (!paused_ && active_loops_ < options_.max_concurrency) {
+        ++active_loops_;
+        spawn = true;
+      }
     }
-    auto& q = queues_[static_cast<std::size_t>(req.priority)];
-    q.push_back(Entry{std::move(req), std::move(key), std::move(promise), now, -1});
-    ++queued_total_;
-    ++outstanding_;
-    if (!paused_ && active_loops_ < options_.max_concurrency) {
-      ++active_loops_;
-      spawn = true;
-    }
+  }
+  // Rejections are delivered outside mu_: the callback may call back into
+  // the Server (metrics(), queued()) without deadlocking.
+  if (rejection.status == ResponseStatus::kRejectedShutdown) {
+    metrics_.on_rejected_shutdown();
+    deliver(promise, done, std::move(rejection));
+    return future;
+  }
+  if (rejection.status == ResponseStatus::kRejectedOverload) {
+    metrics_.on_rejected_overload();
+    deliver(promise, done, std::move(rejection));
+    return future;
   }
   if (spawn) ThreadPool::global().submit([this] { drain_loop(); });
   return future;
@@ -238,7 +276,7 @@ void Server::process(Entry entry) {
                  " ms in queue";
     resp.total_ms = resp.queue_ms;
     metrics_.on_rejected_deadline(resp.queue_ms);
-    entry.promise.set_value(std::move(resp));
+    deliver(entry.promise, entry.callback, std::move(resp));
     finish_one();
     return;
   }
@@ -258,7 +296,7 @@ void Server::process(Entry entry) {
     resp.total_ms = ms_between(entry.admitted, done);
     metrics_.on_error(resp.queue_ms, resp.run_ms, resp.total_ms);
   }
-  entry.promise.set_value(std::move(resp));
+  deliver(entry.promise, entry.callback, std::move(resp));
   finish_one();
 }
 
@@ -270,9 +308,21 @@ void Server::finish_one() {
 }
 
 void Server::drain() {
+  {
+    // Stop admitting before waiting: submits racing with drain either made
+    // it into the queue (and are finished below) or complete with
+    // kRejectedShutdown — nothing is silently dropped either way.
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
   resume();  // a paused server would otherwise never become idle
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return outstanding_ == 0 && active_loops_ == 0; });
+}
+
+bool Server::draining() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 MetricsSnapshot Server::metrics() const {

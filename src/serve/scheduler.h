@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <future>
 #include <optional>
@@ -70,6 +71,7 @@ enum class ResponseStatus {
   kOk,
   kRejectedOverload,  ///< bounded queue full at submit time
   kRejectedDeadline,  ///< deadline passed before dispatch (work not run)
+  kRejectedShutdown,  ///< submitted during/after drain (work not run)
   kError,             ///< evaluation threw; message in `error`
   kBadRequest,        ///< transport-level parse failure (server_loop only)
 };
@@ -128,17 +130,36 @@ class Server {
   /// resolves, with a rejection status when the request is not run.
   [[nodiscard]] std::future<ServeResponse> submit(ServeRequest req);
 
+  /// Response sink for `submit_async`.  Invoked exactly once per request,
+  /// on whichever thread resolves it (an evaluator thread for dispatched
+  /// work, the submitting thread for admission-time rejections), after
+  /// the response is final.  Completion-order transports (Protocol v1)
+  /// hang their frame writes off this instead of blocking a thread per
+  /// future.  Exceptions thrown by the callback are swallowed.
+  using ResponseCallback = std::function<void(const ServeResponse&)>;
+
+  /// Admit one request and deliver its response through `done` instead of
+  /// a future.  Same admission/rejection semantics as `submit`.
+  void submit_async(ServeRequest req, ResponseCallback done);
+
   /// Start dispatching (no-op unless constructed with `start_paused`).
   void resume();
 
-  /// Block until the queue is empty and no request is evaluating.  On a
-  /// paused server this resumes dispatch first (drain would never finish
-  /// otherwise).
+  /// Graceful shutdown: stop admitting (subsequent submits complete
+  /// immediately with `kRejectedShutdown`), finish every in-flight and
+  /// queued request, and return once the server is idle so callers can
+  /// flush metrics.  On a paused server this resumes dispatch first
+  /// (drain would never finish otherwise).  Idempotent.
   void drain();
+
+  /// True once `drain()` has been called: the server no longer admits.
+  [[nodiscard]] bool draining() const;
 
   [[nodiscard]] MetricsSnapshot metrics() const;
   [[nodiscard]] api::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] std::size_t queued() const;
+  /// Effective configuration (max_concurrency resolved to the pool size).
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
 
   /// Which priority class dispatch slot `slot` prefers (falls back to the
   /// highest non-empty class when that one is empty).  The pattern is
@@ -151,14 +172,21 @@ class Server {
     ServeRequest req;
     std::string key;  ///< Engine workload key (locality affinity identity)
     std::promise<ServeResponse> promise;
+    ResponseCallback callback;  ///< optional completion sink (submit_async)
     std::chrono::steady_clock::time_point admitted;
     std::int64_t dispatch_index = -1;  ///< set by pop_best_locked
   };
 
+  [[nodiscard]] std::future<ServeResponse> submit_impl(ServeRequest req,
+                                                       ResponseCallback done);
   void drain_loop();
   [[nodiscard]] bool pop_best_locked(Entry& out);
   void process(Entry entry);
   void finish_one();
+  /// Resolve `promise`/`callback` with `resp` (callback first, exceptions
+  /// swallowed; the promise always resolves).
+  static void deliver(std::promise<ServeResponse>& promise,
+                      const ResponseCallback& callback, ServeResponse resp);
 
   ServerOptions options_;
   api::Engine engine_;
@@ -171,6 +199,7 @@ class Server {
   std::int64_t outstanding_ = 0;  ///< admitted, future not yet set
   int active_loops_ = 0;          ///< drain loops running on the pool
   bool paused_ = false;           ///< admits but does not dispatch
+  bool draining_ = false;         ///< drain() called; no further admission
   std::uint64_t dispatch_seq_ = 0;
   std::int64_t popped_seq_ = 0;   ///< dispatch_index source
   // kLocality state: the workload key of the active affinity window and

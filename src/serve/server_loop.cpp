@@ -1,13 +1,17 @@
 #include "serve/server_loop.h"
 
+#include <condition_variable>
 #include <deque>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "api/request.h"
 #include "common/check.h"
+#include "serve/protocol.h"
 
 namespace defa::serve {
 
@@ -51,28 +55,41 @@ api::Json to_json(const ServeResponse& r) {
   return j;
 }
 
-int run_serve_loop(std::istream& in, std::ostream& out,
-                   const ServeLoopOptions& options) {
-  Server server(options.server);
+int run_legacy_session(Connection& conn, Server& server,
+                       const std::string* first_frame) {
   int bad_lines = 0;
-  std::deque<std::future<ServeResponse>> inflight;  // arrival order
 
-  const auto flush_ready = [&](bool block) {
-    while (!inflight.empty()) {
-      if (!block && inflight.front().wait_for(std::chrono::seconds(0)) !=
-                        std::future_status::ready) {
-        return;
-      }
-      // Flush per line: a lock-step client on a pipe waits for each
-      // response before sending the next request.
-      out << to_json(inflight.front().get()).dump() << '\n' << std::flush;
+  // Responses go out in arrival order from a dedicated writer that blocks
+  // on the oldest future — never from the read loop, which may itself be
+  // blocked on an idle peer.  A lock-step client (send one line, wait for
+  // its response, send the next) therefore always gets its response even
+  // though the reader is parked in read_frame.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<ServeResponse>> inflight;  // guarded by mu
+  bool input_done = false;                          // guarded by mu
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      cv.wait(lock, [&] { return !inflight.empty() || input_done; });
+      if (inflight.empty()) return;  // input_done and fully flushed
+      std::future<ServeResponse> next = std::move(inflight.front());
       inflight.pop_front();
+      lock.unlock();
+      // One frame per response, flushed by the connection.
+      conn.write_frame(to_json(next.get()).dump());
+      lock.lock();
     }
+  });
+
+  const auto enqueue = [&](std::future<ServeResponse> f) {
+    const std::lock_guard<std::mutex> lock(mu);
+    inflight.push_back(std::move(f));
+    cv.notify_one();
   };
 
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  const auto handle_line = [&](const std::string& line) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) return;
     std::string parsed_id;  // echo the envelope id even when validation fails
     try {
       ServeRequest req = serve_request_from_json(api::Json::parse(line));
@@ -80,7 +97,7 @@ int run_serve_loop(std::istream& in, std::ostream& out,
       // Validate up front so a malformed request is a transport-level
       // bad_request, not an engine error charged to the metrics.
       req.request.validate();
-      inflight.push_back(server.submit(std::move(req)));
+      enqueue(server.submit(std::move(req)));
     } catch (const std::exception& e) {
       ++bad_lines;
       ServeResponse bad;
@@ -89,20 +106,36 @@ int run_serve_loop(std::istream& in, std::ostream& out,
       bad.error = e.what();
       std::promise<ServeResponse> done;  // a pre-resolved slot keeps ordering
       done.set_value(std::move(bad));
-      inflight.push_back(done.get_future());
+      enqueue(done.get_future());
     }
-    flush_ready(/*block=*/false);  // stream responses while reading ahead
+  };
+
+  if (first_frame != nullptr) handle_line(*first_frame);
+  std::string line;
+  while (conn.read_frame(line)) handle_line(line);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    input_done = true;
+    cv.notify_one();
   }
-  flush_ready(/*block=*/true);
+  writer.join();  // drain the response queue before returning
+  return bad_lines;
+}
+
+int run_serve_loop(std::istream& in, std::ostream& out,
+                   const ServeLoopOptions& options) {
+  Server server(options.server);
+  StreamConnection conn(in, out);
+  const SessionResult session = run_serve_connection(conn, server);
   server.drain();  // settle gauges before the final metrics line
 
   if (options.emit_metrics) {
     api::Json m = api::Json::object();
     m["metrics"] = server.metrics().to_json();
-    out << m.dump() << '\n';
+    conn.write_frame(m.dump());
   }
   out.flush();
-  return bad_lines;
+  return session.bad_frames;
 }
 
 }  // namespace defa::serve

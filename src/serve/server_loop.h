@@ -1,10 +1,13 @@
 #pragma once
 
 /// \file server_loop.h
-/// JSON-lines transport for `serve::Server`: one request per input line,
-/// one response per output line, emitted in arrival order (evaluation
-/// itself is concurrent and out-of-order underneath).  `defa_serve` is a
-/// thin main() over `run_serve_loop`; tests drive it with stringstreams.
+/// The **legacy** (pre-Protocol v1) JSON-lines mode: one request per input
+/// line, one response per output line, emitted in arrival order
+/// (evaluation itself is concurrent and out-of-order underneath).  New
+/// clients should speak Protocol v1 (`protocol.h`, docs/PROTOCOL.md);
+/// this mode is kept for pipes, one-shot shell use and old tooling, and
+/// is selected automatically when a session's first frame has no `"v"`
+/// key.
 ///
 /// Request line — either a bare `EvalRequest` object (api/request.h wire
 /// format) or an envelope:
@@ -17,8 +20,10 @@
 /// keeps serving.
 
 #include <iosfwd>
+#include <string>
 
 #include "serve/scheduler.h"
+#include "serve/transport.h"
 
 namespace defa::serve {
 
@@ -28,14 +33,24 @@ namespace defa::serve {
 
 [[nodiscard]] api::Json to_json(const ServeResponse& r);
 
+/// Serve one legacy session on `conn` until EOF: arrival-order responses
+/// over a caller-owned (possibly shared) Server.  Does NOT drain the
+/// server.  `first_frame`, when set, is processed as if it were read from
+/// `conn` first (the protocol auto-detection peek hands it in).  Returns
+/// the number of malformed request lines.
+int run_legacy_session(Connection& conn, Server& server,
+                       const std::string* first_frame = nullptr);
+
 struct ServeLoopOptions {
   ServerOptions server;
   /// Append a final `{"metrics": ...}` line after EOF.
   bool emit_metrics = false;
 };
 
-/// Serve `in` until EOF; returns the number of malformed request lines
-/// (0 when every line parsed).
+/// Serve `in` until EOF on a fresh Server, auto-detecting the mode from
+/// the first line (legacy JSON-lines or Protocol v1 — see protocol.h),
+/// then drain.  Returns the number of malformed request lines (0 when
+/// every line parsed).
 int run_serve_loop(std::istream& in, std::ostream& out, const ServeLoopOptions& options);
 
 }  // namespace defa::serve

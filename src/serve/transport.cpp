@@ -1,0 +1,240 @@
+#include "serve/transport.h"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace defa::serve {
+
+namespace {
+
+void strip_eol(std::string& frame) {
+  if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- StreamConnection
+
+StreamConnection::StreamConnection(std::istream& in, std::ostream& out)
+    : in_(in), out_(out) {}
+
+bool StreamConnection::read_frame(std::string& frame) {
+  if (shutdown_) return false;
+  if (!std::getline(in_, frame)) return false;
+  strip_eol(frame);
+  return true;
+}
+
+bool StreamConnection::write_frame(const std::string& frame) {
+  // Flush per frame: a lock-step client on a pipe waits for each response
+  // before sending the next request.
+  out_ << frame << '\n' << std::flush;
+  return out_.good();
+}
+
+void StreamConnection::shutdown() { shutdown_ = true; }
+
+// --------------------------------------------------------------- FdConnection
+
+FdConnection::FdConnection(int read_fd, int write_fd, bool is_socket)
+    : read_fd_(read_fd), write_fd_(write_fd), is_socket_(is_socket) {
+  DEFA_CHECK(read_fd >= 0 && write_fd >= 0, "FdConnection: invalid descriptor");
+}
+
+FdConnection::~FdConnection() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+  read_fd_ = write_fd_ = -1;
+}
+
+bool FdConnection::read_frame(std::string& frame) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      frame.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      strip_eol(frame);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t r = is_socket_ ? ::recv(read_fd_, chunk, sizeof(chunk), 0)
+                                 : ::read(read_fd_, chunk, sizeof(chunk));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) {  // orderly EOF: deliver a final unterminated frame if any
+      if (buffer_.empty()) return false;
+      frame = std::move(buffer_);
+      buffer_.clear();
+      strip_eol(frame);
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+bool FdConnection::write_frame(const std::string& frame) {
+  if (write_fd_ < 0) return false;
+  const std::string line = frame + "\n";
+  const char* data = line.data();
+  std::size_t n = line.size();
+  // Write-all with EINTR retry.  A vanished peer surfaces as EPIPE
+  // (MSG_NOSIGNAL on sockets; the tools ignore SIGPIPE for pipes) and is
+  // reported as false, never as a signal or an exception.
+  while (n > 0) {
+    const ssize_t w = is_socket_ ? ::send(write_fd_, data, n, MSG_NOSIGNAL)
+                                 : ::write(write_fd_, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void FdConnection::shutdown() {
+  if (is_socket_) {
+    if (read_fd_ >= 0) ::shutdown(read_fd_, SHUT_RDWR);
+    return;
+  }
+  // Pipe pair: closing the write end is the stdio transport's EOF.
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+// -------------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(int fd) : FdConnection(fd, fd, /*is_socket=*/true) {
+  const int one = 1;  // request/response frames are latency-sensitive
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------------- tcp_connect
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host, int port) {
+  DEFA_CHECK(port > 0 && port < 65536,
+             "tcp_connect: port must be in [1, 65535], got " + std::to_string(port));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string ip = host.empty() || host == "localhost" ? "127.0.0.1" : host;
+  DEFA_CHECK(::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) == 1,
+             "tcp_connect: cannot parse IPv4 address '" + ip + "'");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DEFA_CHECK(fd >= 0, "tcp_connect: socket() failed: " +
+                          std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    DEFA_CHECK(false, "tcp_connect: cannot connect to " + ip + ":" +
+                          std::to_string(port) + ": " + err);
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  const std::size_t colon = spec.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    port_str = spec;  // bare "7411"
+  } else {
+    ep.host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  if (ep.host.empty()) ep.host = "127.0.0.1";
+  try {
+    std::size_t used = 0;
+    ep.port = std::stoi(port_str, &used);
+    DEFA_CHECK(used == port_str.size(), "trailing characters");
+  } catch (const std::exception&) {
+    DEFA_CHECK(false, "endpoint '" + spec + "' is not HOST:PORT");
+  }
+  DEFA_CHECK(ep.port > 0 && ep.port < 65536,
+             "endpoint '" + spec + "' has an out-of-range port");
+  return ep;
+}
+
+// ----------------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(int port) {
+  DEFA_CHECK(port >= 0 && port < 65536,
+             "TcpListener: port must be in [0, 65535], got " + std::to_string(port));
+  DEFA_CHECK(::pipe(wake_pipe_) == 0, "TcpListener: pipe() failed: " +
+                                          std::string(std::strerror(errno)));
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DEFA_CHECK(listen_fd_ >= 0, "TcpListener: socket() failed: " +
+                                  std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  DEFA_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+             "TcpListener: cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+                 std::string(std::strerror(errno)));
+  DEFA_CHECK(::listen(listen_fd_, 64) == 0,
+             "TcpListener: listen() failed: " + std::string(std::strerror(errno)));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  DEFA_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+             "TcpListener: getsockname() failed");
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+TcpListener::~TcpListener() {
+  close();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return nullptr;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return nullptr;  // close() requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return nullptr;
+    }
+    return std::make_unique<TcpConnection>(fd);
+  }
+}
+
+void TcpListener::close() noexcept {
+  // One byte on the self-pipe wakes the poll(); write() is on the
+  // async-signal-safe list, so SIGTERM handlers may call this.
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+}  // namespace defa::serve

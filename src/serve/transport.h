@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file transport.h
+/// Byte transports for the serving protocol: a `Connection` is a
+/// bidirectional stream of LF-terminated frames (the unit both the legacy
+/// JSON-lines mode and Protocol v1 exchange — docs/PROTOCOL.md#framing).
+/// Two implementations ship:
+///
+///  * `StreamConnection` — wraps an existing istream/ostream pair.  Used
+///    for stdio serving (`defa_serve` without `--listen`), spawned-process
+///    pipes, and in-memory tests over stringstreams.
+///  * `TcpConnection` / `TcpListener` — POSIX TCP sockets.  The listener
+///    accepts any number of clients (`defa_serve --listen PORT`); `close()`
+///    is async-signal-safe via a self-pipe, so a SIGTERM handler can wake a
+///    blocked `accept()` for graceful shutdown.
+///
+/// Connections are *not* thread-safe per method: callers serialize reads
+/// on one thread and guard writes with their own mutex (the protocol
+/// session does exactly that, since completion-order responses are written
+/// from evaluator threads).
+
+#include <memory>
+#include <string>
+
+#include <iosfwd>
+
+namespace defa::serve {
+
+/// One framed, bidirectional peer connection.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocking read of the next LF-terminated frame (the terminator is
+  /// stripped; a trailing CR is stripped too).  Returns false on EOF or a
+  /// transport error; a non-empty final frame without a terminator is
+  /// still delivered.
+  [[nodiscard]] virtual bool read_frame(std::string& frame) = 0;
+
+  /// Write one frame (an LF terminator is appended) and flush.  Returns
+  /// false when the peer is gone (broken pipe); implementations must not
+  /// raise signals or throw for that case — a vanished client is an
+  /// ordinary end-of-session, not an error.
+  virtual bool write_frame(const std::string& frame) = 0;
+
+  /// Interrupt a blocked `read_frame` from another thread; subsequent
+  /// reads return false.  Used for server-initiated shutdown.
+  virtual void shutdown() = 0;
+
+  /// Transport label stamped into load reports ("stdio" | "tcp").
+  [[nodiscard]] virtual const char* transport_name() const noexcept = 0;
+};
+
+/// `Connection` over caller-owned streams (stdio, pipes, stringstreams).
+class StreamConnection : public Connection {
+ public:
+  StreamConnection(std::istream& in, std::ostream& out);
+  [[nodiscard]] bool read_frame(std::string& frame) override;
+  bool write_frame(const std::string& frame) override;
+  void shutdown() override;
+  [[nodiscard]] const char* transport_name() const noexcept override {
+    return "stdio";
+  }
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+  bool shutdown_ = false;
+};
+
+/// `Connection` over raw file descriptors — the shared framing (buffered
+/// reads, EINTR retry, EOF with a final unterminated frame, CR strip,
+/// write-all) for sockets and pipes alike.  `is_socket` selects
+/// recv/send (+MSG_NOSIGNAL, so a vanished peer is EPIPE not a signal)
+/// over read/write.  Takes ownership of both fds (closed once when they
+/// are the same descriptor).
+class FdConnection : public Connection {
+ public:
+  FdConnection(int read_fd, int write_fd, bool is_socket);
+  ~FdConnection() override;
+  FdConnection(const FdConnection&) = delete;
+  FdConnection& operator=(const FdConnection&) = delete;
+
+  [[nodiscard]] bool read_frame(std::string& frame) override;
+  bool write_frame(const std::string& frame) override;
+  /// Socket: ::shutdown both directions (wakes a blocked reader).
+  /// Pipe pair: close the write end — the peer's read side sees EOF.
+  void shutdown() override;
+  [[nodiscard]] const char* transport_name() const noexcept override {
+    return is_socket_ ? "tcp" : "stdio";
+  }
+
+ protected:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  bool is_socket_ = false;
+  std::string buffer_;  ///< bytes read past the last frame boundary
+};
+
+/// `Connection` over a connected TCP socket (takes ownership of `fd`).
+class TcpConnection : public FdConnection {
+ public:
+  explicit TcpConnection(int fd);
+};
+
+/// Connect to `host:port`; throws defa::CheckError on resolution or
+/// connection failure.
+[[nodiscard]] std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                                      int port);
+
+/// Split an `HOST:PORT` endpoint ("127.0.0.1:7411", ":7411" and bare
+/// "7411" default the host to 127.0.0.1).  Throws defa::CheckError on a
+/// malformed port.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Accepting TCP socket bound to 127.0.0.1 (port 0 = ephemeral; read the
+/// chosen port back with `port()`).
+class TcpListener {
+ public:
+  explicit TcpListener(int port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The locally bound port.
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Block until a client connects; nullptr once `close()` was requested.
+  [[nodiscard]] std::unique_ptr<Connection> accept();
+
+  /// Wake a blocked `accept()` and make future accepts return nullptr.
+  /// Async-signal-safe (one write to a self-pipe), so it may be called
+  /// from a SIGTERM handler.
+  void close() noexcept;
+
+ private:
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< [read, write]; write end wakes accept
+  int port_ = 0;
+};
+
+}  // namespace defa::serve

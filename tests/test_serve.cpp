@@ -801,6 +801,99 @@ TEST(ScenarioFile, RejectsMalformedDescriptions) {
   EXPECT_NO_THROW((void)parse(R"({"sweep": {"rates_qps": [100]}, )" + ok_mix + "}"));
 }
 
+TEST(ScenarioFile, SweepParsesConcurrencyAxis) {
+  const auto parse = [](const std::string& text) {
+    return scenario_file_from_json(api::Json::parse(text));
+  };
+  const std::string ok_mix =
+      R"("scenarios": [{"name": "a", "request": {"preset": "tiny"}}])";
+  // Concurrency-only sweep: closed loop by nature, no rates required —
+  // and a closed-loop arrival spec is fine alongside it.
+  const ScenarioFile f = parse(
+      R"({"arrival": {"process": "closed"},
+          "sweep": {"concurrency": [1, 4, 16]}, )" + ok_mix + "}");
+  ASSERT_TRUE(f.has_sweep);
+  EXPECT_TRUE(f.sweep.rates_qps.empty());
+  EXPECT_EQ(f.sweep.concurrencies, (std::vector<int>{1, 4, 16}));
+  // Both axes together.
+  const ScenarioFile both = parse(
+      R"({"sweep": {"rates_qps": [100], "concurrency": [2]}, )" + ok_mix + "}");
+  EXPECT_EQ(both.sweep.rates_qps, (std::vector<double>{100.0}));
+  EXPECT_EQ(both.sweep.concurrencies, (std::vector<int>{2}));
+  // Malformed axes.
+  EXPECT_THROW((void)parse(R"({"sweep": {"concurrency": []}, )" + ok_mix + "}"),
+               CheckError);
+  EXPECT_THROW((void)parse(R"({"sweep": {"concurrency": [0]}, )" + ok_mix + "}"),
+               CheckError);
+  EXPECT_THROW((void)parse(R"({"sweep": {"concurrency": [-2]}, )" + ok_mix + "}"),
+               CheckError);
+  // A sweep block with neither axis is rejected.
+  EXPECT_THROW((void)parse(R"({"sweep": {"policies": ["fifo"]}, )" + ok_mix + "}"),
+               CheckError);
+  // Rate axes still refuse a closed-loop arrival.
+  EXPECT_THROW((void)parse(
+                   R"({"arrival": {"process": "closed"},
+                       "sweep": {"rates_qps": [100], "concurrency": [2]}, )" +
+                   ok_mix + "}"),
+               CheckError);
+}
+
+TEST(ScenarioFile, ConcurrencySweepDrivesClosedLoopPoints) {
+  ScenarioFile file;
+  file.name = "conc";
+  file.base.requests = 16;
+  file.base.seed = 5;
+  file.base.scenarios = smoke_mix();
+  file.has_sweep = true;
+  file.sweep.concurrencies = {1, 4};
+  file.sweep.policies = {SchedulePolicy::kFifo};
+
+  const SweepReport report = run_sweep(file);
+  ASSERT_EQ(report.points.size(), 2u);
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const SweepPoint& pt = report.points[i];
+    EXPECT_EQ(pt.mode, "closed");
+    EXPECT_EQ(pt.rate_qps, 0.0);
+    EXPECT_EQ(pt.report.mode, "closed");
+    EXPECT_EQ(pt.report.completed_ok, 16u);
+  }
+  EXPECT_EQ(report.points[0].concurrency, 1);
+  EXPECT_EQ(report.points[1].concurrency, 4);
+  // Identical schedules across concurrencies: same per-scenario counts.
+  for (std::size_t s = 0; s < report.points[0].report.per_scenario.size(); ++s) {
+    EXPECT_EQ(report.points[0].report.per_scenario[s].completed_ok,
+              report.points[1].report.per_scenario[s].completed_ok);
+  }
+
+  // Curve rows and CSV carry the mode/concurrency columns.
+  const api::Json j = report.to_json();
+  for (const api::Json& row : j.at("curve").items()) {
+    EXPECT_EQ(row.at("mode").as_string(), "closed");
+    EXPECT_GT(row.at("concurrency").as_int(), 0);
+  }
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("rate_qps,policy,mode,concurrency,"), std::string::npos);
+  EXPECT_NE(csv.find("closed,1,"), std::string::npos);
+  EXPECT_NE(csv.find("closed,4,"), std::string::npos);
+}
+
+TEST(ScenarioFile, MixedSweepRunsOpenPointsThenClosedPoints) {
+  ScenarioFile file;
+  file.base.requests = 8;
+  file.base.scenarios = smoke_mix();
+  file.has_sweep = true;
+  file.sweep.rates_qps = {2000.0};
+  file.sweep.concurrencies = {2};
+  file.sweep.policies = {SchedulePolicy::kFifo};
+  const SweepReport report = run_sweep(file);
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_EQ(report.points[0].mode, "open");
+  EXPECT_EQ(report.points[0].rate_qps, 2000.0);
+  EXPECT_EQ(report.points[0].concurrency, 0);
+  EXPECT_EQ(report.points[1].mode, "closed");
+  EXPECT_EQ(report.points[1].concurrency, 2);
+}
+
 TEST(ScenarioFile, SweepComparesPoliciesOnIdenticalSchedules) {
   ScenarioFile file;
   file.name = "unit";
@@ -862,9 +955,9 @@ TEST(ScenarioFile, SweepComparesPoliciesOnIdenticalSchedules) {
 
 void check_bench_serve_json(const api::Json& j) {
   for (const char* key :
-       {"bench", "mode", "policy", "requests", "completed_ok", "elapsed_ms",
-        "achieved_qps", "latency_ms", "queue_ms", "run_ms", "per_scenario",
-        "server_metrics"}) {
+       {"bench", "mode", "policy", "transport", "requests", "completed_ok",
+        "rejected_shutdown", "elapsed_ms", "achieved_qps", "latency_ms",
+        "queue_ms", "run_ms", "per_scenario", "server_metrics"}) {
     EXPECT_TRUE(j.contains(key)) << key;
   }
   for (const char* key : {"p50_ms", "p95_ms", "p99_ms", "buckets", "sum_ms",

@@ -9,11 +9,16 @@
 //   defa_cli run ... --backend NAME       evaluate on a kernels backend
 //                                         (reference|fused|...; also the
 //                                         DEFA_BACKEND env var)
+//   defa_cli run ... --connect HOST:PORT  run the experiments in a remote
+//                                         defa_serve --listen process over
+//                                         Protocol v1 (tables stream back;
+//                                         --json works unchanged)
 //   defa_cli validate FILE                parse a JSON file emitted by run
 //
 // All experiments share one Engine, so e.g. `defa_cli run fig6b fig9 table1`
-// builds each benchmark workload exactly once.  Failures don't abort the
-// remaining experiments; the exit code is nonzero when any failed.
+// builds each benchmark workload exactly once (remote runs share the server
+// process's Engine the same way).  Failures don't abort the remaining
+// experiments; the exit code is nonzero when any failed.
 
 #include <cstring>
 #include <iostream>
@@ -24,6 +29,7 @@
 #include "api/engine.h"
 #include "api/registry.h"
 #include "api/result_io.h"
+#include "client/client.h"
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
 
@@ -35,8 +41,51 @@ int usage(const char* argv0) {
             << " run <name>... [--jobs N] [--backend NAME] [--json FILE]\n"
             << "       " << argv0
             << " run --all [--jobs N] [--backend NAME] [--json FILE]\n"
+            << "       " << argv0 << " run <name>... --connect HOST:PORT [--json FILE]\n"
             << "       " << argv0 << " validate FILE\n";
   return 2;
+}
+
+/// `run --connect`: every experiment executes inside the remote defa_serve
+/// process (its Engine, its backend); tables and JSON come back over the
+/// wire and are presented exactly like a local run.
+int cmd_run_remote(const std::string& endpoint, std::vector<std::string> names,
+                   bool all, const std::string& json_path) {
+  defa::client::Client client = defa::client::Client::connect(endpoint);
+  if (all) {
+    names.clear();
+    for (const defa::api::Json& e :
+         client.experiments().at("experiments").items()) {
+      names.push_back(e.at("name").as_string());
+    }
+  }
+  if (names.empty()) {
+    std::cerr << "run: no experiment names given (try 'defa_cli list')\n";
+    return 2;
+  }
+  defa::api::Json combined = defa::api::Json::object();
+  int failures = 0;
+  for (const std::string& name : names) {
+    try {
+      defa::api::Json reply = client.run_experiment(name);
+      std::cout << reply.at("tables").as_string() << "\n";
+      combined[name] = reply.at("json");
+    } catch (const defa::client::RpcError& e) {
+      ++failures;
+      std::cerr << name << " failed: " << e.what() << "\n";
+    }
+  }
+  if (!json_path.empty()) {
+    defa::api::write_json_file(json_path, names.size() == 1 && combined.size() == 1
+                                              ? combined.at(names[0])
+                                              : combined);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (failures > 0) {
+    std::cerr << failures << " of " << names.size() << " experiments failed\n";
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_list() {
@@ -53,14 +102,20 @@ int cmd_list() {
 int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> names;
   std::string json_path;
+  std::string connect_endpoint;
   defa::api::Engine::Options engine_options;
   bool all = false;
+  bool backend_flag_given = false;
   int jobs = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--json") {
       if (i + 1 >= args.size()) return usage("defa_cli");
       json_path = args[++i];
+    } else if (args[i] == "--connect") {
+      if (i + 1 >= args.size()) return usage("defa_cli");
+      connect_endpoint = args[++i];
     } else if (args[i] == "--backend") {
+      backend_flag_given = true;
       if (i + 1 >= args.size()) return usage("defa_cli");
       engine_options.backend = args[++i];
       if (defa::kernels::find_backend(engine_options.backend) == nullptr) {
@@ -80,6 +135,17 @@ int cmd_run(const std::vector<std::string>& args) {
     } else {
       names.push_back(args[i]);
     }
+  }
+  if (!connect_endpoint.empty()) {
+    if (backend_flag_given || jobs > 1) {
+      // The server process owns its backend and its concurrency; silently
+      // ignoring these flags would run something the user didn't ask for.
+      std::cerr << "--connect runs experiments in the remote defa_serve "
+                   "process: --backend/--jobs configure the local run and "
+                   "cannot be combined with it\n";
+      return 2;
+    }
+    return cmd_run_remote(connect_endpoint, names, all, json_path);
   }
   defa::api::register_builtin_experiments();
   if (all) names = defa::api::Registry::instance().names();

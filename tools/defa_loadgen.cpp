@@ -1,6 +1,6 @@
 // defa_loadgen — open/closed-loop traffic generator for the serve stack.
 //
-//   defa_loadgen [--scenario FILE] [--sweep]
+//   defa_loadgen [--scenario FILE] [--sweep] [--connect HOST:PORT]
 //                [--mode closed|open] [--requests N] [--concurrency N]
 //                [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]
 //                [--mix smoke|default] [--workers N] [--queue-capacity N]
@@ -8,22 +8,34 @@
 //                [--max-contexts N] [--max-memo N] [--no-memo]
 //                [--backend NAME] [--out FILE] [--smoke] [--quiet]
 //
-// Drives a fresh serve::Server with a weighted scenario mix and prints a
+// Drives a serve::Server with a weighted scenario mix and prints a
 // latency/throughput summary; --out writes the full report (raw latency
 // histograms, achieved QPS, per-scenario breakdown, server metrics with
 // context-cache hit rates) as JSON — the repo's BENCH_serve.json artifact.
+//
+// By default the server is in-process (`"transport": "inproc"` in the
+// report).  --connect HOST:PORT drives a *separate* `defa_serve --listen`
+// process over TCP through defa::client::Client instead: same schedules,
+// same report schema, bit-identical results, latencies now including the
+// wire — the in-process vs cross-process comparison in one tool.  The
+// server flags (--workers, --policy, ..., --backend) configure the
+// in-process server and are rejected with --connect (the remote process
+// owns its configuration); a scenario file's "server" block is ignored
+// with --connect for the same reason.
 //
 // The mix comes from a JSON scenario file (--scenario; format in
 // docs/SERVING.md) or one of the two built-in mixes (--mix).  Flags given
 // after --scenario override the file's settings.
 //
 //   --sweep   requires a scenario file with a "sweep" block: drives every
-//             configured arrival rate under every configured policy (FIFO
-//             vs locality by default) and emits one latency-vs-load curve
-//             per policy, with context-cache hit rate per point
-//             (docs/BENCH_SCHEMA.md describes the output).  With --out it
-//             also writes a plot-ready CSV sidecar (one row per
-//             rate x policy point) next to the JSON report.
+//             configured open-loop arrival rate and/or closed-loop
+//             concurrency under every configured policy (FIFO vs locality
+//             by default) and emits one latency-vs-load curve per policy,
+//             with context-cache hit rate per point (docs/BENCH_SCHEMA.md
+//             describes the output).  With --out it also writes a
+//             plot-ready CSV sidecar (one row per point) next to the JSON
+//             report.  Sweeps reconfigure the server per point, so they
+//             are in-process only (no --connect).
 //   --smoke   shorthand for the CI configuration: closed loop, 64 requests,
 //             concurrency 4, smoke mix, --out BENCH_serve.json.
 
@@ -32,6 +44,8 @@
 #include <string>
 
 #include "api/result_io.h"
+#include "client/client.h"
+#include "client/remote_loadgen.h"
 #include "kernels/backend.h"
 #include "serve/scenario.h"
 
@@ -39,7 +53,7 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: defa_loadgen [--scenario FILE] [--sweep]\n"
+      << "usage: defa_loadgen [--scenario FILE] [--sweep] [--connect HOST:PORT]\n"
       << "                    [--mode closed|open] [--requests N] [--concurrency N]\n"
       << "                    [--rate QPS] [--fixed-gap] [--timeout-ms MS] [--seed S]\n"
       << "                    [--mix smoke|default] [--workers N] [--queue-capacity N]\n"
@@ -56,10 +70,10 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
   } else {
     out << " (offered " << r.offered_qps << " qps)";
   }
-  out << ", policy " << r.policy << "\n"
+  out << ", policy " << r.policy << ", transport " << r.transport << "\n"
       << "requests        " << r.requests << "  (ok " << r.completed_ok
       << ", overload " << r.rejected_overload << ", deadline " << r.rejected_deadline
-      << ", error " << r.errors << ")\n"
+      << ", shutdown " << r.rejected_shutdown << ", error " << r.errors << ")\n"
       << "elapsed         " << r.elapsed_ms << " ms\n"
       << "achieved        " << r.achieved_qps << " qps\n"
       << "latency (ms)    p50 " << r.latency_ms.percentile(50) << "   p95 "
@@ -80,10 +94,15 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
 void print_sweep_summary(const defa::serve::SweepReport& r, std::ostream& out) {
   out << "sweep           " << (r.name.empty() ? "(unnamed)" : r.name) << ", "
       << r.requests << " requests per point\n"
-      << "rate_qps  policy    achieved  p50_ms    p99_ms    hit_rate\n";
+      << "point         policy    achieved  p50_ms    p99_ms    hit_rate\n";
   for (const auto& pt : r.points) {
     const defa::serve::MetricsSnapshot& m = pt.report.server_metrics;
-    out << pt.rate_qps << "  " << defa::serve::policy_name(pt.policy) << "  "
+    if (pt.mode == "closed") {
+      out << "conc " << pt.concurrency;
+    } else {
+      out << pt.rate_qps << " qps";
+    }
+    out << "  " << defa::serve::policy_name(pt.policy) << "  "
         << pt.report.achieved_qps << "  " << pt.report.latency_ms.percentile(50)
         << "  " << pt.report.latency_ms.percentile(99) << "  "
         << m.context_hit_rate() << "\n";
@@ -95,9 +114,11 @@ void print_sweep_summary(const defa::serve::SweepReport& r, std::ostream& out) {
 int main(int argc, char** argv) try {
   defa::serve::ScenarioFile scenario;  // .base drives single runs
   std::string out_path;
+  std::string connect_endpoint;  // --connect: drive a remote defa_serve
   std::string mix = "smoke";
   bool have_scenario_file = false;
-  bool mix_flag_given = false;  // --mix/--smoke conflict with --scenario
+  bool mix_flag_given = false;     // --mix/--smoke conflict with --scenario
+  bool server_flag_given = false;  // server-config flags conflict with --connect
   bool sweep = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +134,9 @@ int main(int argc, char** argv) try {
       have_scenario_file = true;
     } else if (arg == "--sweep") {
       sweep = true;
+    } else if (arg == "--connect") {
+      if ((v = value()) == nullptr) return usage();
+      connect_endpoint = v;
     } else if (arg == "--mode") {
       if ((v = value()) == nullptr) return usage();
       const std::string mode = v;
@@ -145,12 +169,15 @@ int main(int argc, char** argv) try {
       mix = v;
       mix_flag_given = true;
     } else if (arg == "--workers") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       options.server.max_concurrency = std::stoi(v);
     } else if (arg == "--queue-capacity") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       options.server.queue_capacity = static_cast<std::size_t>(std::stoul(v));
     } else if (arg == "--policy") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       const auto policy = defa::serve::policy_from_name(v);
       if (!policy.has_value()) {
@@ -159,17 +186,22 @@ int main(int argc, char** argv) try {
       }
       options.server.policy = *policy;
     } else if (arg == "--locality-window") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       options.server.locality_window = std::stoi(v);
     } else if (arg == "--max-contexts") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       options.server.engine.max_contexts = static_cast<std::size_t>(std::stoul(v));
     } else if (arg == "--max-memo") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       options.server.engine.max_memo = static_cast<std::size_t>(std::stoul(v));
     } else if (arg == "--no-memo") {
+      server_flag_given = true;
       options.server.engine.memoize_results = false;
     } else if (arg == "--backend") {
+      server_flag_given = true;
       if ((v = value()) == nullptr) return usage();
       if (defa::kernels::find_backend(v) == nullptr) {
         std::cerr << "unknown backend '" << v
@@ -202,6 +234,20 @@ int main(int argc, char** argv) try {
     // two would benchmark something the user didn't ask for.
     std::cerr << "--mix/--smoke cannot be combined with --scenario "
                  "(the scenario file defines the mix)\n";
+    return 2;
+  }
+  if (!connect_endpoint.empty() && server_flag_given) {
+    // Server flags configure the in-process server; silently ignoring
+    // them would benchmark a configuration the user didn't ask for.
+    std::cerr << "--connect drives a remote defa_serve: server flags "
+                 "(--workers/--queue-capacity/--policy/--locality-window/"
+                 "--max-contexts/--max-memo/--no-memo/--backend) configure "
+                 "the in-process server and cannot be combined with it\n";
+    return 2;
+  }
+  if (!connect_endpoint.empty() && sweep) {
+    std::cerr << "--sweep reconfigures the server per point and is "
+                 "in-process only (no --connect)\n";
     return 2;
   }
   if (!have_scenario_file) {
@@ -245,7 +291,17 @@ int main(int argc, char** argv) try {
     return ok > 0 ? 0 : 1;
   }
 
-  const defa::serve::LoadReport report = defa::serve::run_loadgen(scenario.base);
+  defa::serve::LoadReport report;
+  if (!connect_endpoint.empty()) {
+    if (have_scenario_file && !quiet) {
+      std::cerr << "note: --connect ignores the scenario file's \"server\" "
+                   "block (the remote process owns its configuration)\n";
+    }
+    defa::client::Client client = defa::client::Client::connect(connect_endpoint);
+    report = defa::client::run_remote_loadgen(scenario.base, client);
+  } else {
+    report = defa::serve::run_loadgen(scenario.base);
+  }
   if (!quiet) print_summary(report, std::cout);
   if (!out_path.empty()) {
     defa::api::write_json_file(out_path, report.to_json());

@@ -1,32 +1,52 @@
-// defa_serve — JSON-lines request/response server over defa::serve.
+// defa_serve — request/response server over defa::serve.
 //
-//   defa_serve [--in FILE] [--out FILE] [--workers N]
-//              [--queue-capacity N] [--policy fifo|locality]
+//   defa_serve [--in FILE] [--out FILE] [--listen PORT] [--port-file FILE]
+//              [--workers N] [--queue-capacity N] [--policy fifo|locality]
 //              [--locality-window N] [--max-contexts N] [--max-memo N]
 //              [--no-memo] [--backend NAME] [--metrics]
 //
-// Reads one request per line (a bare EvalRequest object, or an envelope
-// {"id", "priority", "timeout_ms", "request"}) from stdin or --in, serves
-// them concurrently through the shared thread pool, and writes one JSON
-// response per line in arrival order to stdout or --out.  --metrics
-// appends a final {"metrics": ...} line (QPS, p50/p95/p99 latency,
-// per-benchmark counters).
+// Speaks two wire modes, auto-detected per session from the first frame
+// (docs/PROTOCOL.md):
+//   * Protocol v1 — {"v":1,"id":...,"method":...,"params":...} envelopes,
+//     completion-order responses, typed error codes, and the
+//     eval/eval_batch/metrics/backends/experiments/experiment/ping/drain
+//     methods.  defa::client::Client speaks this.
+//   * legacy JSON-lines — bare EvalRequest or {"id","priority",
+//     "timeout_ms","request"} lines answered in arrival order.
+//
+// Without --listen it serves stdin→stdout (or --in/--out file pipes) and
+// exits at EOF.  With --listen PORT it accepts any number of concurrent
+// TCP clients on 127.0.0.1:PORT (PORT 0 picks an ephemeral port, printed
+// to stderr and written to --port-file) over one shared scheduler, until
+// SIGTERM/SIGINT or a protocol `drain` stops it gracefully: admission
+// stops, in-flight requests finish, metrics flush, clients close.
 //
 // Example:
 //   printf '%s\n' '{"preset":"tiny","outputs":["functional"]}' | defa_serve
+//   defa_serve --listen 0 --port-file port.txt &
 
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernels/backend.h"
+#include "serve/protocol.h"
 #include "serve/server_loop.h"
+#include "serve/transport.h"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: defa_serve [--in FILE] [--out FILE] [--workers N]\n"
+  std::cerr << "usage: defa_serve [--in FILE] [--out FILE] [--listen PORT]\n"
+            << "                  [--port-file FILE] [--workers N]\n"
             << "                  [--queue-capacity N] [--policy fifo|locality]\n"
             << "                  [--locality-window N] [--max-contexts N]\n"
             << "                  [--max-memo N] [--no-memo] [--backend NAME]\n"
@@ -34,10 +54,114 @@ int usage() {
   return 2;
 }
 
+std::atomic<defa::serve::TcpListener*> g_listener{nullptr};
+
+extern "C" void handle_term_signal(int) {
+  // Async-signal-safe: one write to the listener's self-pipe.  The accept
+  // loop returns, and main() drains gracefully.
+  defa::serve::TcpListener* l = g_listener.load(std::memory_order_acquire);
+  if (l != nullptr) l->close();
+}
+
+int run_listen(int port, const std::string& port_file,
+               const defa::serve::ServeLoopOptions& options) {
+  defa::serve::Server server(options.server);
+  defa::serve::TcpListener listener(port);
+  g_listener.store(&listener, std::memory_order_release);
+  std::signal(SIGTERM, handle_term_signal);
+  std::signal(SIGINT, handle_term_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "defa_serve: listening on 127.0.0.1:" << listener.port() << "\n";
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    if (!pf.good()) {
+      std::cerr << "error: cannot write '" << port_file << "'\n";
+      return 1;
+    }
+    pf << listener.port() << "\n";
+  }
+
+  defa::serve::ProtocolOptions protocol;
+  // A client-issued `drain` stops the whole process, not just its session.
+  protocol.on_drain = [&listener] { listener.close(); };
+
+  // Each client gets a dedicated reader thread; evaluation itself runs on
+  // the shared ThreadPool via the Server, so connection readers blocking
+  // on I/O never occupy compute slots.  Finished sessions move themselves
+  // from `live` to `finished`, and the accept loop reaps them — a
+  // long-running server does not accumulate one fd + thread handle per
+  // disconnected client until accept() hits EMFILE.
+  struct Session {
+    std::thread thread;
+    std::shared_ptr<defa::serve::Connection> conn;
+  };
+  std::mutex mu;
+  std::map<std::uint64_t, Session> live;  // guarded by mu
+  std::vector<std::thread> finished;      // guarded by mu
+  std::uint64_t next_session = 0;
+
+  const auto reap = [&] {
+    std::vector<std::thread> done;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      done.swap(finished);
+    }
+    for (std::thread& t : done) t.join();
+  };
+
+  while (auto accepted = listener.accept()) {
+    reap();
+    std::shared_ptr<defa::serve::Connection> conn = std::move(accepted);
+    const std::lock_guard<std::mutex> lock(mu);
+    const std::uint64_t id = next_session++;
+    Session& session = live[id];
+    session.conn = conn;
+    // The session thread cannot reach its cleanup until this lock is
+    // released, so `session.thread` is always set before it is moved.
+    session.thread = std::thread([conn, id, &server, &protocol, &mu, &live,
+                                  &finished] {
+      defa::serve::run_serve_connection(*conn, server, protocol);
+      const std::lock_guard<std::mutex> lock(mu);
+      const auto it = live.find(id);
+      if (it != live.end()) {  // absent when shutdown already collected it
+        finished.push_back(std::move(it->second.thread));
+        live.erase(it);
+      }
+    });
+  }
+
+  // Shutdown (signal or drain): stop admitting and finish in-flight work,
+  // then unblock every connection reader and join the sessions.
+  server.drain();
+  std::vector<std::thread> to_join;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (auto& [id, session] : live) {
+      session.conn->shutdown();
+      to_join.push_back(std::move(session.thread));
+    }
+    live.clear();
+  }
+  for (std::thread& t : to_join) t.join();
+  reap();  // sessions that self-retired between collection and join
+  g_listener.store(nullptr, std::memory_order_release);
+
+  if (options.emit_metrics) {
+    defa::api::Json m = defa::api::Json::object();
+    m["metrics"] = server.metrics().to_json();
+    std::cout << m.dump() << "\n" << std::flush;
+  }
+  std::cerr << "defa_serve: drained, " << server.metrics().completed_ok
+            << " requests served\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
-  std::string in_path, out_path;
+  std::string in_path, out_path, port_file;
+  int listen_port = -1;  // -1 = stdio mode
   defa::serve::ServeLoopOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,6 +176,18 @@ int main(int argc, char** argv) try {
       const char* v = value();
       if (v == nullptr) return usage();
       out_path = v;
+    } else if (arg == "--listen") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      listen_port = std::stoi(v);
+      if (listen_port < 0 || listen_port > 65535) {
+        std::cerr << "--listen PORT must be in [0, 65535]\n";
+        return 2;
+      }
+    } else if (arg == "--port-file") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      port_file = v;
     } else if (arg == "--workers") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -103,6 +239,14 @@ int main(int argc, char** argv) try {
     }
   }
 
+  if (listen_port >= 0) {
+    if (!in_path.empty() || !out_path.empty()) {
+      std::cerr << "--listen serves TCP clients; --in/--out apply to stdio mode\n";
+      return 2;
+    }
+    return run_listen(listen_port, port_file, options);
+  }
+
   std::ifstream in_file;
   if (!in_path.empty()) {
     in_file.open(in_path);
@@ -119,6 +263,7 @@ int main(int argc, char** argv) try {
       return 1;
     }
   }
+  std::signal(SIGPIPE, SIG_IGN);
   const int bad = defa::serve::run_serve_loop(
       in_path.empty() ? std::cin : in_file, out_path.empty() ? std::cout : out_file,
       options);
