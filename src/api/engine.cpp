@@ -28,6 +28,49 @@ std::size_t Engine::memoized_results() const {
   return memo_.size();
 }
 
+void Engine::evict_memo_locked(std::size_t max_memo) {
+  while (max_memo > 0 && memo_.size() > max_memo) {
+    auto lru = memo_.begin();
+    for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    memo_.erase(lru);
+    ++memo_evictions_;
+  }
+}
+
+void Engine::reconfigure(const Reconfig& rc) {
+  if (rc.backend.has_value()) {
+    DEFA_CHECK(rc.backend->empty() ||
+                   kernels::find_backend(*rc.backend) != nullptr,
+               "Engine: unknown backend '" + *rc.backend + "'");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(options_mu_);
+    if (rc.backend.has_value()) options_.backend = *rc.backend;
+    if (rc.max_contexts.has_value()) options_.max_contexts = *rc.max_contexts;
+    if (rc.max_memo.has_value()) options_.max_memo = *rc.max_memo;
+    if (rc.memoize_results.has_value()) {
+      options_.memoize_results = *rc.memoize_results;
+    }
+  }
+  // Enforce shrunken bounds immediately (a tightened cache that only
+  // honors its bound on the next miss would overreport residency).
+  if (rc.max_contexts.has_value()) pool_.set_max_contexts(*rc.max_contexts);
+  if (rc.max_memo.has_value()) {
+    const std::lock_guard<std::mutex> lock(memo_mu_);
+    evict_memo_locked(*rc.max_memo);
+  }
+}
+
+void Engine::reset_stats() {
+  pool_.reset_stats();
+  const std::lock_guard<std::mutex> lock(memo_mu_);
+  memo_hits_ = 0;
+  memo_misses_ = 0;
+  memo_evictions_ = 0;
+}
+
 void Engine::clear_caches() {
   pool_.clear();
   const std::lock_guard<std::mutex> lock(memo_mu_);
@@ -46,8 +89,19 @@ Engine::CacheStats Engine::cache_stats() const {
 
 EvalResult Engine::run(const EvalRequest& request) {
   request.validate();
-  if (!options_.memoize_results) return evaluate(request);
-  const std::string key = request.request_key(options_.backend);
+  // One coherent view of the tunables for this whole run: a concurrent
+  // reconfigure affects the next run, never half of this one.
+  bool memoize;
+  std::string backend;
+  std::size_t max_memo;
+  {
+    const std::lock_guard<std::mutex> lock(options_mu_);
+    memoize = options_.memoize_results;
+    backend = options_.backend;
+    max_memo = options_.max_memo;
+  }
+  if (!memoize) return evaluate(request, backend);
+  const std::string key = request.request_key(backend);
   {
     const std::lock_guard<std::mutex> lock(memo_mu_);
     const auto it = memo_.find(key);
@@ -58,20 +112,15 @@ EvalResult Engine::run(const EvalRequest& request) {
     }
     ++memo_misses_;
   }
-  EvalResult result = evaluate(request);
+  EvalResult result = evaluate(request, backend);
   {
     const std::lock_guard<std::mutex> lock(memo_mu_);
     if (memo_.find(key) == memo_.end()) {
       // Mirror ContextPool: when an insert would exceed the bound, drop
       // the least-recently-used entry (concurrent evaluations of the same
       // key dedup on the find above).
-      if (options_.max_memo > 0 && memo_.size() >= options_.max_memo) {
-        auto lru = memo_.begin();
-        for (auto it = memo_.begin(); it != memo_.end(); ++it) {
-          if (it->second.last_used < lru->second.last_used) lru = it;
-        }
-        memo_.erase(lru);
-        ++memo_evictions_;
+      if (max_memo > 0 && memo_.size() >= max_memo) {
+        evict_memo_locked(max_memo - 1);
       }
       memo_.emplace(key, MemoEntry{result, ++memo_tick_});
     }
@@ -85,8 +134,12 @@ std::vector<EvalResult> Engine::run_batch(const std::vector<EvalRequest>& reques
 
   const auto n = static_cast<std::int64_t>(requests.size());
   std::vector<EvalResult> results(requests.size());
-  const int cap = options_.max_parallel_requests > 0 ? options_.max_parallel_requests
-                                                     : hardware_threads();
+  int max_parallel;
+  {
+    const std::lock_guard<std::mutex> lock(options_mu_);
+    max_parallel = options_.max_parallel_requests;
+  }
+  const int cap = max_parallel > 0 ? max_parallel : hardware_threads();
 
   if (cap <= 1 || n <= 1) {
     for (std::int64_t i = 0; i < n; ++i) {
@@ -292,11 +345,13 @@ AccuracyStats accuracy_stats(const ModelConfig& m, const core::PruneConfig& cfg,
 
 }  // namespace
 
-EvalResult Engine::evaluate(const EvalRequest& request) {
+EvalResult Engine::evaluate(const EvalRequest& request,
+                            const std::string& default_backend) {
   const ModelConfig m = request.resolve_model();
   const workload::SceneParams scene = request.resolve_scene(m);
   const core::PruneConfig cfg = request.resolve_prune(m);
-  const kernels::Backend& backend = kernels::backend(request.resolve_backend(options_.backend));
+  const kernels::Backend& backend =
+      kernels::backend(request.resolve_backend(default_backend));
   const std::shared_ptr<core::BenchmarkContext> ctx = pool_.get(m, scene);
 
   EvalResult result;

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,28 @@ class Engine {
   Engine() : Engine(Options{}) {}
   explicit Engine(Options options);
 
+  /// A live configuration change; unset fields keep their current value.
+  /// `serve::Server::reconfigure` (the protocol `reconfigure` method)
+  /// applies these between dispatches.
+  struct Reconfig {
+    std::optional<std::string> backend;       ///< "" = process default
+    std::optional<std::size_t> max_contexts;  ///< 0 = unbounded
+    std::optional<std::size_t> max_memo;      ///< 0 = unbounded
+    std::optional<bool> memoize_results;
+  };
+
+  /// Apply a configuration change.  Validates the backend name first
+  /// (throws defa::CheckError leaving the Engine untouched), then applies
+  /// atomically with respect to concurrent `run` calls: each run observes
+  /// one coherent configuration.  Shrinking `max_contexts`/`max_memo`
+  /// evicts LRU entries down to the new bound (counted as evictions).
+  void reconfigure(const Reconfig& rc);
+
+  /// Zero every cache counter (context hits/misses/evictions, memo
+  /// hits/misses/evictions).  Cached entries are untouched; pair with
+  /// `clear_caches()` for a cold, fresh-process-like engine.
+  void reset_stats();
+
   /// Evaluate one request.  Throws defa::CheckError on validation errors.
   [[nodiscard]] EvalResult run(const EvalRequest& request);
 
@@ -92,9 +115,14 @@ class Engine {
     std::uint64_t last_used = 0;  ///< tick of the most recent run() touch
   };
 
-  [[nodiscard]] EvalResult evaluate(const EvalRequest& request);
+  /// `default_backend` is the engine-level backend the caller snapshotted
+  /// (a request's own `backend` field still overrides it).
+  [[nodiscard]] EvalResult evaluate(const EvalRequest& request,
+                                    const std::string& default_backend);
+  void evict_memo_locked(std::size_t max_memo);
 
-  Options options_;
+  mutable std::mutex options_mu_;  ///< guards options_ (reconfigure vs run)
+  Options options_;                // guarded by options_mu_
   core::ContextPool pool_;
   mutable std::mutex memo_mu_;
   std::unordered_map<std::string, MemoEntry> memo_;  // guarded by memo_mu_

@@ -262,7 +262,8 @@ Client Client::spawn(const std::vector<std::string>& argv) {
                                                            pid));
 }
 
-std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
+void Client::submit_async(serve::ServeRequest req, ResponseCallback done) {
+  DEFA_CHECK(done != nullptr, "client: submit_async callback must be set");
   api::Json params = api::Json::object();
   params["request"] = api::to_json(req.request);
   if (req.priority != serve::Priority::kNormal) {
@@ -270,23 +271,28 @@ std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
   }
   if (req.timeout_ms > 0) params["timeout_ms"] = req.timeout_ms;
 
-  auto prom = std::make_shared<std::promise<serve::ServeResponse>>();
-  std::future<serve::ServeResponse> fut = prom->get_future();
   const std::string user_id = req.id;
   const Clock::time_point sent = Clock::now();
   impl_->send_call(
       "eval", std::move(params),
-      [prom, user_id, sent](const api::Json* frame, serve::ErrorCode code,
-                            const std::string& error) {
+      [done = std::move(done), user_id, sent](const api::Json* frame,
+                                              serve::ErrorCode code,
+                                              const std::string& error) {
         serve::ServeResponse resp;
         if (frame == nullptr) {
+          // Local/transport failure: the status collapses several codes
+          // (kTransport -> kError), so carry the typed code alongside —
+          // failover logic distinguishes a dead shard ("transport") from a
+          // request the server actually rejected.
           resp.status = serve::status_for(code);
+          resp.error_code = serve::error_code_name(code);
           resp.error = error;
         } else {
           try {
             resp = serve::serve_response_from_frame(*frame);
           } catch (const std::exception& e) {
             resp.status = serve::ResponseStatus::kError;
+            resp.error_code = serve::error_code_name(serve::ErrorCode::kInternal);
             resp.error = std::string("malformed response frame: ") + e.what();
           }
           // The client-observed round trip is the latency a remote caller
@@ -294,8 +300,16 @@ std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
           resp.total_ms = ms_between(sent, Clock::now());
         }
         resp.id = user_id;
-        prom->set_value(std::move(resp));
+        done(resp);
       });
+}
+
+std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
+  auto prom = std::make_shared<std::promise<serve::ServeResponse>>();
+  std::future<serve::ServeResponse> fut = prom->get_future();
+  submit_async(std::move(req), [prom](const serve::ServeResponse& resp) {
+    prom->set_value(resp);
+  });
   return fut;
 }
 
@@ -312,7 +326,11 @@ serve::ServeResponse Client::eval_response(const api::EvalRequest& req,
 api::EvalResult Client::eval(const api::EvalRequest& req) {
   serve::ServeResponse resp = eval_response(req);
   if (resp.status != serve::ResponseStatus::kOk) {
-    throw RpcError(serve::error_code_for(resp.status), resp.error);
+    // Prefer the carried wire code: mapping the status back would turn a
+    // typed transport failure into kInternal.
+    const std::optional<serve::ErrorCode> code =
+        serve::error_code_from_name(resp.error_code);
+    throw RpcError(code.value_or(serve::error_code_for(resp.status)), resp.error);
   }
   return std::move(*resp.result);
 }
@@ -384,6 +402,12 @@ api::Json Client::run_experiment(const std::string& name) {
   params["name"] = name;
   return call("experiment", std::move(params));
 }
+
+api::Json Client::reconfigure(const serve::ServerReconfig& rc) {
+  return call("reconfigure", serve::reconfig_params(rc));
+}
+
+api::Json Client::shard_info() { return call("shard_info"); }
 
 api::Json Client::drain() { return call("drain"); }
 

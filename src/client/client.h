@@ -57,6 +57,11 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// Response sink for `submit_async`; invoked exactly once, on the reader
+  /// thread for wire responses or the submitting thread for local
+  /// failures.
+  using ResponseCallback = std::function<void(const serve::ServeResponse&)>;
+
   /// TCP-connect to "HOST:PORT" (":PORT"/"PORT" default to loopback).
   [[nodiscard]] static Client connect(const std::string& endpoint);
   [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
@@ -71,8 +76,14 @@ class Client {
   /// response; correlation uses internal wire ids, so duplicate ids are
   /// fine.  `total_ms` in the response is the client-observed round trip
   /// (queue_ms/run_ms/dispatch_index stay server-reported).  Transport
-  /// loss resolves the future with status kError rather than throwing.
+  /// loss — the peer closing with the call in flight included — resolves
+  /// the future promptly with status kError and `error_code`
+  /// "transport"; the future never hangs and submit never throws for it.
   [[nodiscard]] std::future<serve::ServeResponse> submit(serve::ServeRequest req);
+
+  /// Callback flavor of `submit` (same semantics); `client::Pool` hangs
+  /// its failover logic off this instead of blocking a thread per future.
+  void submit_async(serve::ServeRequest req, ResponseCallback done);
 
   /// Sync eval; returns the full response envelope.
   [[nodiscard]] serve::ServeResponse eval_response(
@@ -107,6 +118,13 @@ class Client {
   /// Run one registered experiment server-side; returns {"name",
   /// "tables", "json"} (defa_cli run --connect prints "tables" verbatim).
   api::Json run_experiment(const std::string& name);
+  /// Apply a live configuration change on the server (between dispatches;
+  /// see `serve::ServerReconfig`).  Returns {"reconfigured": true,
+  /// "server": <info block>}; throws RpcError on validation failure.
+  api::Json reconfigure(const serve::ServerReconfig& rc);
+  /// The server's fleet identity: {"shard": {id, count, name}, "ring":
+  /// {virtual_nodes, points}, "metrics": ...}.
+  api::Json shard_info();
   /// Graceful server shutdown: stop admitting, finish in-flight, return
   /// final metrics ({"drained": true, "metrics": ...}).
   api::Json drain();

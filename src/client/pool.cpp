@@ -1,0 +1,368 @@
+#include "client/pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "serve/protocol.h"
+
+namespace defa::client {
+
+namespace {
+
+serve::ServeResponse transport_response(const std::string& id,
+                                        const std::string& message) {
+  serve::ServeResponse r;
+  r.id = id;
+  r.status = serve::ResponseStatus::kError;
+  r.error = message;
+  r.error_code = serve::error_code_name(serve::ErrorCode::kTransport);
+  return r;
+}
+
+}  // namespace
+
+struct Pool::Impl : std::enable_shared_from_this<Pool::Impl> {
+  struct Shard {
+    std::string name;
+    std::string endpoint;
+    /// Live connection; null while down.  Bumping `generation` on every
+    /// transition makes `mark_down` idempotent: a late failure callback
+    /// from a previous connection cannot tear down its successor.
+    std::shared_ptr<Client> client;
+    std::uint64_t generation = 0;
+    std::uint64_t routed = 0;
+    std::uint64_t reconnects = 0;
+    bool ever_connected = false;
+  };
+
+  /// One routed request: the key's full ring preference order plus how far
+  /// down it failover has walked.
+  struct Call {
+    serve::ServeRequest req;
+    std::vector<std::size_t> order;
+    std::size_t attempt = 0;
+    Client::ResponseCallback done;
+  };
+
+  PoolOptions options;
+  fleet::HashRing ring;
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Shard> shards;          // guarded by mu (endpoints/name const)
+  bool stopping = false;              // guarded by mu
+  std::atomic<std::uint64_t> failovers{0};
+  /// Dead Clients parked here instead of being destroyed inline: a failure
+  /// callback runs on the dying Client's own reader thread, and destroying
+  /// it there would self-join.  Reconnector threads (and the destructor)
+  /// reap the graveyard from safe stacks.
+  std::vector<std::shared_ptr<Client>> graveyard;  // guarded by mu
+  std::vector<std::thread> reconnectors;
+
+  Impl(std::vector<std::string> endpoints, PoolOptions opts)
+      : options(std::move(opts)),
+        ring([&] {
+          if (options.shard_names.empty()) {
+            options.shard_names.reserve(endpoints.size());
+            for (std::size_t i = 0; i < endpoints.size(); ++i) {
+              options.shard_names.push_back("shard" + std::to_string(i));
+            }
+          }
+          DEFA_CHECK(options.shard_names.size() == endpoints.size(),
+                     "client::Pool: shard_names size (" +
+                         std::to_string(options.shard_names.size()) +
+                         ") != endpoints size (" +
+                         std::to_string(endpoints.size()) + ")");
+          return fleet::HashRing(options.shard_names, options.virtual_nodes);
+        }()) {
+    shards.resize(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      shards[i].name = options.shard_names[i];
+      shards[i].endpoint = std::move(endpoints[i]);
+    }
+  }
+
+  void start() {
+    reconnectors.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      reconnectors.emplace_back([self = shared_from_this(), i] {
+        self->reconnect_loop(i);
+      });
+    }
+  }
+
+  void stop() {
+    std::vector<std::shared_ptr<Client>> doomed;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) return;
+      stopping = true;
+      cv.notify_all();
+    }
+    for (auto& t : reconnectors) t.join();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      doomed = std::move(graveyard);
+      graveyard.clear();
+      for (auto& s : shards) {
+        if (s.client) doomed.push_back(std::move(s.client));
+        ++s.generation;
+      }
+    }
+    // Destroyed outside mu: each ~Client fails its in-flight calls, whose
+    // failover callbacks re-enter the pool, see `stopping`, and deliver a
+    // transport error instead of re-dispatching.
+    doomed.clear();
+  }
+
+  void reconnect_loop(std::size_t i) {
+    int backoff_ms = options.backoff_initial_ms;
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+      if (shards[i].client) {
+        backoff_ms = options.backoff_initial_ms;
+        cv.wait(lock, [&] { return stopping || !shards[i].client; });
+        continue;
+      }
+      if (!options.reconnect && shards[i].ever_connected) return;
+      // Reap any connections parked by mark_down — this thread's stack is
+      // never inside a Client callback, so joining their readers is safe.
+      std::vector<std::shared_ptr<Client>> reaped = std::move(graveyard);
+      graveyard.clear();
+      lock.unlock();
+      reaped.clear();
+      std::shared_ptr<Client> fresh;
+      try {
+        fresh = std::make_shared<Client>(Client::connect(shards[i].endpoint));
+      } catch (const std::exception&) {
+        fresh = nullptr;
+      }
+      lock.lock();
+      if (stopping) {
+        if (fresh) graveyard.push_back(std::move(fresh));
+        return;
+      }
+      if (fresh) {
+        if (shards[i].ever_connected) ++shards[i].reconnects;
+        shards[i].ever_connected = true;
+        shards[i].client = std::move(fresh);
+        ++shards[i].generation;
+        cv.notify_all();
+      } else {
+        cv.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                    [&] { return stopping || static_cast<bool>(shards[i].client); });
+        backoff_ms = std::min(backoff_ms * 2, options.backoff_max_ms);
+      }
+    }
+  }
+
+  /// Retire shard i's connection iff it is still the one the caller used
+  /// (generation match).  The Client lands in the graveyard; the
+  /// reconnector wakes to reap it and dial a replacement.
+  void mark_down(std::size_t i, std::uint64_t generation) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards[i].generation != generation || !shards[i].client) return;
+    graveyard.push_back(std::move(shards[i].client));
+    shards[i].client = nullptr;
+    ++shards[i].generation;
+    cv.notify_all();
+  }
+
+  /// Dispatch `call` to the first up shard at or after call->attempt in its
+  /// preference order.  Skipped-down shards and retries both count as
+  /// failovers.  Exactly one terminal path: the shard's response callback
+  /// (possibly after re-dispatch) or the all-down synthetic error.
+  static void dispatch(const std::shared_ptr<Impl>& impl,
+                       const std::shared_ptr<Call>& call) {
+    std::shared_ptr<Client> client;
+    std::size_t shard_idx = 0;
+    std::uint64_t generation = 0;
+    {
+      std::lock_guard<std::mutex> lock(impl->mu);
+      if (!impl->stopping) {
+        while (call->attempt < call->order.size()) {
+          std::size_t idx = call->order[call->attempt];
+          if (impl->shards[idx].client) {
+            client = impl->shards[idx].client;
+            shard_idx = idx;
+            generation = impl->shards[idx].generation;
+            ++impl->shards[idx].routed;
+            if (call->attempt > 0) impl->failovers.fetch_add(1);
+            ++call->attempt;
+            break;
+          }
+          ++call->attempt;
+        }
+      }
+    }
+    if (!client) {
+      call->done(transport_response(call->req.id, "no shard reachable"));
+      return;
+    }
+    serve::ServeRequest req = call->req;  // keep the original for retries
+    client->submit_async(
+        std::move(req),
+        [impl, call, shard_idx, generation](const serve::ServeResponse& resp) {
+          const bool transport =
+              resp.error_code ==
+              serve::error_code_name(serve::ErrorCode::kTransport);
+          // A draining shard rejects with kShutdown but its siblings still
+          // serve — re-route those too.  Other rejections (overload,
+          // deadline) are real backpressure/deadline answers; retrying
+          // elsewhere would double-count work the caller must see.
+          const bool failover_worthy =
+              transport ||
+              resp.status == serve::ResponseStatus::kRejectedShutdown;
+          // Mark the shard down on every transport failure — even when
+          // this was the last preference (no retry): the reconnector only
+          // wakes on mark_down, and a single-shard pool would otherwise
+          // keep dispatching into the same dead connection forever.
+          if (transport) impl->mark_down(shard_idx, generation);
+          if (failover_worthy && call->attempt < call->order.size()) {
+            bool retry = false;
+            {
+              std::lock_guard<std::mutex> lock(impl->mu);
+              retry = !impl->stopping;
+            }
+            if (retry) {
+              dispatch(impl, call);
+              return;
+            }
+          }
+          call->done(resp);
+        });
+  }
+};
+
+Pool::Pool(std::vector<std::string> endpoints, PoolOptions options) {
+  DEFA_CHECK(!endpoints.empty(), "client::Pool: at least one endpoint required");
+  impl_ = std::make_shared<Impl>(std::move(endpoints), std::move(options));
+  impl_->start();
+}
+
+Pool::~Pool() {
+  if (impl_) impl_->stop();
+}
+
+bool Pool::wait_connected(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  return impl_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    for (const auto& s : impl_->shards) {
+      if (!s.client) return false;
+    }
+    return true;
+  });
+}
+
+void Pool::submit_async(serve::ServeRequest req, Client::ResponseCallback done) {
+  auto call = std::make_shared<Impl::Call>();
+  call->order = impl_->ring.preference_order(req.request.workload_key());
+  call->req = std::move(req);
+  call->done = std::move(done);
+  Impl::dispatch(impl_, call);
+}
+
+std::future<serve::ServeResponse> Pool::submit(serve::ServeRequest req) {
+  auto promise = std::make_shared<std::promise<serve::ServeResponse>>();
+  std::future<serve::ServeResponse> future = promise->get_future();
+  submit_async(std::move(req), [promise](const serve::ServeResponse& resp) {
+    promise->set_value(resp);
+  });
+  return future;
+}
+
+api::EvalResult Pool::eval(const api::EvalRequest& req) {
+  serve::ServeRequest sr;
+  sr.request = req;
+  serve::ServeResponse resp = submit(std::move(sr)).get();
+  if (resp.status != serve::ResponseStatus::kOk) {
+    const serve::ErrorCode code =
+        serve::error_code_from_name(resp.error_code)
+            .value_or(serve::error_code_for(resp.status));
+    throw RpcError(code, resp.error.empty() ? serve::status_name(resp.status)
+                                            : resp.error);
+  }
+  DEFA_CHECK(resp.result.has_value(), "ok response without result");
+  return *resp.result;
+}
+
+std::size_t Pool::shard_for(const std::string& workload_key) const {
+  return impl_->ring.node_index_for(workload_key);
+}
+
+std::size_t Pool::shard_count() const { return impl_->shards.size(); }
+
+const fleet::HashRing& Pool::ring() const { return impl_->ring; }
+
+api::Json Pool::call_shard(std::size_t shard, const std::string& method,
+                           api::Json params) {
+  DEFA_CHECK(shard < impl_->shards.size(),
+             "call_shard: shard " + std::to_string(shard) + " out of range");
+  std::shared_ptr<Client> client;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    client = impl_->shards[shard].client;
+    generation = impl_->shards[shard].generation;
+  }
+  if (!client) {
+    throw RpcError(serve::ErrorCode::kTransport,
+                   "shard " + impl_->shards[shard].name + " is down");
+  }
+  try {
+    return client->call(method, std::move(params));
+  } catch (const RpcError& e) {
+    if (e.code() == serve::ErrorCode::kTransport) {
+      impl_->mark_down(shard, generation);
+    }
+    throw;
+  }
+}
+
+std::vector<std::optional<serve::MetricsSnapshot>> Pool::metrics_all() {
+  std::vector<std::optional<serve::MetricsSnapshot>> out(impl_->shards.size());
+  for (std::size_t i = 0; i < impl_->shards.size(); ++i) {
+    try {
+      out[i] = serve::MetricsSnapshot::from_json(call_shard(i, "metrics"));
+    } catch (const std::exception&) {
+      out[i] = std::nullopt;
+    }
+  }
+  return out;
+}
+
+int Pool::drain_all() {
+  int drained = 0;
+  for (std::size_t i = 0; i < impl_->shards.size(); ++i) {
+    try {
+      (void)call_shard(i, "drain");
+      ++drained;
+    } catch (const std::exception&) {
+    }
+  }
+  return drained;
+}
+
+std::vector<PoolShardStats> Pool::stats() const {
+  std::vector<PoolShardStats> out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->shards.size());
+  for (const auto& s : impl_->shards) {
+    PoolShardStats st;
+    st.name = s.name;
+    st.endpoint = s.endpoint;
+    st.connected = static_cast<bool>(s.client);
+    st.routed = s.routed;
+    st.reconnects = s.reconnects;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::uint64_t Pool::failovers() const { return impl_->failovers.load(); }
+
+}  // namespace defa::client

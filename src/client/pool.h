@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file pool.h
+/// `defa::client::Pool` — consistent-hash routing over a fleet of
+/// `defa_serve` shards (docs/FLEET.md).
+///
+/// Each request routes to the shard owning its Engine workload key on a
+/// shared `fleet::HashRing` (virtual nodes, so shard membership changes
+/// remap only ~1/N of keys), over a pipelined `client::Client` connection
+/// per shard.  Same-key requests always land on the same shard, so each
+/// shard's context cache stays warm on its slice of the key space — the
+/// sharding analogue of the in-process locality scheduler.
+///
+/// Failure handling:
+///  * a shard connection that dies is reconnected in the background with
+///    exponential backoff (`PoolOptions::backoff_*`);
+///  * a request in flight on a dying shard fails over to the next shard
+///    in the key's deterministic ring preference order — every request
+///    gets exactly one response, a typed "transport" error only when no
+///    shard is reachable at all;
+///  * results are bit-identical to a single in-process `Engine::run`
+///    regardless of which shard answers (every shard computes the same
+///    deterministic function).
+///
+/// `submit`/`submit_async`/`eval` mirror the `client::Client` contracts.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "fleet/hash_ring.h"
+#include "serve/metrics.h"
+
+namespace defa::client {
+
+struct PoolOptions {
+  /// Ring identities of the shards, aligned with the endpoints vector.
+  /// Empty = "shard0".."shardN-1" (what `defa_fleet` launches).  Names —
+  /// not endpoints — anchor the ring, so a shard restarted on a new port
+  /// keeps its key range.
+  std::vector<std::string> shard_names;
+  int virtual_nodes = fleet::HashRing::kDefaultVirtualNodes;
+  /// Reconnect backoff: initial delay, doubled per failed attempt up to
+  /// the cap; reset on success.
+  int backoff_initial_ms = 25;
+  int backoff_max_ms = 1000;
+  /// When false a shard that dies stays down (tests pin failover paths
+  /// without racing the reconnector).
+  bool reconnect = true;
+};
+
+/// Per-shard routing/health counters (`Pool::stats`).
+struct PoolShardStats {
+  std::string name;
+  std::string endpoint;
+  bool connected = false;
+  std::uint64_t routed = 0;      ///< requests dispatched to this shard
+  std::uint64_t reconnects = 0;  ///< successful re-connections after a loss
+};
+
+class Pool {
+ public:
+  /// Starts one background reconnector per shard; connections are
+  /// established asynchronously (`wait_connected` to block for them).
+  explicit Pool(std::vector<std::string> endpoints, PoolOptions options = {});
+  ~Pool();  ///< fails nothing silently: in-flight requests resolve first
+  Pool(Pool&&) noexcept = default;
+  Pool& operator=(Pool&&) noexcept = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Block until every shard is connected; false on timeout.
+  [[nodiscard]] bool wait_connected(int timeout_ms);
+
+  /// Route one request by its workload key; the callback fires exactly
+  /// once, after failover if needed.
+  void submit_async(serve::ServeRequest req, Client::ResponseCallback done);
+  [[nodiscard]] std::future<serve::ServeResponse> submit(serve::ServeRequest req);
+  /// Sync eval; throws a typed RpcError on any non-ok outcome.
+  [[nodiscard]] api::EvalResult eval(const api::EvalRequest& req);
+
+  /// Primary shard index for a workload key (ring lookup; no I/O).
+  [[nodiscard]] std::size_t shard_for(const std::string& workload_key) const;
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] const fleet::HashRing& ring() const;
+
+  /// Sync admin RPC against one specific shard.  Throws RpcError —
+  /// kTransport when the shard is down (and marks it down on a transport
+  /// failure mid-call).
+  api::Json call_shard(std::size_t shard, const std::string& method,
+                       api::Json params = {});
+  /// Metrics of every shard; nullopt for unreachable shards.
+  [[nodiscard]] std::vector<std::optional<serve::MetricsSnapshot>> metrics_all();
+  /// Drain every reachable shard (graceful fleet shutdown); unreachable
+  /// shards are skipped.  Returns the number of shards drained.
+  int drain_all();
+
+  [[nodiscard]] std::vector<PoolShardStats> stats() const;
+  /// Requests re-routed away from their preferred shard (down-shard skips
+  /// and in-flight failovers).
+  [[nodiscard]] std::uint64_t failovers() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace defa::client

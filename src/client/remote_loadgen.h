@@ -10,6 +10,7 @@
 
 #include "client/client.h"
 #include "serve/loadgen.h"
+#include "serve/scenario.h"
 
 namespace defa::client {
 
@@ -19,5 +20,16 @@ namespace defa::client {
 /// `ping`/`metrics`).  Latencies are client-observed round trips.
 [[nodiscard]] serve::LoadReport run_remote_loadgen(
     const serve::LoadGenOptions& options, Client& client);
+
+/// Remote flavor of `serve::run_sweep` (`defa_loadgen --connect --sweep`):
+/// the same rate x policy / concurrency x policy grid and report schema,
+/// but each point is applied to the *remote* server via the protocol
+/// `reconfigure` method (policy switch + `reset_stats`, which clears the
+/// engine caches and metrics) instead of constructing a fresh in-process
+/// Server — so the per-point cold-cache semantics match.  Requires
+/// `file.has_sweep`; throws RpcError when the server refuses a point's
+/// configuration.
+[[nodiscard]] serve::SweepReport run_remote_sweep(const serve::ScenarioFile& file,
+                                                  Client& client);
 
 }  // namespace defa::client

@@ -197,6 +197,29 @@ std::size_t ContextPool::size() const {
   return entries_.size();
 }
 
+std::size_t ContextPool::max_contexts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_contexts_;
+}
+
+void ContextPool::set_max_contexts(std::size_t max_contexts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  max_contexts_ = max_contexts;
+  while (max_contexts_ > 0 && entries_.size() > max_contexts_) {
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ContextPool::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stats_ = CacheStats{};
+}
+
 ContextPool::CacheStats ContextPool::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;

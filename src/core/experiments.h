@@ -125,10 +125,15 @@ class ContextPool {
                                           const workload::SceneParams& scene);
 
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t max_contexts() const noexcept { return max_contexts_; }
+  [[nodiscard]] std::size_t max_contexts() const;
   [[nodiscard]] CacheStats stats() const;
   /// Drops every entry; counters are preserved.
   void clear();
+  /// Change the bound (0 = unbounded).  Shrinking below the current
+  /// residency evicts LRU entries immediately (counted as evictions).
+  void set_max_contexts(std::size_t max_contexts);
+  /// Zero the hit/miss/eviction counters; entries are untouched.
+  void reset_stats();
 
  private:
   struct Entry {
@@ -136,8 +141,8 @@ class ContextPool {
     std::uint64_t last_used = 0;  ///< tick of the most recent get()
   };
 
-  std::size_t max_contexts_ = 0;
   mutable std::mutex mu_;
+  std::size_t max_contexts_ = 0;  // guarded by mu_ (set_max_contexts)
   std::map<std::string, Entry> entries_;  // guarded by mu_, as is everything below
   CacheStats stats_;
   std::uint64_t tick_ = 0;

@@ -1,0 +1,115 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace defa::fleet {
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t h) noexcept {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::vector<std::uint64_t> ring_points(std::string_view node, int virtual_nodes) {
+  DEFA_CHECK(virtual_nodes >= 1, "hash_ring: virtual_nodes must be >= 1");
+  std::vector<std::uint64_t> points;
+  points.reserve(static_cast<std::size_t>(virtual_nodes));
+  for (int v = 0; v < virtual_nodes; ++v) {
+    std::string vnode(node);
+    vnode += '#';
+    vnode += std::to_string(v);
+    points.push_back(mix64(fnv1a64(vnode)));
+  }
+  return points;
+}
+
+HashRing::HashRing(std::vector<std::string> nodes, int virtual_nodes)
+    : nodes_(std::move(nodes)), virtual_nodes_(virtual_nodes) {
+  DEFA_CHECK(virtual_nodes_ >= 1, "hash_ring: virtual_nodes must be >= 1");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    DEFA_CHECK(!nodes_[i].empty(), "hash_ring: node names must not be empty");
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      DEFA_CHECK(nodes_[i] != nodes_[j],
+                 "hash_ring: duplicate node name '" + nodes_[i] + "'");
+    }
+  }
+  rebuild();
+}
+
+void HashRing::add_node(const std::string& name) {
+  DEFA_CHECK(!name.empty(), "hash_ring: node names must not be empty");
+  for (const std::string& n : nodes_) {
+    DEFA_CHECK(n != name, "hash_ring: duplicate node name '" + name + "'");
+  }
+  nodes_.push_back(name);
+  rebuild();
+}
+
+void HashRing::remove_node(const std::string& name) {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), name);
+  DEFA_CHECK(it != nodes_.end(), "hash_ring: unknown node '" + name + "'");
+  nodes_.erase(it);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  ring_.clear();
+  ring_.reserve(nodes_.size() * static_cast<std::size_t>(virtual_nodes_));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::uint64_t h : ring_points(nodes_[i], virtual_nodes_)) {
+      ring_.emplace_back(h, i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::ring_pos_for(std::string_view key) const {
+  DEFA_CHECK(!ring_.empty(), "hash_ring: lookup on an empty ring");
+  const std::uint64_t h = mix64(fnv1a64(key));
+  // First point at or after the key's hash, wrapping past the top back to
+  // the ring's first point.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& point, std::uint64_t value) { return point.first < value; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t HashRing::node_index_for(std::string_view key) const {
+  return ring_[ring_pos_for(key)].second;
+}
+
+const std::string& HashRing::node_for(std::string_view key) const {
+  return nodes_[node_index_for(key)];
+}
+
+std::vector<std::size_t> HashRing::preference_order(std::string_view key) const {
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  std::vector<bool> seen(nodes_.size(), false);
+  const std::size_t start = ring_pos_for(key);
+  for (std::size_t step = 0; step < ring_.size() && order.size() < nodes_.size();
+       ++step) {
+    const std::size_t node = ring_[(start + step) % ring_.size()].second;
+    if (!seen[node]) {
+      seen[node] = true;
+      order.push_back(node);
+    }
+  }
+  return order;
+}
+
+}  // namespace defa::fleet

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file hash_ring.h
+/// Consistent-hash ring for sharded serving (docs/FLEET.md).
+///
+/// Each node (shard) owns `virtual_nodes` points on a 64-bit hash ring;
+/// a workload key routes to the node owning the first ring point at or
+/// after the key's hash (wrapping).  Virtual nodes smooth the key
+/// distribution, and — the property the fleet layer is built on — adding
+/// or removing one node remaps only ~1/N of the key space, so a shard
+/// death or scale-out invalidates one shard's worth of warm caches, not
+/// everyone's.
+///
+/// Hashing is FNV-1a 64 rather than std::hash: the ring must be
+/// deterministic across processes and builds, because the client-side
+/// router and the server-side `shard_info` method both derive the same
+/// points from the same shard names.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace defa::fleet {
+
+/// FNV-1a 64-bit.  Stable across platforms/builds by construction.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Finalizing avalanche mix (the splitmix64 finalizer).  FNV-1a diffuses
+/// poorly on short strings that share a prefix and differ in trailing
+/// digits — exactly the shape of vnode labels ("shard0#12") and workload
+/// keys — and the raw hashes cluster badly enough to skew ring ownership
+/// far from 1/N.  The mix restores uniformity and is just as
+/// deterministic across processes and builds.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t h) noexcept;
+
+/// The ring points node `node` owns at `virtual_nodes` replicas: the
+/// mixed hashes of "name#0" .. "name#V-1".  Shared by `HashRing` and the
+/// server-side `shard_info` method so both ends of the wire agree on
+/// ownership without exchanging the ring itself.
+[[nodiscard]] std::vector<std::uint64_t> ring_points(std::string_view node,
+                                                     int virtual_nodes);
+
+class HashRing {
+ public:
+  static constexpr int kDefaultVirtualNodes = 64;
+
+  /// Node names must be unique and non-empty; `virtual_nodes >= 1`.
+  explicit HashRing(std::vector<std::string> nodes,
+                    int virtual_nodes = kDefaultVirtualNodes);
+
+  void add_node(const std::string& name);
+  void remove_node(const std::string& name);
+
+  [[nodiscard]] const std::vector<std::string>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] int virtual_nodes() const noexcept { return virtual_nodes_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Index (into `nodes()`) of the node owning `key`.  Ring must be
+  /// non-empty.
+  [[nodiscard]] std::size_t node_index_for(std::string_view key) const;
+  [[nodiscard]] const std::string& node_for(std::string_view key) const;
+
+  /// Every node exactly once, in failover order for `key`: the owner
+  /// first, then each distinct successor walking the ring.  Deterministic,
+  /// so independent clients fail the same key over to the same shard.
+  [[nodiscard]] std::vector<std::size_t> preference_order(
+      std::string_view key) const;
+
+ private:
+  void rebuild();
+  [[nodiscard]] std::size_t ring_pos_for(std::string_view key) const;
+
+  std::vector<std::string> nodes_;
+  int virtual_nodes_;
+  /// (point hash, node index), sorted by hash.  Ties broken by node index
+  /// so the ring is a deterministic function of the node set.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace defa::fleet

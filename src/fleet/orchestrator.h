@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file orchestrator.h
+/// The fleet orchestrator behind `defa_fleet` (docs/FLEET.md): spawn N
+/// `defa_serve` shard processes, route load through a `client::Pool`, and
+/// merge the per-shard results into one fleet benchmark report
+/// (`BENCH_fleet.json`).
+///
+/// A fleet run is declarative — one JSON config names the shard count,
+/// per-shard server options, the load mix (scenario-file format), an
+/// optional shard-count sweep, and an optional chaos injection (kill or
+/// drain one shard mid-load, asserting that every request still gets
+/// exactly one response via `client::Pool` failover).  The orchestrator
+/// owns process lifecycle end to end: ephemeral ports via `--port-file`
+/// handshakes, health checks over `shard_info`, graceful `drain` teardown,
+/// SIGKILL as a last resort.
+///
+/// Config shape (strict: unknown keys throw):
+///   {
+///     "name": "fleet_smoke",            // optional label
+///     "shards": 3,                      // main-run fleet size (>= 1)
+///     "virtual_nodes": 64,              // consistent-hash ring resolution
+///     "server": { ... },                // scenario-file server block,
+///                                       //   applied to every shard
+///     "load": {                         // scenario-file without server/sweep
+///       "requests": 96, "seed": 1, "timeout_ms": 0,
+///       "arrival": {...}, "scenarios": [...]
+///     },
+///     "shard_sweep": [1],               // optional extra fleet sizes, run
+///                                       //   without chaos/verify (locality
+///                                       //   comparison points)
+///     "chaos": {                        // optional fault injection
+///       "mode": "kill",                 // "kill" | "drain"
+///       "shard": -1,                    // -1 = busiest shard at trigger
+///       "after_fraction": 0.4           // trigger point, in (0, 1)
+///     },
+///     "verify": true                    // bit-identity spot check vs a
+///                                       //   local in-process Engine
+///   }
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+
+namespace defa::fleet {
+
+/// Fault injection: take one shard away mid-load and let the pool prove
+/// the fleet's availability story.
+struct ChaosSpec {
+  bool enabled = false;
+  std::string mode = "kill";  ///< "kill" (SIGKILL) | "drain" (graceful)
+  int shard = -1;             ///< victim index; -1 = busiest at trigger time
+  /// Trigger once this fraction of the run's requests has been submitted.
+  double after_fraction = 0.5;
+};
+
+struct FleetConfig {
+  std::string name;
+  int shards = 3;
+  int virtual_nodes = 64;
+  /// Load options for every run; `load.server` is the per-shard server
+  /// configuration (every shard gets the same one).
+  serve::LoadGenOptions load;
+  /// Extra fleet sizes driven with the same load (no chaos, no verify) —
+  /// e.g. [1] produces the single-shard baseline the locality win is
+  /// measured against.
+  std::vector<int> shard_sweep;
+  ChaosSpec chaos;
+  bool verify = true;
+};
+
+/// Strict parse of the config shape above; throws defa::CheckError.
+[[nodiscard]] FleetConfig fleet_config_from_json(const api::Json& j);
+[[nodiscard]] FleetConfig load_fleet_config(const std::string& path);
+
+/// Per-shard outcome of one fleet run.
+struct ShardReport {
+  int id = 0;
+  std::string name;
+  std::string endpoint;
+  bool killed = false;   ///< chaos SIGKILL victim
+  bool drained = false;  ///< chaos drain victim
+  std::uint64_t routed = 0;      ///< requests the pool dispatched to it
+  std::uint64_t reconnects = 0;  ///< pool re-connections to it
+  /// Final metrics; absent for a shard that was unreachable at collection
+  /// time (a killed shard reports nothing; a drained one reports the
+  /// snapshot its drain response carried).
+  std::optional<serve::MetricsSnapshot> metrics;
+};
+
+struct ChaosReport {
+  bool enabled = false;
+  bool triggered = false;
+  std::string mode;
+  int shard = -1;
+  int at_request = 0;  ///< submitted-count at which the fault fired
+  std::uint64_t submitted = 0;
+  std::uint64_t responses = 0;
+  /// submitted - responses after the run settled; the exactly-one-response
+  /// invariant means this must be 0.
+  std::int64_t lost = 0;
+  std::uint64_t transport_errors = 0;  ///< responses that died on the wire
+  std::uint64_t shutdown_rejects = 0;  ///< drain-mode rejections re-routed
+};
+
+struct VerifyReport {
+  bool enabled = false;
+  int checked = 0;     ///< mix entries spot-checked
+  int mismatches = 0;  ///< fleet result != in-process Engine result
+};
+
+/// One fleet size driven once.
+struct FleetRunReport {
+  int shard_count = 0;
+  serve::LoadReport load;  ///< merged view (transport "fleet")
+  std::uint64_t failovers = 0;  ///< pool re-routes (skips + in-flight)
+  std::vector<ShardReport> shards;
+  ChaosReport chaos;
+  VerifyReport verify;
+};
+
+/// The BENCH_fleet.json artifact: the main run plus shard-sweep runs.
+struct FleetReport {
+  std::string name;
+  int requests = 0;
+  std::vector<FleetRunReport> runs;  ///< main run first, then shard_sweep
+
+  /// {"bench": "fleet", "name", "requests", "runs": [...]} — each run
+  /// carries the merged LoadReport, per-shard breakdowns, chaos and verify
+  /// blocks (docs/FLEET.md).
+  [[nodiscard]] api::Json to_json() const;
+  /// One summary row per run (the plot-ready sidecar).
+  [[nodiscard]] std::string to_csv() const;
+};
+
+struct OrchestratorOptions {
+  /// Path to the defa_serve binary the shards exec.
+  std::string serve_bin = "./defa_serve";
+  /// Budget for spawn + port handshake + pool connect + health check.
+  int spawn_timeout_ms = 15000;
+  bool quiet = false;   ///< silence shard stderr and progress notes
+  bool chaos = true;    ///< false overrides config.chaos.enabled
+  bool verify = true;   ///< false overrides config.verify
+};
+
+/// Run the whole fleet benchmark: the main `config.shards`-sized run (with
+/// chaos/verify when configured), then one run per `shard_sweep` entry.
+/// Throws on spawn/handshake failure; load-level failures are reported,
+/// not thrown.
+[[nodiscard]] FleetReport run_fleet(const FleetConfig& config,
+                                    const OrchestratorOptions& options = {});
+
+}  // namespace defa::fleet

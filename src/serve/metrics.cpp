@@ -194,6 +194,45 @@ MetricsSnapshot MetricsSnapshot::from_json(const api::Json& j) {
   return s;
 }
 
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& p : parts) {
+    merged.submitted += p.submitted;
+    merged.completed_ok += p.completed_ok;
+    merged.rejected_overload += p.rejected_overload;
+    merged.rejected_deadline += p.rejected_deadline;
+    merged.rejected_shutdown += p.rejected_shutdown;
+    merged.errors += p.errors;
+    merged.in_flight += p.in_flight;
+    merged.queue_depth += p.queue_depth;
+    merged.uptime_ms = std::max(merged.uptime_ms, p.uptime_ms);
+    merged.queue_ms.merge(p.queue_ms);
+    merged.run_ms.merge(p.run_ms);
+    merged.total_ms.merge(p.total_ms);
+    for (const auto& [name, n] : p.per_benchmark) {
+      bool found = false;
+      for (auto& [mname, mn] : merged.per_benchmark) {
+        if (mname == name) {
+          mn += n;
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.per_benchmark.emplace_back(name, n);
+    }
+    merged.context_hits += p.context_hits;
+    merged.context_misses += p.context_misses;
+    merged.context_evictions += p.context_evictions;
+    merged.memo_hits += p.memo_hits;
+    merged.memo_misses += p.memo_misses;
+    merged.memo_evictions += p.memo_evictions;
+  }
+  merged.qps = merged.uptime_ms > 0 ? static_cast<double>(merged.completed_ok) /
+                                          (merged.uptime_ms / 1e3)
+                                    : 0.0;
+  return merged;
+}
+
 // ------------------------------------------------------------- ServerMetrics
 
 ServerMetrics::ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
@@ -243,16 +282,24 @@ void ServerMetrics::on_error(double queue_ms, double run_ms, double total_ms) {
   data_.total_ms.record(total_ms);
 }
 
+void ServerMetrics::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  data_ = MetricsSnapshot{};
+  start_ = std::chrono::steady_clock::now();
+}
+
 MetricsSnapshot ServerMetrics::snapshot(std::size_t queue_depth,
                                         std::int64_t in_flight) const {
   MetricsSnapshot snap;
+  std::chrono::steady_clock::time_point start;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     snap = data_;
+    start = start_;  // reset() can move the epoch concurrently
   }
   snap.queue_depth = queue_depth;
   snap.in_flight = in_flight;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto elapsed = std::chrono::steady_clock::now() - start;
   snap.uptime_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(elapsed)
           .count();

@@ -120,6 +120,15 @@ struct MetricsSnapshot {
   [[nodiscard]] static MetricsSnapshot from_json(const api::Json& j);
 };
 
+/// Fleet-level aggregation (docs/FLEET.md): sum the counters, merge the
+/// raw histogram buckets, merge per-benchmark counts, and recompute the
+/// derived fields — uptime is the max across shards (they run in
+/// parallel) and qps is completed_ok over that shared wall clock.  The
+/// merged percentiles are exact up to the shared bucket quantization,
+/// because every shard exports the same raw log-scale buckets.
+[[nodiscard]] MetricsSnapshot merge_snapshots(
+    const std::vector<MetricsSnapshot>& parts);
+
 /// Thread-safe metrics sink.  All mutators are O(1) under one mutex; the
 /// Server calls them outside its own scheduling lock.
 class ServerMetrics {
@@ -136,6 +145,10 @@ class ServerMetrics {
 
   [[nodiscard]] MetricsSnapshot snapshot(std::size_t queue_depth,
                                          std::int64_t in_flight) const;
+
+  /// Zero every counter and histogram and restart the uptime clock, as if
+  /// freshly constructed (`Server::reconfigure` with reset_stats).
+  void reset();
 
  private:
   mutable std::mutex mu_;

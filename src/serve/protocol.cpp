@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include "api/registry.h"
 #include "api/request.h"
 #include "common/check.h"
+#include "fleet/hash_ring.h"
 #include "kernels/backend.h"
 #include "serve/server_loop.h"
 
@@ -150,6 +152,10 @@ ServeResponse serve_response_from_frame(const api::Json& frame) {
   const api::Json& err = frame.at("error");
   const std::optional<ErrorCode> code = error_code_from_name(err.at("code").as_string());
   r.status = status_for(code.value_or(ErrorCode::kInternal));
+  // Preserve the wire code verbatim: several codes collapse to the same
+  // status (kInternal and kTransport both map to kError), and failover
+  // logic needs the distinction the status alone loses.
+  r.error_code = err.at("code").as_string();
   r.error = err.at("message").as_string();
   if (const api::Json* q = err.find("queue_ms")) r.queue_ms = q->as_number();
   if (const api::Json* t = err.find("total_ms")) r.total_ms = t->as_number();
@@ -178,6 +184,59 @@ ServeRequest eval_request_from_params(const api::Json& params) {
   }
   r.request.validate();
   return r;
+}
+
+ServerReconfig reconfig_from_params(const api::Json& params) {
+  DEFA_CHECK(params.is_object() && params.size() > 0,
+             "protocol: reconfigure params must be a non-empty object");
+  ServerReconfig rc;
+  for (const auto& [key, value] : params.members()) {
+    if (key == "policy") {
+      const std::optional<SchedulePolicy> p = policy_from_name(value.as_string());
+      DEFA_CHECK(p.has_value(), "protocol: unknown policy '" + value.as_string() +
+                                    "' (fifo|locality)");
+      rc.policy = *p;
+    } else if (key == "locality_window") {
+      const std::int64_t w = value.as_int();
+      DEFA_CHECK(w >= 1, "protocol: 'locality_window' must be >= 1");
+      rc.locality_window = static_cast<int>(w);
+    } else if (key == "backend") {
+      const std::string b = value.as_string();
+      DEFA_CHECK(b.empty() || kernels::find_backend(b) != nullptr,
+                 "protocol: unknown backend '" + b +
+                     "' (known: " + kernels::known_backends() + ")");
+      rc.backend = b;
+    } else if (key == "max_contexts") {
+      const std::int64_t n = value.as_int();
+      DEFA_CHECK(n >= 0, "protocol: 'max_contexts' must be >= 0");
+      rc.max_contexts = static_cast<std::size_t>(n);
+    } else if (key == "max_memo") {
+      const std::int64_t n = value.as_int();
+      DEFA_CHECK(n >= 0, "protocol: 'max_memo' must be >= 0");
+      rc.max_memo = static_cast<std::size_t>(n);
+    } else if (key == "memoize_results") {
+      rc.memoize_results = value.as_bool();
+    } else if (key == "reset_stats") {
+      rc.reset_stats = value.as_bool();
+    } else {
+      DEFA_CHECK(false, "protocol: unknown reconfigure params key '" + key + "'");
+    }
+  }
+  return rc;
+}
+
+api::Json reconfig_params(const ServerReconfig& rc) {
+  api::Json j = api::Json::object();
+  if (rc.policy.has_value()) j["policy"] = policy_name(*rc.policy);
+  if (rc.locality_window.has_value()) j["locality_window"] = *rc.locality_window;
+  if (rc.backend.has_value()) j["backend"] = *rc.backend;
+  if (rc.max_contexts.has_value()) {
+    j["max_contexts"] = static_cast<double>(*rc.max_contexts);
+  }
+  if (rc.max_memo.has_value()) j["max_memo"] = static_cast<double>(*rc.max_memo);
+  if (rc.memoize_results.has_value()) j["memoize_results"] = *rc.memoize_results;
+  if (rc.reset_stats) j["reset_stats"] = true;
+  return j;
 }
 
 // ------------------------------------------------------------------- sessions
@@ -268,7 +327,8 @@ api::Json batch_item_error(ErrorCode code, const std::string& message) {
 }
 
 const char* const kKnownMethods =
-    "eval, eval_batch, metrics, backends, experiments, experiment, ping, drain";
+    "eval, eval_batch, metrics, backends, experiments, experiment, ping, "
+    "reconfigure, shard_info, drain";
 
 void handle_eval(const std::string& id, const api::Json& params, Server& server,
                  const std::shared_ptr<SessionState>& state) {
@@ -347,11 +407,12 @@ void handle_eval_batch(const std::string& id, const api::Json& params,
   }
 }
 
-api::Json handle_ping(Server& server) {
-  api::Json j = api::Json::object();
-  j["protocol"] = kProtocolVersion;
-  j["pong"] = true;
-  const ServerOptions& opts = server.options();
+/// The `ping`/`reconfigure` server info block.  Taken from a coherent
+/// options snapshot (reconfigure can run concurrently); the keys from
+/// before the reconfigure method are frozen, additions are append-only
+/// (docs/PROTOCOL.md compat rules).
+api::Json server_info(Server& server) {
+  const ServerOptions opts = server.options_snapshot();
   api::Json info = api::Json::object();
   info["policy"] = policy_name(opts.policy);
   info["workers"] = opts.max_concurrency;
@@ -359,13 +420,61 @@ api::Json handle_ping(Server& server) {
   info["backend"] = opts.engine.backend.empty() ? kernels::default_backend_name()
                                                 : opts.engine.backend;
   info["draining"] = server.draining();
-  j["server"] = std::move(info);
+  info["locality_window"] = opts.locality_window;
+  info["max_contexts"] = static_cast<double>(opts.engine.max_contexts);
+  info["max_memo"] = static_cast<double>(opts.engine.max_memo);
+  info["memoize_results"] = opts.engine.memoize_results;
+  return info;
+}
+
+api::Json handle_ping(Server& server) {
+  api::Json j = api::Json::object();
+  j["protocol"] = kProtocolVersion;
+  j["pong"] = true;
+  j["server"] = server_info(server);
+  return j;
+}
+
+api::Json handle_reconfigure(const api::Json& params, Server& server) {
+  server.reconfigure(reconfig_from_params(params));
+  api::Json j = api::Json::object();
+  j["reconfigured"] = true;
+  j["server"] = server_info(server);
+  return j;
+}
+
+api::Json handle_shard_info(Server& server) {
+  const ServerOptions opts = server.options_snapshot();
+  api::Json j = api::Json::object();
+  api::Json shard = api::Json::object();
+  shard["id"] = opts.shard_id;
+  shard["count"] = opts.shard_count;
+  shard["name"] = opts.shard_name;
+  j["shard"] = std::move(shard);
+  // The key range this shard owns, as its consistent-hash ring points —
+  // derived from the shard name exactly as client::Pool derives them, so
+  // a client can verify it routes where the server believes it serves.
+  api::Json ring = api::Json::object();
+  ring["virtual_nodes"] = opts.ring_virtual_nodes;
+  api::Json points = api::Json::array();
+  if (!opts.shard_name.empty()) {
+    for (const std::uint64_t h :
+         fleet::ring_points(opts.shard_name, opts.ring_virtual_nodes)) {
+      char buf[19];
+      std::snprintf(buf, sizeof(buf), "0x%016llx",
+                    static_cast<unsigned long long>(h));
+      points.push_back(std::string(buf));
+    }
+  }
+  ring["points"] = std::move(points);
+  j["ring"] = std::move(ring);
+  j["metrics"] = server.metrics().to_json();
   return j;
 }
 
 api::Json handle_backends(Server& server) {
   api::Json j = api::Json::object();
-  const ServerOptions& opts = server.options();
+  const ServerOptions opts = server.options_snapshot();
   j["default"] = opts.engine.backend.empty() ? kernels::default_backend_name()
                                              : opts.engine.backend;
   api::Json names = api::Json::array();
@@ -477,6 +586,14 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
             id, handle_experiment(params == nullptr ? kNull : *params, server)));
       } else if (method == "ping") {
         state->write(make_ok_frame(id, handle_ping(server)));
+      } else if (method == "reconfigure") {
+        // Inline on the session thread: Server::reconfigure takes the
+        // scheduling lock, so the change lands between dispatches and the
+        // response is written only once it is fully applied.
+        state->write(make_ok_frame(
+            id, handle_reconfigure(params == nullptr ? kNull : *params, server)));
+      } else if (method == "shard_info") {
+        state->write(make_ok_frame(id, handle_shard_info(server)));
       } else if (method == "drain") {
         server.drain();  // stop admitting, finish in-flight
         api::Json payload = api::Json::object();

@@ -15,8 +15,9 @@
 ///       "error": {"code": "overload", "message": "..."}}
 ///
 /// Methods: `eval`, `eval_batch`, `metrics`, `backends`, `experiments`,
-/// `experiment`, `ping`, `drain`.  Failures carry typed error codes
-/// (`ErrorCode` below) instead of free-form strings.
+/// `experiment`, `ping`, `reconfigure`, `shard_info`, `drain`.  Failures
+/// carry typed error codes (`ErrorCode` below) instead of free-form
+/// strings.
 ///
 /// The pre-v1 JSON-lines mode (bare EvalRequest / `{"id", "priority",
 /// "timeout_ms", "request"}` lines answered in arrival order) is preserved
@@ -97,6 +98,15 @@ enum class ErrorCode {
 /// authoritative, so an `"id"` key inside params is rejected).  The
 /// returned request is validated.  Throws defa::CheckError.
 [[nodiscard]] ServeRequest eval_request_from_params(const api::Json& params);
+
+/// Parse the `reconfigure` params (`{"policy", "locality_window",
+/// "backend", "max_contexts", "max_memo", "memoize_results",
+/// "reset_stats"}`, all optional but at least one required).  Strict:
+/// unknown keys, unknown policy/backend names and out-of-range values
+/// throw defa::CheckError.  The inverse, `reconfig_params`, builds the
+/// params frame a client sends (unset fields omitted).
+[[nodiscard]] ServerReconfig reconfig_from_params(const api::Json& params);
+[[nodiscard]] api::Json reconfig_params(const ServerReconfig& rc);
 
 // ------------------------------------------------------------------- sessions
 

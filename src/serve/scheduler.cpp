@@ -126,9 +126,17 @@ std::future<ServeResponse> Server::submit_impl(ServeRequest req,
   // locality policy reads it, so FIFO admission skips the resolve cost.
   // A request malformed enough that its key cannot be resolved still gets
   // queued (the error surfaces from Engine::run with a proper response);
-  // it just joins the empty-key affinity class.
+  // it just joins the empty-key affinity class.  The policy is snapshotted
+  // under mu_ (reconfigure can flip it concurrently); a request admitted
+  // across the flip at worst carries a stale key and joins the empty-key
+  // affinity class — never a wrong result, dispatch stays correct.
+  SchedulePolicy policy;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    policy = options_.policy;
+  }
   std::string key;
-  if (options_.policy == SchedulePolicy::kLocality) {
+  if (policy == SchedulePolicy::kLocality) {
     try {
       key = req.request.workload_key();
     } catch (const std::exception&) {
@@ -323,6 +331,49 @@ void Server::drain() {
 bool Server::draining() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return draining_;
+}
+
+void Server::reconfigure(const ServerReconfig& rc) {
+  // Validate before mutating anything, so a bad reconfigure leaves the
+  // server exactly as it was.
+  if (rc.locality_window.has_value()) {
+    DEFA_CHECK(*rc.locality_window >= 1,
+               "Server::reconfigure: locality_window must be >= 1");
+  }
+  // The Engine validates the backend name and applies its own fields under
+  // its locks (evicting caches down to new bounds as needed).
+  api::Engine::Reconfig er;
+  er.backend = rc.backend;
+  er.max_contexts = rc.max_contexts;
+  er.max_memo = rc.max_memo;
+  er.memoize_results = rc.memoize_results;
+  engine_.reconfigure(er);
+  {
+    // Scheduler fields flip under mu_: every pop_best_locked sees either
+    // the old configuration or the new one, never a mix.
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (rc.policy.has_value()) options_.policy = *rc.policy;
+    if (rc.locality_window.has_value()) options_.locality_window = *rc.locality_window;
+    // Mirror the engine fields so options()/ping stay truthful.
+    if (rc.backend.has_value()) options_.engine.backend = *rc.backend;
+    if (rc.max_contexts.has_value()) options_.engine.max_contexts = *rc.max_contexts;
+    if (rc.max_memo.has_value()) options_.engine.max_memo = *rc.max_memo;
+    if (rc.memoize_results.has_value()) {
+      options_.engine.memoize_results = *rc.memoize_results;
+    }
+    affinity_key_.clear();
+    affinity_run_ = 0;
+  }
+  if (rc.reset_stats) {
+    engine_.clear_caches();
+    engine_.reset_stats();
+    metrics_.reset();
+  }
+}
+
+ServerOptions Server::options_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return options_;
 }
 
 MetricsSnapshot Server::metrics() const {

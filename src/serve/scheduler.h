@@ -93,6 +93,13 @@ struct ServeResponse {
   std::string id;
   ResponseStatus status = ResponseStatus::kOk;
   std::string error;                      ///< set when status != kOk
+  /// Protocol v1 error-code name ("overload", "transport", ...) when the
+  /// response crossed the wire or failed in the client transport; empty
+  /// for in-process responses (status alone is authoritative there).
+  /// Carried as the wire name — not serve::ErrorCode — so scheduler.h
+  /// stays independent of protocol.h.  `client::Pool` keys failover on
+  /// "transport".
+  std::string error_code;
   std::optional<api::EvalResult> result;  ///< set when status == kOk
   double queue_ms = 0;  ///< admission -> dispatch (or rejection)
   double run_ms = 0;    ///< evaluation only
@@ -116,6 +123,30 @@ struct ServerOptions {
   /// (batch prefill, scheduling tests).
   bool start_paused = false;
   api::Engine::Options engine;
+  /// Fleet identity (docs/FLEET.md): set by `defa_serve --shard-id` when
+  /// the process serves as one shard of a consistent-hash fleet, exported
+  /// by the protocol `shard_info` method.  Purely informational — the
+  /// scheduler itself is shard-agnostic; routing lives in `client::Pool`.
+  int shard_id = -1;    ///< -1 = not part of a fleet
+  int shard_count = 0;  ///< fleet size this shard was launched into
+  std::string shard_name;
+  int ring_virtual_nodes = 64;  ///< must match the routing clients' rings
+};
+
+/// A live configuration change, applied atomically between dispatches by
+/// `Server::reconfigure` (the protocol `reconfigure` method).  Unset
+/// fields keep their current value.
+struct ServerReconfig {
+  std::optional<SchedulePolicy> policy;
+  std::optional<int> locality_window;
+  std::optional<std::string> backend;       ///< "" = process default
+  std::optional<std::size_t> max_contexts;  ///< 0 = unbounded
+  std::optional<std::size_t> max_memo;      ///< 0 = unbounded
+  std::optional<bool> memoize_results;
+  /// Also clear the Engine caches and zero metrics/cache counters, so the
+  /// server measures like a fresh process (remote sweeps reconfigure with
+  /// this set to keep points comparable to in-process `run_sweep`).
+  bool reset_stats = false;
 };
 
 class Server {
@@ -155,11 +186,25 @@ class Server {
   /// True once `drain()` has been called: the server no longer admits.
   [[nodiscard]] bool draining() const;
 
+  /// Apply a live configuration change.  Validates everything (throws
+  /// defa::CheckError, leaving the server untouched) before mutating, then
+  /// applies under the scheduling lock: requests dispatched before the
+  /// call ran under the old configuration, requests dispatched after run
+  /// under the new one, and no dispatch observes a half-applied mix.  The
+  /// locality affinity window restarts (the old key's budget is
+  /// meaningless under a new policy/window).
+  void reconfigure(const ServerReconfig& rc);
+
   [[nodiscard]] MetricsSnapshot metrics() const;
   [[nodiscard]] api::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] std::size_t queued() const;
   /// Effective configuration (max_concurrency resolved to the pool size).
+  /// Prefer `options_snapshot()` anywhere `reconfigure` may run
+  /// concurrently — this reference reads unguarded fields.
   [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+  /// Coherent copy of the live configuration (taken under the scheduling
+  /// lock; safe against concurrent `reconfigure`).
+  [[nodiscard]] ServerOptions options_snapshot() const;
 
   /// Which priority class dispatch slot `slot` prefers (falls back to the
   /// highest non-empty class when that one is empty).  The pattern is

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -631,6 +632,138 @@ TEST(LoopbackTcp, TransportErrorsSurfaceAsTypedFailures) {
   } catch (const client::RpcError& e) {
     EXPECT_EQ(e.code(), ErrorCode::kTransport);
   }
+}
+
+// Regression: a request already *in flight* (submitted, unanswered) when
+// the peer closes must resolve promptly with a typed transport error —
+// not hang its future.  A raw listener that accepts, reads the frame and
+// closes without replying pins the exact shard-death window client::Pool
+// failover depends on.
+TEST(LoopbackTcp, InFlightSubmitResolvesTypedTransportErrorOnPeerClose) {
+  TcpListener listener(0);
+  std::thread peer([&listener] {
+    std::unique_ptr<Connection> conn = listener.accept();
+    ASSERT_NE(conn, nullptr);
+    std::string frame;
+    ASSERT_TRUE(conn->read_frame(frame));  // the eval frame arrived ...
+    conn.reset();                          // ... and the peer dies on it
+  });
+
+  client::Client c = client::Client::connect_tcp("127.0.0.1", listener.port());
+  ServeRequest r;
+  r.id = "in-flight";
+  r.request.preset = "tiny";
+  std::future<ServeResponse> future = c.submit(std::move(r));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+      << "in-flight future hung after peer close";
+  const ServeResponse resp = future.get();
+  EXPECT_EQ(resp.id, "in-flight");
+  EXPECT_EQ(resp.status, ResponseStatus::kError);
+  EXPECT_EQ(resp.error_code, error_code_name(ErrorCode::kTransport));
+  peer.join();
+
+  // And the sync wrapper surfaces the same failure as a typed RpcError.
+  EvalRequest req;
+  req.preset = "tiny";
+  try {
+    (void)c.eval(req);
+    FAIL() << "expected RpcError";
+  } catch (const client::RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTransport);
+  }
+}
+
+// ----------------------------------------------------- reconfigure / shard_info
+
+TEST(Reconfigure, ParamsRoundTripAndStrictValidation) {
+  ServerReconfig rc;
+  rc.policy = SchedulePolicy::kLocality;
+  rc.locality_window = 4;
+  rc.backend = "reference";
+  rc.max_contexts = 2;
+  rc.max_memo = 8;
+  rc.memoize_results = false;
+  rc.reset_stats = true;
+  const ServerReconfig back = reconfig_from_params(reconfig_params(rc));
+  EXPECT_EQ(back.policy, rc.policy);
+  EXPECT_EQ(back.locality_window, rc.locality_window);
+  EXPECT_EQ(back.backend, rc.backend);
+  EXPECT_EQ(back.max_contexts, rc.max_contexts);
+  EXPECT_EQ(back.max_memo, rc.max_memo);
+  EXPECT_EQ(back.memoize_results, rc.memoize_results);
+  EXPECT_EQ(back.reset_stats, rc.reset_stats);
+
+  EXPECT_THROW((void)reconfig_from_params(Json::object()), CheckError);
+  Json unknown = Json::object();
+  unknown["no_such_knob"] = 1;
+  EXPECT_THROW((void)reconfig_from_params(unknown), CheckError);
+  Json bad_policy = Json::object();
+  bad_policy["policy"] = "round_robin";
+  EXPECT_THROW((void)reconfig_from_params(bad_policy), CheckError);
+  Json bad_window = Json::object();
+  bad_window["locality_window"] = 0;
+  EXPECT_THROW((void)reconfig_from_params(bad_window), CheckError);
+}
+
+TEST(Reconfigure, AppliesLiveOverTheWireAndResetsStats) {
+  LoopbackServer server;
+  client::Client c = client::Client::connect_tcp("127.0.0.1", server.port());
+  EvalRequest req;
+  req.preset = "tiny";
+  (void)c.eval(req);
+  EXPECT_GT(c.metrics().submitted, 0u);
+
+  ServerReconfig rc;
+  rc.policy = SchedulePolicy::kLocality;
+  rc.locality_window = 3;
+  rc.max_contexts = 1;
+  rc.reset_stats = true;
+  const Json result = c.reconfigure(rc);
+  EXPECT_TRUE(result.at("reconfigured").as_bool());
+  EXPECT_EQ(result.at("server").at("policy").as_string(), "locality");
+  EXPECT_EQ(result.at("server").at("locality_window").as_int(), 3);
+  EXPECT_EQ(result.at("server").at("max_contexts").as_int(), 1);
+  // reset_stats wiped the metrics along with the engine counters.
+  EXPECT_EQ(c.metrics().submitted, 0u);
+  // The reconfigured server still serves (bit-identically).
+  api::Engine reference;
+  EXPECT_EQ(c.eval(req), reference.run(req));
+
+  // An invalid change is refused with a typed validation error and leaves
+  // the server serving.
+  ServerReconfig bad;
+  bad.backend = "no_such_backend";
+  try {
+    (void)c.reconfigure(bad);
+    FAIL() << "expected RpcError";
+  } catch (const client::RpcError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+  }
+  EXPECT_EQ(c.eval(req), reference.run(req));
+}
+
+TEST(ShardInfo, ReportsIdentityRingAndMetrics) {
+  ServerOptions options;
+  options.shard_id = 1;
+  options.shard_count = 3;
+  options.shard_name = "shard1";
+  options.ring_virtual_nodes = 8;
+  LoopbackServer server(options);
+  client::Client c = client::Client::connect_tcp("127.0.0.1", server.port());
+  const Json info = c.shard_info();
+  EXPECT_EQ(info.at("shard").at("id").as_int(), 1);
+  EXPECT_EQ(info.at("shard").at("count").as_int(), 3);
+  EXPECT_EQ(info.at("shard").at("name").as_string(), "shard1");
+  EXPECT_EQ(info.at("ring").at("virtual_nodes").as_int(), 8);
+  EXPECT_EQ(info.at("ring").at("points").size(), 8u);
+  EXPECT_TRUE(info.at("metrics").contains("submitted"));
+
+  // A shard-less server still answers, with an empty ring.
+  LoopbackServer plain;
+  client::Client c2 = client::Client::connect_tcp("127.0.0.1", plain.port());
+  const Json no_shard = c2.shard_info();
+  EXPECT_EQ(no_shard.at("shard").at("id").as_int(), -1);
+  EXPECT_EQ(no_shard.at("ring").at("points").size(), 0u);
 }
 
 }  // namespace

@@ -34,8 +34,11 @@
 //             with context-cache hit rate per point (docs/BENCH_SCHEMA.md
 //             describes the output).  With --out it also writes a
 //             plot-ready CSV sidecar (one row per point) next to the JSON
-//             report.  Sweeps reconfigure the server per point, so they
-//             are in-process only (no --connect).
+//             report.  Combined with --connect the sweep drives the remote
+//             defa_serve instead, switching policy and resetting stats per
+//             point through the protocol `reconfigure` method — same grid,
+//             same cold-cache-per-point semantics, latencies including the
+//             wire.
 //   --smoke   shorthand for the CI configuration: closed loop, 64 requests,
 //             concurrency 4, smoke mix, --out BENCH_serve.json.
 
@@ -245,11 +248,6 @@ int main(int argc, char** argv) try {
                  "the in-process server and cannot be combined with it\n";
     return 2;
   }
-  if (!connect_endpoint.empty() && sweep) {
-    std::cerr << "--sweep reconfigures the server per point and is "
-                 "in-process only (no --connect)\n";
-    return 2;
-  }
   if (!have_scenario_file) {
     if (mix == "smoke") {
       scenario.base.scenarios = defa::serve::smoke_mix();
@@ -266,7 +264,17 @@ int main(int argc, char** argv) try {
       std::cerr << "--sweep needs a --scenario file with a \"sweep\" block\n";
       return 2;
     }
-    const defa::serve::SweepReport report = defa::serve::run_sweep(scenario);
+    defa::serve::SweepReport report;
+    if (!connect_endpoint.empty()) {
+      // Remote sweep: each point reconfigures the connected server (policy
+      // switch + stats/cache reset) through the protocol instead of
+      // constructing a fresh in-process Server.
+      defa::client::Client client =
+          defa::client::Client::connect(connect_endpoint);
+      report = defa::client::run_remote_sweep(scenario, client);
+    } else {
+      report = defa::serve::run_sweep(scenario);
+    }
     if (!quiet) print_sweep_summary(report, std::cout);
     if (!out_path.empty()) {
       defa::api::write_json_file(out_path, report.to_json());

@@ -4,6 +4,12 @@
 //              [--workers N] [--queue-capacity N] [--policy fifo|locality]
 //              [--locality-window N] [--max-contexts N] [--max-memo N]
 //              [--no-memo] [--backend NAME] [--metrics]
+//              [--shard-id N] [--shard-count N] [--shard-name NAME]
+//              [--virtual-nodes N]
+//
+// The --shard-* flags stamp a fleet identity (docs/FLEET.md) onto the
+// server, reported by the protocol `shard_info` method; scheduling itself
+// is shard-agnostic (routing lives in defa::client::Pool).
 //
 // Speaks two wire modes, auto-detected per session from the first frame
 // (docs/PROTOCOL.md):
@@ -50,7 +56,8 @@ int usage() {
             << "                  [--queue-capacity N] [--policy fifo|locality]\n"
             << "                  [--locality-window N] [--max-contexts N]\n"
             << "                  [--max-memo N] [--no-memo] [--backend NAME]\n"
-            << "                  [--metrics]\n";
+            << "                  [--metrics] [--shard-id N] [--shard-count N]\n"
+            << "                  [--shard-name NAME] [--virtual-nodes N]\n";
   return 2;
 }
 
@@ -228,6 +235,22 @@ int main(int argc, char** argv) try {
         return 2;
       }
       options.server.engine.backend = v;
+    } else if (arg == "--shard-id") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.shard_id = std::stoi(v);
+    } else if (arg == "--shard-count") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.shard_count = std::stoi(v);
+    } else if (arg == "--shard-name") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.shard_name = v;
+    } else if (arg == "--virtual-nodes") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.ring_virtual_nodes = std::stoi(v);
     } else if (arg == "--metrics") {
       options.emit_metrics = true;
     } else if (arg == "--help" || arg == "-h") {
