@@ -12,10 +12,12 @@
 #include <ostream>
 
 #include "api/registry.h"
+#include "api/run_meta.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/experiments.h"
 #include "core/msgs.h"
+#include "kernels/backend.h"
 #include "kernels/plan.h"
 #include "nn/bilinear.h"
 #include "nn/linear.h"
@@ -904,6 +906,9 @@ Json run_microbench_exp(Engine&, std::ostream& os) {
   os << fmt("(checksum %.3g — ignores; defeats dead-code elimination)\n\n", sink);
 
   Json out = Json::object();
+  Json meta = run_metadata();
+  meta["backend"] = kernels::default_backend_name();
+  out["meta"] = std::move(meta);
   out["rows"] = std::move(rows);
   out["backend_matrix"] = run_backend_matrix(os);
   return out;

@@ -5,6 +5,7 @@
 #include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
+#include "obs/trace.h"
 
 namespace defa::api {
 
@@ -103,6 +104,7 @@ EvalResult Engine::run(const EvalRequest& request) {
   if (!memoize) return evaluate(request, backend);
   const std::string key = request.request_key(backend);
   {
+    DEFA_TRACE_SPAN("memo_lookup", "engine");
     const std::lock_guard<std::mutex> lock(memo_mu_);
     const auto it = memo_.find(key);
     if (it != memo_.end()) {
@@ -347,12 +349,17 @@ AccuracyStats accuracy_stats(const ModelConfig& m, const core::PruneConfig& cfg,
 
 EvalResult Engine::evaluate(const EvalRequest& request,
                             const std::string& default_backend) {
+  DEFA_TRACE_SPAN_ARG("evaluate", "engine", "benchmark", request.preset);
   const ModelConfig m = request.resolve_model();
   const workload::SceneParams scene = request.resolve_scene(m);
   const core::PruneConfig cfg = request.resolve_prune(m);
   const kernels::Backend& backend =
       kernels::backend(request.resolve_backend(default_backend));
-  const std::shared_ptr<core::BenchmarkContext> ctx = pool_.get(m, scene);
+  std::shared_ptr<core::BenchmarkContext> ctx;
+  {
+    DEFA_TRACE_SPAN("context_lookup", "engine");
+    ctx = pool_.get(m, scene);
+  }
 
   EvalResult result;
   result.benchmark = m.name;
@@ -367,6 +374,8 @@ EvalResult Engine::evaluate(const EvalRequest& request,
   const core::EncoderResult* enc = nullptr;
   core::EncoderResult enc_local;
   if (need_encoder) {
+    DEFA_TRACE_SPAN_ARG("encoder", "engine", "cached",
+                        default_cfg ? "maybe" : "no");
     if (default_cfg) {
       // Shared cache across requests: the first caller's backend performs
       // the one-time build; backends are bit-identical, so reusing the
@@ -383,6 +392,7 @@ EvalResult Engine::evaluate(const EvalRequest& request,
   }
 
   if ((request.outputs & (kLatency | kEnergy)) != 0) {
+    DEFA_TRACE_SPAN("simulate", "engine");
     const HwConfig hw = request.resolve_hw(m);
     const std::vector<arch::LayerTrace> traces =
         default_cfg ? ctx->defa_traces() : ctx->traces_for(*enc);
@@ -395,6 +405,7 @@ EvalResult Engine::evaluate(const EvalRequest& request,
   }
 
   if ((request.outputs & kAccuracy) != 0) {
+    DEFA_TRACE_SPAN("accuracy", "engine");
     result.accuracy = accuracy_stats(m, cfg, ctx->pipeline(), enc, backend);
   }
 

@@ -1,0 +1,33 @@
+#include "api/run_meta.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+
+namespace defa::api {
+
+Json run_metadata() {
+  Json meta = Json::object();
+
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  char stamp[80] = "unknown";
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                  utc.tm_min, utc.tm_sec);
+  }
+  meta["timestamp"] = stamp;
+
+  char host[256];
+  if (::gethostname(host, sizeof(host)) == 0) {
+    host[sizeof(host) - 1] = '\0';
+    meta["hostname"] = host;
+  } else {
+    meta["hostname"] = "unknown";
+  }
+  return meta;
+}
+
+}  // namespace defa::api

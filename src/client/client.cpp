@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "serve/server_loop.h"
 
 namespace defa::client {
@@ -131,7 +132,8 @@ struct Client::Impl {
   /// never held across the (potentially blocking) socket write — the
   /// reader needs it to dispatch responses, and a full-duplex stall with
   /// both sides' buffers full must not wedge response delivery.
-  void send_call(const std::string& method, api::Json params, FrameHandler handler) {
+  void send_call(const std::string& method, api::Json params, FrameHandler handler,
+                 const std::string& trace_hex = "") {
     std::string id;
     {
       const std::lock_guard<std::mutex> lock(mu);
@@ -142,7 +144,7 @@ struct Client::Impl {
       return;
     }
     const std::string text =
-        serve::make_request_frame(id, method, std::move(params)).dump();
+        serve::make_request_frame(id, method, std::move(params), trace_hex).dump();
     // Refuse frames the server would refuse: it answers oversized frames
     // with an unattributable (id-less) error, which would otherwise
     // poison every pending call on this connection.
@@ -271,13 +273,20 @@ void Client::submit_async(serve::ServeRequest req, ResponseCallback done) {
   }
   if (req.timeout_ms > 0) params["timeout_ms"] = req.timeout_ms;
 
+  // Sampled requests carry their trace id on the wire (envelope
+  // `trace_id`); the matching client-side span is recorded when the
+  // response lands, so the rpc span brackets the whole round trip.
+  std::string trace_hex;
+  if (req.trace_id != 0) trace_hex = obs::trace_id_to_hex(req.trace_id);
+
   const std::string user_id = req.id;
+  const std::uint64_t trace_id = req.trace_id;
   const Clock::time_point sent = Clock::now();
   impl_->send_call(
       "eval", std::move(params),
-      [done = std::move(done), user_id, sent](const api::Json* frame,
-                                              serve::ErrorCode code,
-                                              const std::string& error) {
+      [done = std::move(done), user_id, trace_id, sent](const api::Json* frame,
+                                                        serve::ErrorCode code,
+                                                        const std::string& error) {
         serve::ServeResponse resp;
         if (frame == nullptr) {
           // Local/transport failure: the status collapses several codes
@@ -300,8 +309,21 @@ void Client::submit_async(serve::ServeRequest req, ResponseCallback done) {
           resp.total_ms = ms_between(sent, Clock::now());
         }
         resp.id = user_id;
+#if DEFA_TRACE
+        if (trace_id != 0) {
+          const std::int64_t sent_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  sent.time_since_epoch())
+                  .count();
+          obs::record_span("rpc", "client", sent_us, obs::now_us() - sent_us,
+                           trace_id,
+                           {{"id", user_id},
+                            {"status", serve::status_name(resp.status)}});
+        }
+#endif
         done(resp);
-      });
+      },
+      trace_hex);
 }
 
 std::future<serve::ServeResponse> Client::submit(serve::ServeRequest req) {
@@ -408,6 +430,15 @@ api::Json Client::reconfigure(const serve::ServerReconfig& rc) {
 }
 
 api::Json Client::shard_info() { return call("shard_info"); }
+
+api::Json Client::trace(bool clear) {
+  api::Json params;  // omitted from the frame when left null
+  if (!clear) {
+    params = api::Json::object();
+    params["clear"] = false;
+  }
+  return call("trace", std::move(params));
+}
 
 api::Json Client::drain() { return call("drain"); }
 

@@ -125,6 +125,10 @@ class Client {
   /// The server's fleet identity: {"shard": {id, count, name}, "ring":
   /// {virtual_nodes, points}, "metrics": ...}.
   api::Json shard_info();
+  /// Drain the server's recorded trace spans: {"pid", "process",
+  /// "enabled", "dropped", "traceEvents"} in Chrome trace-event form
+  /// (docs/OBSERVABILITY.md).  `clear=false` leaves the spans buffered.
+  api::Json trace(bool clear = true);
   /// Graceful server shutdown: stop admitting, finish in-flight, return
   /// final metrics ({"drained": true, "metrics": ...}).
   api::Json drain();

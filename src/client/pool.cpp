@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 
 namespace defa::client {
@@ -147,7 +148,11 @@ struct Pool::Impl : std::enable_shared_from_this<Pool::Impl> {
         return;
       }
       if (fresh) {
-        if (shards[i].ever_connected) ++shards[i].reconnects;
+        if (shards[i].ever_connected) {
+          ++shards[i].reconnects;
+          DEFA_TRACE_INSTANT("pool_reconnect", "pool",
+                             {{"shard", shards[i].name}});
+        }
         shards[i].ever_connected = true;
         shards[i].client = std::move(fresh);
         ++shards[i].generation;
@@ -169,6 +174,7 @@ struct Pool::Impl : std::enable_shared_from_this<Pool::Impl> {
     graveyard.push_back(std::move(shards[i].client));
     shards[i].client = nullptr;
     ++shards[i].generation;
+    DEFA_TRACE_INSTANT("pool_mark_down", "pool", {{"shard", shards[i].name}});
     cv.notify_all();
   }
 
@@ -191,7 +197,12 @@ struct Pool::Impl : std::enable_shared_from_this<Pool::Impl> {
             shard_idx = idx;
             generation = impl->shards[idx].generation;
             ++impl->shards[idx].routed;
-            if (call->attempt > 0) impl->failovers.fetch_add(1);
+            if (call->attempt > 0) {
+              impl->failovers.fetch_add(1);
+              DEFA_TRACE_INSTANT("pool_failover", "pool",
+                                 {{"to_shard", impl->shards[idx].name},
+                                  {"attempt", std::to_string(call->attempt)}});
+            }
             ++call->attempt;
             break;
           }

@@ -27,8 +27,11 @@ serve::LoadReport run_remote_loadgen(const serve::LoadGenOptions& options,
     return m;
   };
   target.transport = client.transport_name();
-  // The dispatch policy lives in the server process; ask it.
-  target.policy = client.ping().at("server").at("policy").as_string();
+  // The dispatch policy and resolved backend live in the server process;
+  // ask it.
+  const api::Json info = client.ping();
+  target.policy = info.at("server").at("policy").as_string();
+  target.backend = info.at("server").at("backend").as_string();
   return serve::run_loadgen_against(options, target);
 }
 

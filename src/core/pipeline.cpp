@@ -5,6 +5,7 @@
 #include "common/stats.h"
 #include "core/msgs.h"
 #include "nn/norm.h"
+#include "obs/trace.h"
 #include "quant/fixed_point.h"
 
 namespace defa::core {
@@ -158,6 +159,7 @@ std::string layer_plan_key(int layer) { return "layer" + std::to_string(layer); 
 }  // namespace
 
 void EncoderPipeline::build_reference(const kernels::Backend* backend_opt) const {
+  DEFA_TRACE_SPAN("reference_build", "kernel");
   const ModelConfig& m = wl_.model();
   const kernels::Backend& backend = kernels::backend_or_default(backend_opt);
   Tensor x_ref = wl_.fmap();
@@ -247,12 +249,15 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg,
     // then range narrowing of the resulting sampling locations.
     Tensor locs = fields.locs;
     Tensor probs_hw = probs;
-    if (cfg.quantize) {
-      quantize_offsets(m, wl_.ref_norm(), cfg.bits, locs);
-      probs_hw = backend.softmax_lastdim(quant::fake_quantize(fields.logits, cfg.bits));
-    }
-    if (cfg.narrow) {
-      ls.clamp = prune::clamp_to_range(m, wl_.ref_norm(), cfg.ranges, locs);
+    if (cfg.quantize || cfg.narrow) {
+      DEFA_TRACE_SPAN_ARG("quantize_narrow", "kernel", "layer", layer);
+      if (cfg.quantize) {
+        quantize_offsets(m, wl_.ref_norm(), cfg.bits, locs);
+        probs_hw = backend.softmax_lastdim(quant::fake_quantize(fields.logits, cfg.bits));
+      }
+      if (cfg.narrow) {
+        ls.clamp = prune::clamp_to_range(m, wl_.ref_norm(), cfg.ranges, locs);
+      }
     }
     // Quantization and range narrowing move the sampling locations; only
     // the unmoved dense geometry can reuse the cached per-layer plan, and
@@ -260,40 +265,52 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg,
     const bool dense_geometry = !cfg.quantize && !cfg.narrow;
     std::shared_ptr<const kernels::SamplingPlan> plan;
     if (dense_geometry && backend.wants_plan()) {
+      DEFA_TRACE_SPAN_ARG("plan_build", "kernel", "layer", layer);
       plan = plan_cache_.get(layer_plan_key(layer), m, locs);
     }
 
     // (2) PAP point mask from the (hardware) softmax probabilities
-    prune::PointMask pmask = cfg.pap ? prune::pap_prune(m, probs_hw, cfg.pap_tau, &ls.pap)
-                                     : prune::PointMask(m);
+    prune::PointMask pmask(m);
+    if (cfg.pap) {
+      DEFA_TRACE_SPAN_ARG("pap_prune", "kernel", "layer", layer);
+      pmask = prune::pap_prune(m, probs_hw, cfg.pap_tau, &ls.pap);
+    }
     ls.kept_points = pmask.kept_count();
 
     // (3) FWP-masked value projection (mask from the previous block)
     ls.kept_pixels = fmask.kept_count();
     Tensor v;
-    if (cfg.quantize) {
-      const Tensor xq = quant::fake_quantize(x, cfg.bits);
-      const Tensor wq = quant::fake_quantize(w_value, cfg.bits);
-      v = backend.matmul(xq, wq);
-      v = quant::fake_quantize(v, cfg.bits);
-    } else {
-      v = backend.matmul(x, w_value);
+    {
+      DEFA_TRACE_SPAN_ARG("value_projection", "kernel", "layer", layer);
+      if (cfg.quantize) {
+        const Tensor xq = quant::fake_quantize(x, cfg.bits);
+        const Tensor wq = quant::fake_quantize(w_value, cfg.bits);
+        v = backend.matmul(xq, wq);
+        v = quant::fake_quantize(v, cfg.bits);
+      } else {
+        v = backend.matmul(x, w_value);
+      }
+      if (cfg.fwp) zero_pruned_rows(m, fmask, v);
     }
-    if (cfg.fwp) zero_pruned_rows(m, fmask, v);
 
     // (4) fused MSGS + aggregation (INTn datapath when quantizing)
-    MsgsOptions opt;
-    opt.point_mask = &pmask;
-    opt.quantized = cfg.quantize;
-    opt.act_bits = cfg.bits;
-    opt.frac_bits = cfg.bits;
-    opt.backend = &backend;
-    opt.plan = plan.get();
-    const Tensor out = run_msgs(m, v, probs_hw, locs, opt);
+    Tensor out;
+    {
+      DEFA_TRACE_SPAN_ARG("gather_aggregate", "kernel", "layer", layer);
+      MsgsOptions opt;
+      opt.point_mask = &pmask;
+      opt.quantized = cfg.quantize;
+      opt.act_bits = cfg.bits;
+      opt.frac_bits = cfg.bits;
+      opt.backend = &backend;
+      opt.plan = plan.get();
+      out = run_msgs(m, v, probs_hw, locs, opt);
+    }
 
     // (5) frequency counting -> fmap mask for the next block
     prune::FmapMask next_fmask(m);
     if (cfg.fwp) {
+      DEFA_TRACE_SPAN_ARG("fwp_prune", "kernel", "layer", layer);
       const prune::FreqCounter freq = prune::count_sampled_frequency(m, locs, pmask);
       next_fmask = prune::fwp_prune(m, freq, cfg.fwp_k, &ls.fwp);
     }

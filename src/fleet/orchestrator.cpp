@@ -21,9 +21,13 @@
 #include <unistd.h>
 
 #include "api/engine.h"
+#include "api/run_meta.h"
 #include "client/pool.h"
 #include "common/check.h"
 #include "fleet/hash_ring.h"
+#include "kernels/backend.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/scenario.h"
 
@@ -70,6 +74,7 @@ struct ShardProc {
   std::string name;
   std::string endpoint;
   std::string port_file;
+  std::string trace_file;  ///< set (and passed as --trace-out) when tracing
 };
 
 /// argv for one shard: every server option crosses as a defa_serve flag so
@@ -78,7 +83,8 @@ struct ShardProc {
 std::vector<std::string> shard_argv(const std::string& serve_bin,
                                     const FleetConfig& config, int shard_id,
                                     int shard_count,
-                                    const std::string& port_file) {
+                                    const std::string& port_file,
+                                    const std::string& trace_file) {
   const serve::ServerOptions& so = config.load.server;
   std::vector<std::string> argv = {
       serve_bin,
@@ -103,6 +109,10 @@ std::vector<std::string> shard_argv(const std::string& serve_bin,
     argv.emplace_back(so.engine.backend);
   }
   if (!so.engine.memoize_results) argv.emplace_back("--no-memo");
+  if (!trace_file.empty()) {
+    argv.emplace_back("--trace-out");  // implies --trace on the shard
+    argv.emplace_back(trace_file);
+  }
   return argv;
 }
 
@@ -185,15 +195,53 @@ void reap_gracefully(std::vector<ShardProc>& shards, int timeout_ms) {
 }
 
 void cleanup_dir(const std::vector<ShardProc>& shards, const std::string& dir) {
-  for (const ShardProc& s : shards) std::remove(s.port_file.c_str());
+  for (const ShardProc& s : shards) {
+    std::remove(s.port_file.c_str());
+    if (!s.trace_file.empty()) std::remove(s.trace_file.c_str());
+  }
   ::rmdir(dir.c_str());
+}
+
+/// Merge the shards' trace dumps (written at their exit) with this
+/// process's own client-side spans into one timeline: shard lanes get
+/// shard-qualified pids, the orchestrator lane is pid 0.
+void merge_fleet_trace(const std::vector<ShardProc>& shards,
+                       const std::string& trace_out, bool quiet) {
+  std::vector<obs::TraceProcess> lanes;
+  obs::TraceProcess own;
+  own.pid = 0;
+  own.name = "defa_fleet client";
+  own.events =
+      obs::trace_events_json(obs::Tracer::instance().collect(), 0, own.name);
+  lanes.push_back(std::move(own));
+  for (const ShardProc& s : shards) {
+    try {
+      obs::TraceProcess lane;
+      lane.pid = s.id + 1;
+      lane.name = "defa_serve " + s.name;
+      lane.events = api::read_json_file(s.trace_file);
+      lanes.push_back(std::move(lane));
+    } catch (const std::exception&) {
+      // A chaos-killed shard never wrote its dump; its lane is absent.
+      if (!quiet) {
+        std::cerr << "defa_fleet: no trace dump from " << s.name
+                  << " (killed?)\n";
+      }
+    }
+  }
+  obs::write_trace_file(trace_out, obs::merge_trace_processes(lanes));
+  if (!quiet) {
+    std::cerr << "defa_fleet: wrote merged trace (" << lanes.size()
+              << " process lane(s)) to " << trace_out << "\n";
+  }
 }
 
 // ------------------------------------------------------------------- one run
 
 FleetRunReport run_one(const FleetConfig& config, int shard_count,
                        bool chaos_enabled, bool verify_enabled,
-                       const OrchestratorOptions& options) {
+                       const OrchestratorOptions& options,
+                       const std::string& trace_out) {
   DEFA_CHECK(shard_count >= 1, "fleet: shard count must be >= 1");
   const int total_requests = config.load.requests;
   ChaosSpec chaos = config.chaos;
@@ -218,9 +266,12 @@ FleetRunReport run_one(const FleetConfig& config, int shard_count,
       s.id = i;
       s.name = "shard" + std::to_string(i);
       s.port_file = dir + "/port" + std::to_string(i);
-      s.pid = spawn_process(
-          shard_argv(options.serve_bin, config, i, shard_count, s.port_file),
-          options.quiet);
+      if (!trace_out.empty()) {
+        s.trace_file = dir + "/trace" + std::to_string(i) + ".json";
+      }
+      s.pid = spawn_process(shard_argv(options.serve_bin, config, i,
+                                       shard_count, s.port_file, s.trace_file),
+                            options.quiet);
     }
     for (ShardProc& s : shards) {
       s.port = await_port(s, options.spawn_timeout_ms);
@@ -277,6 +328,9 @@ FleetRunReport run_one(const FleetConfig& config, int shard_count,
     serve::LoadTarget target;
     target.transport = "fleet";
     target.policy = serve::policy_name(config.load.server.policy);
+    target.backend = config.load.server.engine.backend.empty()
+                         ? kernels::default_backend_name()
+                         : config.load.server.engine.backend;
     target.submit = [&](serve::ServeRequest req) {
       const std::uint64_t n = submitted.fetch_add(1) + 1;
       if (chaos.enabled && n == trigger_at && !chaos_fired.exchange(true)) {
@@ -411,8 +465,16 @@ FleetRunReport run_one(const FleetConfig& config, int shard_count,
     throw;
   }
   // Pool destroyed; shards saw their drain (or died under chaos) — give
-  // them a moment to exit on their own before forcing it.
+  // them a moment to exit on their own before forcing it.  A shard's
+  // trace dump is written as it exits, so the merge must come after.
   reap_gracefully(shards, 5000);
+  if (!trace_out.empty()) {
+    try {
+      merge_fleet_trace(shards, trace_out, options.quiet);
+    } catch (const std::exception& e) {
+      std::cerr << "defa_fleet: trace merge failed: " << e.what() << "\n";
+    }
+  }
   cleanup_dir(shards, dir);
   return run;
 }
@@ -475,6 +537,11 @@ FleetConfig load_fleet_config(const std::string& path) {
 api::Json FleetReport::to_json() const {
   api::Json j = api::Json::object();
   j["bench"] = "fleet";
+  api::Json meta = api::run_metadata();
+  meta["backend"] = runs.empty() ? std::string() : runs.front().load.backend;
+  meta["policy"] = runs.empty() ? std::string() : runs.front().load.policy;
+  meta["shards"] = runs.empty() ? 0 : runs.front().shard_count;
+  j["meta"] = std::move(meta);
   j["name"] = name;
   j["requests"] = requests;
   api::Json run_array = api::Json::array();
@@ -527,8 +594,8 @@ api::Json FleetReport::to_json() const {
 std::string FleetReport::to_csv() const {
   std::ostringstream csv;
   csv << "shard_count,policy,requests,completed_ok,errors,failovers,"
-         "achieved_qps,p50_ms,p95_ms,p99_ms,context_hit_rate,memo_hit_rate,"
-         "chaos_mode,chaos_lost\n";
+         "achieved_qps,p50_ms,p95_ms,p99_ms,p999_ms,context_hit_rate,"
+         "memo_hit_rate,chaos_mode,chaos_lost\n";
   for (const FleetRunReport& run : runs) {
     const serve::MetricsSnapshot& m = run.load.server_metrics;
     const std::uint64_t memo_total = m.memo_hits + m.memo_misses;
@@ -541,7 +608,8 @@ std::string FleetReport::to_csv() const {
         << run.load.errors << ',' << run.failovers << ','
         << run.load.achieved_qps << ',' << run.load.latency_ms.percentile(50)
         << ',' << run.load.latency_ms.percentile(95) << ','
-        << run.load.latency_ms.percentile(99) << ',' << m.context_hit_rate()
+        << run.load.latency_ms.percentile(99) << ','
+        << run.load.latency_ms.percentile(99.9) << ',' << m.context_hit_rate()
         << ',' << memo_hit_rate << ','
         << (run.chaos.enabled ? run.chaos.mode : std::string("none")) << ','
         << run.chaos.lost << '\n';
@@ -561,14 +629,15 @@ FleetReport run_fleet(const FleetConfig& config,
   }
   report.runs.push_back(run_one(config, config.shards,
                                 options.chaos && config.chaos.enabled,
-                                options.verify && config.verify, options));
+                                options.verify && config.verify, options,
+                                options.trace_out));
   for (const int count : config.shard_sweep) {
     if (!options.quiet) {
       std::cerr << "defa_fleet: sweep run with " << count << " shard(s)\n";
     }
     report.runs.push_back(
         run_one(config, count, /*chaos_enabled=*/false,
-                /*verify_enabled=*/false, options));
+                /*verify_enabled=*/false, options, /*trace_out=*/""));
   }
   return report;
 }

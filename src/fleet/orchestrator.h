@@ -145,6 +145,15 @@ struct OrchestratorOptions {
   bool quiet = false;   ///< silence shard stderr and progress notes
   bool chaos = true;    ///< false overrides config.chaos.enabled
   bool verify = true;   ///< false overrides config.verify
+  /// Non-empty: run the main-run shards with --trace/--trace-out, then
+  /// merge their span dumps with this process's client-side lane into one
+  /// Chrome trace-event file at this path — every process on a
+  /// shard-qualified pid lane of a single timeline (docs/OBSERVABILITY.md).
+  /// Needs `config.load.trace_sample_every > 0` (the pool's client-side
+  /// sampling stamps the trace ids) and the process tracer enabled;
+  /// `defa_fleet --trace-out` sets all three.  Sweep runs are not traced.
+  /// A chaos-killed shard writes no dump and is simply absent.
+  std::string trace_out;
 };
 
 /// Run the whole fleet benchmark: the main `config.shards`-sized run (with

@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/check.h"
+
+namespace defa::obs {
+
+namespace {
+
+/// Thread-local request context (see TraceScope).
+thread_local std::uint64_t t_trace_id = 0;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct Tracer::ThreadLog {
+  std::mutex mu;
+  std::vector<Span> ring;     // capacity slots, written modulo
+  std::uint64_t head = 0;     // monotonic write counter
+  std::size_t capacity = 0;
+  std::uint32_t tid = 0;
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_ring_capacity(std::size_t spans) {
+  DEFA_CHECK(spans > 0, "trace ring capacity must be > 0");
+  capacity_.store(spans, std::memory_order_relaxed);
+}
+
+Tracer::ThreadLog& Tracer::log_for_this_thread() {
+  // One registry hit per thread lifetime; afterwards the shared_ptr in
+  // TLS is the fast path.  The registry keeps a second reference so the
+  // spans of an exited thread survive until collect().
+  thread_local std::shared_ptr<ThreadLog> log = [this] {
+    auto fresh = std::make_shared<ThreadLog>();
+    fresh->capacity = capacity_.load(std::memory_order_relaxed);
+    fresh->ring.reserve(std::min<std::size_t>(fresh->capacity, 256));
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    fresh->tid = next_tid_++;
+    logs_.push_back(fresh);
+    return fresh;
+  }();
+  return *log;
+}
+
+void Tracer::record(Span span) {
+  ThreadLog& log = log_for_this_thread();
+  const std::lock_guard<std::mutex> lock(log.mu);
+  span.tid = log.tid;
+  const std::size_t slot = static_cast<std::size_t>(log.head % log.capacity);
+  if (log.ring.size() < log.capacity) {
+    log.ring.push_back(std::move(span));
+  } else {
+    log.ring[slot] = std::move(span);  // overwrites the oldest span
+  }
+  ++log.head;
+}
+
+std::vector<Span> Tracer::collect(bool clear) {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    logs = logs_;
+  }
+  std::vector<Span> out;
+  for (const std::shared_ptr<ThreadLog>& log : logs) {
+    const std::lock_guard<std::mutex> lock(log->mu);
+    // Oldest-first: when the ring has wrapped, the span at head%capacity
+    // is the oldest surviving one.
+    const std::size_t n = log->ring.size();
+    const std::size_t start =
+        n < log->capacity ? 0 : static_cast<std::size_t>(log->head % log->capacity);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(log->ring[(start + i) % n]);
+    }
+    if (clear) {
+      log->ring.clear();
+      log->head = 0;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    logs = logs_;
+  }
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<ThreadLog>& log : logs) {
+    const std::lock_guard<std::mutex> lock(log->mu);
+    if (log->head > log->ring.size()) total += log->head - log->ring.size();
+  }
+  return total;
+}
+
+void Tracer::clear() { (void)collect(/*clear=*/true); }
+
+std::uint64_t new_trace_id() {
+  // Counter mixed with per-process entropy: ids are unique within a
+  // process and collide across processes with ~2^-64 probability.
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<std::uint64_t> counter{1};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    id = splitmix64(seed ^ counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+std::string trace_id_to_hex(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t trace_id_from_hex(const std::string& hex) {
+  DEFA_CHECK(hex.size() == 16,
+             "trace_id must be 16 hex digits, got '" + hex + "'");
+  std::uint64_t id = 0;
+  for (const char c : hex) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    DEFA_CHECK(digit >= 0, "trace_id must be lowercase hex, got '" + hex + "'");
+    id = (id << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return id;
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+TraceScope::TraceScope(std::uint64_t trace_id) {
+  if (trace_id == 0 || !Tracer::instance().enabled()) return;
+  saved_ = t_trace_id;
+  t_trace_id = trace_id;
+  set_ = true;
+}
+
+TraceScope::~TraceScope() {
+  if (set_) t_trace_id = saved_;
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat) {
+  if (t_trace_id == 0) return;
+  active_ = true;
+  span_.name = name;
+  span_.cat = cat;
+  span_.trace_id = t_trace_id;
+  span_.ts_us = now_us();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, const char* arg_key,
+                       const char* arg_value)
+    : ScopedSpan(name, cat) {
+  if (active_) span_.args.emplace_back(arg_key, arg_value);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, const char* arg_key,
+                       const std::string& arg_value)
+    : ScopedSpan(name, cat) {
+  if (active_) span_.args.emplace_back(arg_key, arg_value);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat, const char* arg_key,
+                       int arg_value)
+    : ScopedSpan(name, cat) {
+  if (active_) span_.args.emplace_back(arg_key, std::to_string(arg_value));
+}
+
+void ScopedSpan::arg(const char* key, std::string value) {
+  if (active_) span_.args.emplace_back(key, std::move(value));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  span_.dur_us = now_us() - span_.ts_us;
+  Tracer::instance().record(std::move(span_));
+}
+
+void record_span(const char* name, const char* cat, std::int64_t ts_us,
+                 std::int64_t dur_us, std::uint64_t trace_id,
+                 std::vector<std::pair<std::string, std::string>> args) {
+  if (trace_id == 0 || !Tracer::instance().enabled()) return;
+  Span span;
+  span.name = name;
+  span.cat = cat;
+  span.ts_us = ts_us;
+  span.dur_us = dur_us < 0 ? 0 : dur_us;
+  span.trace_id = trace_id;
+  span.args = std::move(args);
+  Tracer::instance().record(std::move(span));
+}
+
+void record_instant(const char* name, const char* cat,
+                    std::vector<std::pair<std::string, std::string>> args,
+                    std::uint64_t trace_id) {
+  if (!Tracer::instance().enabled()) return;
+  Span span;
+  span.name = name;
+  span.cat = cat;
+  span.ts_us = now_us();
+  span.dur_us = -1;
+  span.trace_id = trace_id != 0 ? trace_id : t_trace_id;
+  span.args = std::move(args);
+  Tracer::instance().record(std::move(span));
+}
+
+}  // namespace defa::obs

@@ -6,9 +6,12 @@
 #include <thread>
 #include <utility>
 
+#include "api/run_meta.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
+#include "kernels/backend.h"
+#include "obs/trace.h"
 
 namespace defa::serve {
 
@@ -104,6 +107,11 @@ std::vector<Scenario> default_mix() {
 api::Json LoadReport::to_json() const {
   api::Json j = api::Json::object();
   j["bench"] = "serve";
+  api::Json meta = api::run_metadata();
+  meta["backend"] = backend;
+  meta["policy"] = policy;
+  meta["transport"] = transport;
+  j["meta"] = std::move(meta);
   j["mode"] = mode;
   j["policy"] = policy;
   j["transport"] = transport;
@@ -144,6 +152,9 @@ LoadReport run_loadgen(const LoadGenOptions& options) {
   };
   target.transport = "inproc";
   target.policy = policy_name(options.server.policy);
+  target.backend = options.server.engine.backend.empty()
+                       ? kernels::default_backend_name()
+                       : options.server.engine.backend;
   return run_loadgen_against(options, target);
 }
 
@@ -161,6 +172,7 @@ LoadReport run_loadgen_against(const LoadGenOptions& options,
   report.mode = options.mode == LoadGenOptions::Mode::kClosed ? "closed" : "open";
   report.policy = target.policy;
   report.transport = target.transport;
+  report.backend = target.backend;
   report.requests = options.requests;
   report.concurrency =
       options.mode == LoadGenOptions::Mode::kClosed ? options.concurrency : 0;
@@ -180,6 +192,12 @@ LoadReport run_loadgen_against(const LoadGenOptions& options,
     req.request = s.request;
     req.priority = s.priority;
     req.timeout_ms = options.timeout_ms;
+#if DEFA_TRACE
+    if (options.trace_sample_every > 0 &&
+        k % options.trace_sample_every == 0) {
+      req.trace_id = obs::new_trace_id();
+    }
+#endif
     return req;
   };
 

@@ -43,6 +43,13 @@ struct LoadGenOptions {
   double timeout_ms = 0;
   std::uint64_t seed = 1;
 
+  /// > 0 stamps every Nth generated request with a fresh trace id
+  /// (docs/OBSERVABILITY.md): in-process targets record server-side spans
+  /// under it, `--connect` targets additionally propagate it over the
+  /// wire and record the client rpc span, so the two sides correlate.
+  /// Requires the process tracer to be enabled to have any effect.
+  int trace_sample_every = 0;
+
   ServerOptions server;
   /// Traffic mix; empty selects `smoke_mix()`.
   std::vector<Scenario> scenarios;
@@ -62,6 +69,7 @@ struct LoadReport {
   /// How requests reached the scheduler: "inproc" (same-process Server),
   /// or the client transport ("tcp" | "stdio") for `--connect` runs.
   std::string transport = "inproc";
+  std::string backend;  ///< the server's resolved kernel backend name
   int requests = 0;
   int concurrency = 0;
   double offered_qps = 0;  ///< open loop only (0 for closed)
@@ -103,6 +111,7 @@ struct LoadTarget {
   std::function<MetricsSnapshot()> metrics;
   std::string transport = "inproc";  ///< stamped into LoadReport::transport
   std::string policy;                ///< the *server's* dispatch policy name
+  std::string backend;  ///< resolved kernel backend name, for the report meta
 };
 
 /// Drive an arbitrary target with the configured traffic.  Ignores

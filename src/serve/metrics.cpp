@@ -73,6 +73,7 @@ api::Json LatencyHistogram::to_json() const {
   j["p50_ms"] = percentile(50);
   j["p95_ms"] = percentile(95);
   j["p99_ms"] = percentile(99);
+  j["p999_ms"] = percentile(99.9);
   // Raw sparse buckets: [index, count] pairs in index order, zero buckets
   // omitted.  Percentiles of a merged run are recomputed from these.
   j["bucket_lowest_ms"] = kLowestMs;

@@ -52,7 +52,7 @@ class LatencyHistogram {
   [[nodiscard]] static double bucket_lower_ms(int b);
   [[nodiscard]] static double bucket_upper_ms(int b);
 
-  /// {count, mean_ms, sum_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms,
+  /// {count, mean_ms, sum_ms, min_ms, max_ms, p50_ms, p95_ms, p99_ms, p999_ms,
   ///  bucket_lowest_ms, bucket_growth, buckets: [[index, count], ...]}.
   /// `buckets` is sparse (zero buckets omitted) — the raw export makes
   /// histograms mergeable across runs (docs/BENCH_SCHEMA.md).

@@ -9,11 +9,15 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "api/registry.h"
 #include "api/request.h"
 #include "common/check.h"
 #include "fleet/hash_ring.h"
 #include "kernels/backend.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/server_loop.h"
 
 namespace defa::serve {
@@ -78,11 +82,12 @@ ResponseStatus status_for(ErrorCode c) {
 // --------------------------------------------------------------------- frames
 
 api::Json make_request_frame(const std::string& id, const std::string& method,
-                             api::Json params) {
+                             api::Json params, const std::string& trace_id) {
   api::Json j = api::Json::object();
   j["v"] = kProtocolVersion;
   j["id"] = id;
   j["method"] = method;
+  if (!trace_id.empty()) j["trace_id"] = trace_id;
   if (!params.is_null()) j["params"] = std::move(params);
   return j;
 }
@@ -328,11 +333,13 @@ api::Json batch_item_error(ErrorCode code, const std::string& message) {
 
 const char* const kKnownMethods =
     "eval, eval_batch, metrics, backends, experiments, experiment, ping, "
-    "reconfigure, shard_info, drain";
+    "reconfigure, shard_info, trace, drain";
 
 void handle_eval(const std::string& id, const api::Json& params, Server& server,
-                 const std::shared_ptr<SessionState>& state) {
+                 const std::shared_ptr<SessionState>& state,
+                 std::uint64_t trace_id) {
   ServeRequest req = eval_request_from_params(params);
+  req.trace_id = trace_id;
   state->add_pending();
   server.submit_async(std::move(req), [id, state](const ServeResponse& resp) {
     state->write(eval_response_frame(id, resp));
@@ -341,7 +348,8 @@ void handle_eval(const std::string& id, const api::Json& params, Server& server,
 }
 
 void handle_eval_batch(const std::string& id, const api::Json& params,
-                       Server& server, const std::shared_ptr<SessionState>& state) {
+                       Server& server, const std::shared_ptr<SessionState>& state,
+                       std::uint64_t trace_id) {
   DEFA_CHECK(params.is_object(), "protocol: eval_batch params must be an object");
   for (const auto& [key, value] : params.members()) {
     DEFA_CHECK(key == "requests" || key == "priority" || key == "timeout_ms",
@@ -373,6 +381,9 @@ void handle_eval_batch(const std::string& id, const api::Json& params,
     const api::Json& item = reqs.at(i);
     try {
       ServeRequest r = eval_request_from_params(item);
+      // The envelope's trace context covers the whole batch: every item's
+      // spans record under the same id.
+      r.trace_id = trace_id;
       // Batch-level priority/timeout are defaults for items that did not
       // set their own — presence decides, so an explicit "normal" (or an
       // explicit timeout_ms of 0) is honored, not overridden.
@@ -472,6 +483,35 @@ api::Json handle_shard_info(Server& server) {
   return j;
 }
 
+/// The `trace` method: drain the server's span buffer as Chrome
+/// trace-event JSON (docs/OBSERVABILITY.md).  Params: optional
+/// `{"clear": bool}` (default true — each call hands out every span once,
+/// so a client polling after a load run gets exactly that run's spans).
+api::Json handle_trace(const api::Json& params, Server& server) {
+  bool clear = true;
+  if (!params.is_null()) {
+    DEFA_CHECK(params.is_object(), "protocol: trace params must be an object");
+    for (const auto& [key, value] : params.members()) {
+      DEFA_CHECK(key == "clear", "protocol: unknown trace params key '" + key + "'");
+    }
+    if (const api::Json* c = params.find("clear")) clear = c->as_bool();
+  }
+  const ServerOptions opts = server.options_snapshot();
+  std::string process = "defa_serve";
+  if (!opts.shard_name.empty()) process += " " + opts.shard_name;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::uint64_t dropped = tracer.dropped();  // before collect() resets
+  const std::vector<obs::Span> spans = tracer.collect(clear);
+  const int pid = static_cast<int>(::getpid());
+  api::Json j = api::Json::object();
+  j["pid"] = pid;
+  j["process"] = process;
+  j["enabled"] = tracer.enabled();
+  j["dropped"] = static_cast<double>(dropped);
+  j["traceEvents"] = obs::trace_events_json(spans, pid, process);
+  return j;
+}
+
 api::Json handle_backends(Server& server) {
   api::Json j = api::Json::object();
   const ServerOptions opts = server.options_snapshot();
@@ -552,8 +592,16 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
       DEFA_CHECK(frame.is_object(), "frame must be a JSON object");
       if (const api::Json* i = frame.find("id")) id = i->as_string();
       for (const auto& [key, value] : frame.members()) {
-        DEFA_CHECK(key == "v" || key == "id" || key == "method" || key == "params",
+        DEFA_CHECK(key == "v" || key == "id" || key == "method" ||
+                       key == "params" || key == "trace_id",
                    "unknown envelope key '" + key + "'");
+      }
+      // Optional trace context: honored only while this server's tracer
+      // is enabled (tracing is opt-in per process, not client-forced).
+      std::uint64_t trace_id = 0;
+      if (const api::Json* t = frame.find("trace_id")) {
+        trace_id = obs::trace_id_from_hex(t->as_string());
+        if (!obs::Tracer::instance().enabled()) trace_id = 0;
       }
       const api::Json* v = frame.find("v");
       if (v == nullptr || v->as_int() != kProtocolVersion) {
@@ -572,9 +620,14 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
       static const api::Json kNull;
 
       if (method == "eval") {
-        handle_eval(id, params == nullptr ? kNull : *params, server, state);
+        handle_eval(id, params == nullptr ? kNull : *params, server, state,
+                    trace_id);
       } else if (method == "eval_batch") {
-        handle_eval_batch(id, params == nullptr ? kNull : *params, server, state);
+        handle_eval_batch(id, params == nullptr ? kNull : *params, server,
+                          state, trace_id);
+      } else if (method == "trace") {
+        state->write(make_ok_frame(
+            id, handle_trace(params == nullptr ? kNull : *params, server)));
       } else if (method == "metrics") {
         state->write(make_ok_frame(id, server.metrics().to_json()));
       } else if (method == "backends") {

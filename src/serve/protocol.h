@@ -15,9 +15,11 @@
 ///       "error": {"code": "overload", "message": "..."}}
 ///
 /// Methods: `eval`, `eval_batch`, `metrics`, `backends`, `experiments`,
-/// `experiment`, `ping`, `reconfigure`, `shard_info`, `drain`.  Failures
-/// carry typed error codes (`ErrorCode` below) instead of free-form
-/// strings.
+/// `experiment`, `ping`, `reconfigure`, `shard_info`, `trace`, `drain`.
+/// Failures carry typed error codes (`ErrorCode` below) instead of
+/// free-form strings.  Request envelopes may carry an optional
+/// `trace_id` field correlating client- and server-side trace spans
+/// (docs/OBSERVABILITY.md).
 ///
 /// The pre-v1 JSON-lines mode (bare EvalRequest / `{"id", "priority",
 /// "timeout_ms", "request"}` lines answered in arrival order) is preserved
@@ -69,10 +71,15 @@ enum class ErrorCode {
 // --------------------------------------------------------------------- frames
 
 /// `{"v": 1, "id": id, "method": method, "params": params}` (params
-/// omitted when null).
+/// omitted when null).  `trace_id` (16 hex digits, see
+/// docs/OBSERVABILITY.md) is an optional envelope field propagating the
+/// client's trace context — servers that predate it reject the envelope,
+/// so clients only attach it for sampled requests; tracing-enabled servers
+/// record the request's server-side spans under the same id.
 [[nodiscard]] api::Json make_request_frame(const std::string& id,
                                            const std::string& method,
-                                           api::Json params);
+                                           api::Json params,
+                                           const std::string& trace_id = "");
 /// `{"v": 1, "id": id, "ok": true, "result": result}`.
 [[nodiscard]] api::Json make_ok_frame(const std::string& id, api::Json result);
 /// `{"v": 1, "id": id, "ok": false, "error": {"code", "message"}}`.

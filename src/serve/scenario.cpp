@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "api/request.h"
+#include "api/run_meta.h"
 #include "common/check.h"
 #include "kernels/backend.h"
 
@@ -219,6 +220,9 @@ ScenarioFile load_scenario_file(const std::string& path) {
 api::Json SweepReport::to_json() const {
   api::Json j = api::Json::object();
   j["bench"] = "serve_sweep";
+  api::Json meta = api::run_metadata();
+  meta["backend"] = points.empty() ? std::string() : points.front().report.backend;
+  j["meta"] = std::move(meta);
   j["name"] = name;
   j["requests"] = requests;
   // Compact curve rows first: one per (rate, policy), everything a plot
@@ -239,6 +243,7 @@ api::Json SweepReport::to_json() const {
     row["p50_ms"] = pt.report.latency_ms.percentile(50);
     row["p95_ms"] = pt.report.latency_ms.percentile(95);
     row["p99_ms"] = pt.report.latency_ms.percentile(99);
+    row["p999_ms"] = pt.report.latency_ms.percentile(99.9);
     row["queue_p50_ms"] = pt.report.queue_ms.percentile(50);
     row["context_hit_rate"] = m.context_hit_rate();
     row["context_hits"] = static_cast<double>(m.context_hits);
@@ -257,7 +262,7 @@ std::string SweepReport::to_csv() const {
   std::ostringstream csv;
   csv << "rate_qps,policy,mode,concurrency,achieved_qps,completed_ok,"
          "rejected_overload,rejected_deadline,errors,p50_ms,p95_ms,p99_ms,"
-         "queue_p50_ms,context_hit_rate,context_hits,context_misses,"
+         "p999_ms,queue_p50_ms,context_hit_rate,context_hits,context_misses,"
          "context_evictions\n";
   for (const SweepPoint& pt : points) {
     const MetricsSnapshot& m = pt.report.server_metrics;
@@ -268,6 +273,7 @@ std::string SweepReport::to_csv() const {
         << pt.report.errors << ',' << pt.report.latency_ms.percentile(50) << ','
         << pt.report.latency_ms.percentile(95) << ','
         << pt.report.latency_ms.percentile(99) << ','
+        << pt.report.latency_ms.percentile(99.9) << ','
         << pt.report.queue_ms.percentile(50) << ',' << m.context_hit_rate() << ','
         << m.context_hits << ',' << m.context_misses << ','
         << m.context_evictions << '\n';

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace defa::serve {
 
@@ -14,6 +15,14 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(b - a)
       .count();
 }
+
+#if DEFA_TRACE
+std::int64_t us_of(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+#endif
 
 }  // namespace
 
@@ -108,6 +117,18 @@ std::future<ServeResponse> Server::submit_impl(ServeRequest req,
                              std::chrono::duration<double, std::milli>(req.timeout_ms));
   }
   metrics_.on_submitted();
+#if DEFA_TRACE
+  // Server-side sampling: stamp every Nth untraced admission with a fresh
+  // trace id (client-provided ids always win, so cross-process sampling
+  // decisions stay with the client).
+  if (req.trace_id == 0 && options_.trace_sample_every > 0 &&
+      obs::Tracer::instance().enabled()) {
+    const std::uint64_t n = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (n % static_cast<std::uint64_t>(options_.trace_sample_every) == 0) {
+      req.trace_id = obs::new_trace_id();
+    }
+  }
+#endif
 
   std::promise<ServeResponse> promise;
   std::future<ServeResponse> future = promise.get_future();
@@ -273,6 +294,25 @@ void Server::drain_loop() {
 
 void Server::process(Entry entry) {
   const Clock::time_point dispatched = Clock::now();
+#if DEFA_TRACE
+  // Opens the thread-local trace context: every DEFA_TRACE_SPAN below
+  // this frame (engine lookup, kernel phases...) records with this id.
+  const obs::TraceScope trace_scope(entry.req.trace_id);
+  // Emitted once the outcome is known: the request's server-side root
+  // span plus the cross-thread queue-wait span (admission -> dispatch).
+  const auto trace_lifecycle = [&](const ServeResponse& r) {
+    if (!obs::trace_active()) return;
+    obs::record_span("queue", "serve", us_of(entry.admitted),
+                     static_cast<std::int64_t>(r.queue_ms * 1000.0),
+                     entry.req.trace_id);
+    obs::record_span("request", "serve", us_of(entry.admitted),
+                     static_cast<std::int64_t>(r.total_ms * 1000.0),
+                     entry.req.trace_id,
+                     {{"id", entry.req.id},
+                      {"priority", priority_name(entry.req.priority)},
+                      {"status", status_name(r.status)}});
+  };
+#endif
   ServeResponse resp;
   resp.id = entry.req.id;
   resp.dispatch_index = entry.dispatch_index;
@@ -284,13 +324,20 @@ void Server::process(Entry entry) {
                  " ms in queue";
     resp.total_ms = resp.queue_ms;
     metrics_.on_rejected_deadline(resp.queue_ms);
+#if DEFA_TRACE
+    trace_lifecycle(resp);
+#endif
     deliver(entry.promise, entry.callback, std::move(resp));
     finish_one();
     return;
   }
 
   try {
-    api::EvalResult result = engine_.run(entry.req.request);
+    api::EvalResult result;
+    {
+      DEFA_TRACE_SPAN("run", "serve");
+      result = engine_.run(entry.req.request);
+    }
     const Clock::time_point done = Clock::now();
     resp.run_ms = ms_between(dispatched, done);
     resp.total_ms = ms_between(entry.admitted, done);
@@ -304,6 +351,9 @@ void Server::process(Entry entry) {
     resp.total_ms = ms_between(entry.admitted, done);
     metrics_.on_error(resp.queue_ms, resp.run_ms, resp.total_ms);
   }
+#if DEFA_TRACE
+  trace_lifecycle(resp);
+#endif
   deliver(entry.promise, entry.callback, std::move(resp));
   finish_one();
 }

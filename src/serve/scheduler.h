@@ -34,6 +34,7 @@
 ///    dispatch order or scheduling policy.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -87,6 +88,12 @@ struct ServeRequest {
   double timeout_ms = 0;
   /// Absolute deadline; takes precedence over `timeout_ms` when set.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Observability (docs/OBSERVABILITY.md): non-zero marks this request
+  /// sampled for tracing — every span recorded while it is processed
+  /// carries this id, so client- and server-side spans correlate.  Set by
+  /// the client (propagated through the protocol envelope) or stamped at
+  /// admission by the server's own sampler (`trace_sample_every`).
+  std::uint64_t trace_id = 0;
 };
 
 struct ServeResponse {
@@ -131,6 +138,11 @@ struct ServerOptions {
   int shard_count = 0;  ///< fleet size this shard was launched into
   std::string shard_name;
   int ring_virtual_nodes = 64;  ///< must match the routing clients' rings
+  /// Server-side trace sampling: when the tracer is enabled and N > 0,
+  /// every Nth admitted request that did not arrive with a client
+  /// trace_id is stamped with a fresh one (`defa_serve --trace-sample`).
+  /// 0 = only client-traced requests record spans.
+  int trace_sample_every = 0;
 };
 
 /// A live configuration change, applied atomically between dispatches by
@@ -251,6 +263,7 @@ class Server {
   // how many consecutive dispatches it has received.
   std::string affinity_key_;      // guarded by mu_
   int affinity_run_ = 0;          // guarded by mu_
+  std::atomic<std::uint64_t> trace_seq_{0};  ///< trace_sample_every counter
 };
 
 }  // namespace defa::serve

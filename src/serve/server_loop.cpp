@@ -2,7 +2,9 @@
 
 #include <condition_variable>
 #include <deque>
+#include <iostream>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -14,6 +16,44 @@
 #include "serve/protocol.h"
 
 namespace defa::serve {
+
+MetricsEmitter::MetricsEmitter(Server& server, std::ostream& out,
+                               double interval_sec)
+    : server_(server), out_(out), started_(std::chrono::steady_clock::now()) {
+  DEFA_CHECK(interval_sec > 0, "metrics emitter interval must be > 0");
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(interval_sec));
+  ticker_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+      if (cv_.wait_for(lock, interval, [this] { return stopping_; })) return;
+      lock.unlock();
+      emit_line();
+      lock.lock();
+    }
+  });
+}
+
+MetricsEmitter::~MetricsEmitter() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  ticker_.join();
+  emit_line();  // final flush: the drained end-state always lands
+}
+
+void MetricsEmitter::emit_line() {
+  api::Json line = api::Json::object();
+  line["seq"] = static_cast<double>(seq_++);
+  line["uptime_ms"] =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - started_)
+          .count();
+  line["metrics"] = server_.metrics().to_json();
+  out_ << line.dump() << "\n" << std::flush;
+}
 
 ServeRequest serve_request_from_json(const api::Json& j) {
   DEFA_CHECK(j.is_object(), "serve: request line must be a JSON object");
@@ -125,9 +165,17 @@ int run_legacy_session(Connection& conn, Server& server,
 int run_serve_loop(std::istream& in, std::ostream& out,
                    const ServeLoopOptions& options) {
   Server server(options.server);
+  std::unique_ptr<MetricsEmitter> emitter;
+  if (options.metrics_interval_sec > 0) {
+    emitter = std::make_unique<MetricsEmitter>(
+        server, options.metrics_stream != nullptr ? *options.metrics_stream
+                                                  : std::cerr,
+        options.metrics_interval_sec);
+  }
   StreamConnection conn(in, out);
   const SessionResult session = run_serve_connection(conn, server);
   server.drain();  // settle gauges before the final metrics line
+  emitter.reset();  // final metrics line reflects the drained server
 
   if (options.emit_metrics) {
     api::Json m = api::Json::object();

@@ -19,13 +19,43 @@
 /// fails to parse produces a "bad_request" response in its slot; the loop
 /// keeps serving.
 
+#include <chrono>
+#include <condition_variable>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "serve/scheduler.h"
 #include "serve/transport.h"
 
 namespace defa::serve {
+
+/// Periodic metrics reporter for a live server: one
+/// `{"seq", "uptime_ms", "metrics": <MetricsSnapshot>}` JSON line every
+/// `interval_sec`, plus a final line on destruction — so a drain always
+/// flushes the end-state counters even when it lands mid-interval.
+/// `defa_serve --metrics-interval` points `out` at stderr or at
+/// `--metrics-out FILE`.  The server must outlive the emitter.
+class MetricsEmitter {
+ public:
+  MetricsEmitter(Server& server, std::ostream& out, double interval_sec);
+  ~MetricsEmitter();
+  MetricsEmitter(const MetricsEmitter&) = delete;
+  MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+ private:
+  void emit_line();
+
+  Server& server_;
+  std::ostream& out_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point started_;
+  std::thread ticker_;
+};
 
 /// Parse one request line (bare EvalRequest or envelope).  Throws
 /// defa::CheckError on malformed input.
@@ -45,6 +75,10 @@ struct ServeLoopOptions {
   ServerOptions server;
   /// Append a final `{"metrics": ...}` line after EOF.
   bool emit_metrics = false;
+  /// > 0 enables a MetricsEmitter for the loop's lifetime, writing to
+  /// `*metrics_stream` (nullptr = stderr).
+  double metrics_interval_sec = 0;
+  std::ostream* metrics_stream = nullptr;
 };
 
 /// Serve `in` until EOF on a fresh Server, auto-detecting the mode from

@@ -1,0 +1,343 @@
+// Tests for the tracing subsystem (src/obs/): span recording and nesting
+// through TraceScope/ScopedSpan, ring-buffer overflow accounting, trace-id
+// wire form, the Chrome trace-event exporter and multi-process merge, and
+// end-to-end trace_id correlation across a loopback-TCP client/server pair
+// via the protocol `trace` method.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request.h"
+#include "client/client.h"
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/transport.h"
+
+namespace defa::obs {
+namespace {
+
+/// The Tracer is process-global; every test starts from a clean, disabled
+/// tracer with the default ring capacity and leaves it that way.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer& t = Tracer::instance();
+    t.set_enabled(false);
+    t.set_ring_capacity(16384);
+    t.clear();
+  }
+  void TearDown() override {
+    Tracer& t = Tracer::instance();
+    t.set_enabled(false);
+    t.set_ring_capacity(16384);
+    t.clear();
+  }
+};
+
+TEST_F(ObsTest, TraceIdHexRoundTripsAndRejectsMalformed) {
+  const std::uint64_t id = new_trace_id();
+  EXPECT_NE(id, 0u);
+  EXPECT_NE(new_trace_id(), id);  // well-mixed, not a constant
+
+  const std::string hex = trace_id_to_hex(id);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(trace_id_from_hex(hex), id);
+  EXPECT_EQ(trace_id_from_hex("00000000000000ff"), 0xffu);
+
+  EXPECT_THROW((void)trace_id_from_hex(""), CheckError);
+  EXPECT_THROW((void)trace_id_from_hex("abc"), CheckError);
+  EXPECT_THROW((void)trace_id_from_hex("00000000000000FF"), CheckError);
+  EXPECT_THROW((void)trace_id_from_hex("000000000000000g"), CheckError);
+}
+
+TEST_F(ObsTest, ScopedSpansNestAndCarryTheContextTraceId) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  const std::uint64_t id = new_trace_id();
+  {
+    TraceScope scope(id);
+    ASSERT_EQ(current_trace_id(), id);
+    ScopedSpan outer("outer", "test");
+    ASSERT_TRUE(outer.active());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    {
+      ScopedSpan inner("inner", "test", "k", "v");
+      ASSERT_TRUE(inner.active());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+
+  std::vector<Span> spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // collect() sorts by start time: outer opened (measurably) first.
+  ASSERT_EQ(spans[0].name, "outer");
+  ASSERT_EQ(spans[1].name, "inner");
+  const Span& outer = spans[0];
+  const Span& inner = spans[1];
+  for (const Span& s : spans) {
+    EXPECT_EQ(s.trace_id, id);
+    EXPECT_GE(s.dur_us, 0);
+    EXPECT_FALSE(s.is_instant());
+  }
+  EXPECT_EQ(outer.tid, inner.tid);
+  // The inner span is contained in the outer one.
+  EXPECT_GT(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args[0].first, "k");
+  EXPECT_EQ(inner.args[0].second, "v");
+}
+
+TEST_F(ObsTest, SpanSitesAreInertOutsideATraceContext) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span("orphan", "test");  // no TraceScope open
+    EXPECT_FALSE(span.active());
+  }
+  tracer.set_enabled(false);
+  {
+    TraceScope scope(new_trace_id());  // tracer disabled -> scope inert
+    EXPECT_EQ(current_trace_id(), 0u);
+    ScopedSpan span("disabled", "test");
+    EXPECT_FALSE(span.active());
+  }
+  tracer.set_enabled(true);
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST_F(ObsTest, RingOverflowDropsOldestAndCountsDrops) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.set_ring_capacity(8);
+  // Capacity applies to threads that record their first span after the
+  // call, so record from a fresh thread.
+  std::thread recorder([&tracer] {
+    const std::uint64_t id = new_trace_id();
+    TraceScope scope(id);
+    for (int i = 0; i < 20; ++i) {
+      Span s;
+      s.name = "s" + std::to_string(i);
+      s.cat = "test";
+      s.ts_us = 1000 + i;  // deterministic order under the collect() sort
+      s.dur_us = 0;
+      s.trace_id = id;
+      tracer.record(std::move(s));
+    }
+  });
+  recorder.join();
+
+  EXPECT_EQ(tracer.dropped(), 12u);  // 20 recorded, ring holds 8
+  const std::vector<Span> spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 8u);
+  // The survivors are exactly the 8 newest, still in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].name,
+              "s" + std::to_string(12 + i));
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);  // collect(clear=true) reset the counter
+}
+
+TEST_F(ObsTest, InstantEventsRecordWithoutARequestContext) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_enabled(true);
+  record_instant("failover", "pool", {{"shard", "shard1"}});
+  const std::vector<Span> spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].is_instant());
+  EXPECT_EQ(spans[0].name, "failover");
+  EXPECT_EQ(spans[0].trace_id, 0u);
+}
+
+// ------------------------------------------------------------------ exporter
+
+TEST_F(ObsTest, ExportedTraceDocumentRoundTripsThroughStrictParse) {
+  const std::uint64_t id = 0x0123456789abcdefull;
+  std::vector<Span> spans;
+  Span dur;
+  dur.name = "run";
+  dur.cat = "serve";
+  dur.ts_us = 1000;
+  dur.dur_us = 250;
+  dur.trace_id = id;
+  dur.tid = 3;
+  dur.args = {{"benchmark", "tiny"}};
+  spans.push_back(dur);
+  Span instant;
+  instant.name = "failover";
+  instant.cat = "pool";
+  instant.ts_us = 1100;
+  instant.dur_us = -1;
+  spans.push_back(instant);
+
+  const api::Json doc =
+      trace_document(trace_events_json(spans, 42, "defa_test"));
+  // Strict parse of the pretty-printed form: what a trace viewer loads.
+  const api::Json back = api::Json::parse(doc.dump(2));
+  EXPECT_EQ(back.at("displayTimeUnit").as_string(), "ms");
+  const api::Json& events = back.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);  // process_name metadata + the two spans
+
+  const api::Json& meta = events.at(0);
+  EXPECT_EQ(meta.at("ph").as_string(), "M");
+  EXPECT_EQ(meta.at("name").as_string(), "process_name");
+  EXPECT_EQ(meta.at("args").at("name").as_string(), "defa_test");
+
+  const api::Json& x = events.at(1);
+  EXPECT_EQ(x.at("ph").as_string(), "X");
+  EXPECT_EQ(x.at("name").as_string(), "run");
+  EXPECT_EQ(x.at("cat").as_string(), "serve");
+  EXPECT_EQ(x.at("ts").as_int(), 1000);
+  EXPECT_EQ(x.at("dur").as_int(), 250);
+  EXPECT_EQ(x.at("pid").as_int(), 42);
+  EXPECT_EQ(x.at("tid").as_int(), 3);
+  EXPECT_EQ(x.at("args").at("trace_id").as_string(), trace_id_to_hex(id));
+  EXPECT_EQ(x.at("args").at("benchmark").as_string(), "tiny");
+
+  const api::Json& i = events.at(2);
+  EXPECT_EQ(i.at("ph").as_string(), "i");
+  EXPECT_EQ(i.at("s").as_string(), "t");
+  EXPECT_EQ(i.at("args").find("trace_id"), nullptr);  // no request context
+}
+
+TEST_F(ObsTest, MergeRewritesPidsPerProcessLane) {
+  Span s;
+  s.name = "run";
+  s.cat = "serve";
+  s.ts_us = 10;
+  s.dur_us = 5;
+  const api::Json lane_a = trace_events_json({s}, 7, "a");
+  // Lane b arrives in document form, as a shard dump file would.
+  const api::Json lane_b = trace_document(trace_events_json({s}, 7, "b"));
+
+  std::vector<TraceProcess> lanes(2);
+  lanes[0].pid = 1;
+  lanes[0].name = "a";
+  lanes[0].events = lane_a;
+  lanes[1].pid = 2;
+  lanes[1].name = "b";
+  lanes[1].events = lane_b;
+  const api::Json merged = merge_trace_processes(lanes);
+  const api::Json& events = merged.at("traceEvents");
+  std::set<int> pids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    pids.insert(static_cast<int>(events.at(i).at("pid").as_int()));
+  }
+  EXPECT_EQ(pids, (std::set<int>{1, 2}));
+}
+
+// ------------------------------------- loopback TCP trace_id correlation
+//
+// Client and server share this process's Tracer, but the trace_id still
+// crosses a real TCP connection: the client stamps it into the protocol
+// envelope and the server-side session re-opens the context from the wire
+// form — exactly the cross-process path of `defa_loadgen --connect`.
+
+#if DEFA_TRACE
+
+class TraceLoopbackServer {
+ public:
+  TraceLoopbackServer() : listener_(0) {
+    accept_thread_ = std::thread([this] {
+      while (auto conn = listener_.accept()) {
+        std::shared_ptr<serve::Connection> shared = std::move(conn);
+        const std::lock_guard<std::mutex> lock(mu_);
+        conns_.push_back(shared);
+        sessions_.emplace_back([this, shared] {
+          serve::run_serve_connection(*shared, server_, {});
+        });
+      }
+    });
+  }
+
+  ~TraceLoopbackServer() {
+    listener_.close();
+    accept_thread_.join();
+    server_.drain();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      for (auto& c : conns_) c->shutdown();
+    }
+    for (std::thread& t : sessions_) t.join();
+  }
+
+  [[nodiscard]] int port() const { return listener_.port(); }
+
+ private:
+  serve::Server server_;
+  serve::TcpListener listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::shared_ptr<serve::Connection>> conns_;
+  std::vector<std::thread> sessions_;
+};
+
+TEST_F(ObsTest, TraceIdsCorrelateAcrossALoopbackConnection) {
+  Tracer::instance().set_enabled(true);
+  TraceLoopbackServer server;
+  client::Client c = client::Client::connect_tcp("127.0.0.1", server.port());
+
+  std::set<std::string> known_ids;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    serve::ServeRequest req;
+    req.id = "r" + std::to_string(i);
+    req.request.preset = "tiny";
+    req.trace_id = new_trace_id();
+    known_ids.insert(trace_id_to_hex(req.trace_id));
+    futures.push_back(c.submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, serve::ResponseStatus::kOk);
+  }
+
+  // Drain the spans over the wire, like `defa_loadgen --connect` does.
+  const api::Json reply = c.trace();
+  EXPECT_TRUE(reply.at("enabled").as_bool());
+  const api::Json& events = reply.at("traceEvents");
+
+  std::set<std::string> server_ids;   // ids seen on serve/engine spans
+  std::set<std::string> client_ids;   // ids seen on client rpc spans
+  std::set<std::string> server_cats;  // span taxonomy reached per request
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const api::Json& e = events.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    const api::Json* tid = e.at("args").find("trace_id");
+    if (tid == nullptr) continue;
+    const std::string hex = tid->as_string();
+    // Every traced span belongs to a request this test issued.
+    EXPECT_TRUE(known_ids.count(hex)) << e.at("name").as_string();
+    const std::string cat = e.at("cat").as_string();
+    if (cat == "client") {
+      client_ids.insert(hex);
+    } else {
+      server_ids.insert(hex);
+      server_cats.insert(cat);
+    }
+  }
+  // Every request produced both a client-side rpc span and server-side
+  // work spans, joined by the id that crossed the wire.
+  EXPECT_EQ(client_ids, known_ids);
+  EXPECT_EQ(server_ids, known_ids);
+  EXPECT_TRUE(server_cats.count("serve"));
+  EXPECT_TRUE(server_cats.count("engine"));
+}
+
+#endif  // DEFA_TRACE
+
+}  // namespace
+}  // namespace defa::obs

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validate a DEFA trace dump (Chrome trace-event JSON).
+
+    python3 tools/check_trace.py trace.json [--attribution 0.95]
+
+Checks, in order (docs/OBSERVABILITY.md):
+  * document shape: the object form with a `traceEvents` array; every
+    event carries `name`/`ph`/`pid`/`tid` (+ `ts`, and `dur` for "X");
+    every `args.trace_id` is 16 lowercase hex digits;
+  * span sanity: non-negative durations, and every traced server-side
+    span contained in its request's `request` span (same pid + trace_id,
+    small tolerance for microsecond rounding);
+  * correlation: when a client lane is present (any `rpc` span), every
+    trace_id seen on a server-side span also appears on a client `rpc`
+    span — the ids really joined across the wire;
+  * attribution (with --attribution F): for every traced `request` span,
+    the union of its named child spans covers at least fraction F of its
+    duration — the taxonomy accounts for where server time goes.
+    Requests shorter than --min-request-us (default 200) are skipped:
+    the fixed few-microsecond dispatch handoff between the `queue` and
+    `run` spans dominates a memo-hit request's total, and measuring it
+    as "unattributed" would say nothing about the taxonomy.
+
+Exits nonzero listing every violation. Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+SERVER_CATS = {"serve", "engine", "kernel"}
+# Microsecond-rounding slack for containment checks.
+SLACK_US = 10
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def load_events(path, errors):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(errors, f"{path}: unreadable or not JSON: {e}")
+        return []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(errors, f"{path}: not the object form with a traceEvents array")
+        return []
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(errors, f"{path}: traceEvents is not an array")
+        return []
+    return events
+
+
+def check_schema(events, errors):
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for key, types in (("name", str), ("ph", str), ("pid", (int, float)),
+                           ("tid", (int, float))):
+            if not isinstance(e.get(key), types):
+                fail(errors, f"{where}: missing or mistyped '{key}'")
+        ph = e.get("ph")
+        if ph not in ("M", "X", "i"):
+            fail(errors, f"{where}: unexpected ph {ph!r}")
+            continue
+        if ph != "M":
+            if not isinstance(e.get("ts"), (int, float)):
+                fail(errors, f"{where}: missing or mistyped 'ts'")
+            if ph == "X":
+                dur = e.get("dur")
+                if not isinstance(dur, (int, float)):
+                    fail(errors, f"{where}: X event without numeric 'dur'")
+                elif dur < 0:
+                    fail(errors, f"{where}: negative duration {dur}")
+        args = e.get("args", {})
+        if not isinstance(args, dict):
+            fail(errors, f"{where}: 'args' is not an object")
+            continue
+        tid = args.get("trace_id")
+        if tid is not None and not (isinstance(tid, str) and TRACE_ID_RE.match(tid)):
+            fail(errors, f"{where}: malformed trace_id {tid!r}")
+
+
+def spans_of(events):
+    """Well-formed X events (schema violations are reported separately)."""
+    out = []
+    for e in events:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        if not isinstance(e.get("ts"), (int, float)):
+            continue
+        if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+            continue
+        out.append(e)
+    return out
+
+
+def trace_id_of(e):
+    args = e.get("args")
+    tid = args.get("trace_id") if isinstance(args, dict) else None
+    return tid if isinstance(tid, str) and TRACE_ID_RE.match(tid) else None
+
+
+def check_containment(spans, errors):
+    """Every traced server-side span sits inside its request span."""
+    requests = {}  # (pid, trace_id) -> list of request spans
+    for e in spans:
+        tid = trace_id_of(e)
+        if tid and e["name"] == "request":
+            requests.setdefault((e["pid"], tid), []).append(e)
+    for e in spans:
+        tid = trace_id_of(e)
+        if tid is None or e["name"] == "request":
+            continue
+        if e.get("cat") not in SERVER_CATS:
+            continue  # client rpc spans legitimately start before admission
+        key = (e["pid"], tid)
+        if key not in requests:
+            continue  # partial dump (e.g. request span lost to ring overflow)
+        contained = any(
+            e["ts"] >= r["ts"] - SLACK_US
+            and e["ts"] + e["dur"] <= r["ts"] + r["dur"] + SLACK_US
+            for r in requests[key])
+        if not contained:
+            fail(errors,
+                 f"span '{e['name']}' (trace_id {tid}, pid {e['pid']}) "
+                 f"[{e['ts']}, {e['ts'] + e['dur']}] escapes its request span")
+    return requests
+
+
+def check_correlation(spans, errors):
+    client_ids = {trace_id_of(e) for e in spans
+                  if e.get("cat") == "client"} - {None}
+    if not client_ids:
+        return  # single-process dump: nothing to correlate
+    server_ids = {trace_id_of(e) for e in spans
+                  if e.get("cat") in SERVER_CATS} - {None}
+    for tid in sorted(server_ids - client_ids):
+        fail(errors, f"server span trace_id {tid} unknown to any client rpc span")
+
+
+def union_us(intervals):
+    total = 0
+    last_end = None
+    for start, end in sorted(intervals):
+        if last_end is None or start > last_end:
+            total += end - start
+            last_end = end
+        elif end > last_end:
+            total += end - last_end
+            last_end = end
+    return total
+
+
+def check_attribution(spans, requests, threshold, min_request_us, errors):
+    checked = 0
+    worst = 1.0
+    for (pid, tid), reqs in requests.items():
+        children = [
+            e for e in spans
+            if trace_id_of(e) == tid and e["pid"] == pid
+            and e["name"] != "request" and e.get("cat") in SERVER_CATS
+        ]
+        for r in reqs:
+            if r["dur"] < min_request_us:
+                continue
+            lo, hi = r["ts"], r["ts"] + r["dur"]
+            covered = union_us(
+                (max(lo, e["ts"]), min(hi, e["ts"] + e["dur"]))
+                for e in children
+                if e["ts"] + e["dur"] > lo and e["ts"] < hi)
+            frac = covered / r["dur"]
+            checked += 1
+            worst = min(worst, frac)
+            if frac < threshold:
+                fail(errors,
+                     f"request {tid} (pid {pid}): named child spans cover "
+                     f"{100 * frac:.1f}% of {r['dur']}us < "
+                     f"{100 * threshold:.0f}%")
+    return checked, worst
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSON file")
+    parser.add_argument("--attribution", type=float, default=None,
+                        metavar="FRACTION",
+                        help="require named child spans to cover this "
+                             "fraction of every traced request span")
+    parser.add_argument("--min-request-us", type=int, default=200,
+                        help="skip attribution for request spans shorter "
+                             "than this (fixed dispatch-handoff overhead "
+                             "dominates micro requests)")
+    opts = parser.parse_args()
+
+    errors = []
+    events = load_events(opts.trace, errors)
+    check_schema(events, errors)
+    spans = spans_of(events)
+    requests = check_containment(spans, errors)
+    check_correlation(spans, errors)
+
+    summary = (f"{opts.trace}: {len(events)} events, {len(spans)} spans, "
+               f"{len(requests)} traced requests")
+    if opts.attribution is not None:
+        if not requests:
+            fail(errors, f"{opts.trace}: --attribution given but no traced "
+                         "request spans found")
+        checked, worst = check_attribution(spans, requests, opts.attribution,
+                                           opts.min_request_us, errors)
+        summary += f", attribution worst-case {100 * worst:.1f}% ({checked} checked)"
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        print(f"{len(errors)} violation(s) in {opts.trace}", file=sys.stderr)
+        return 1
+    print(f"ok: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,14 @@
 //
 //   defa_fleet --config FILE [--serve-bin PATH] [--out FILE] [--shards N]
 //              [--no-chaos] [--no-verify] [--quiet]
+//              [--trace-sample N] [--trace-out FILE]
+//
+// --trace-out runs the main-run shards with tracing on and merges their
+// span dumps plus this process's client-side spans into one Chrome
+// trace-event file — every shard a lane on a single timeline, spans
+// joined across processes by trace_id (docs/OBSERVABILITY.md).
+// --trace-sample N sets the client-side sampling stride (default 1 with
+// --trace-out).
 //
 // Reads a declarative fleet config (docs/FLEET.md), spawns N defa_serve
 // shard processes on ephemeral ports, routes the configured load mix
@@ -24,13 +32,14 @@
 #include <string>
 
 #include "fleet/orchestrator.h"
+#include "obs/trace.h"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: defa_fleet --config FILE [--serve-bin PATH] [--out FILE]\n"
             << "                  [--shards N] [--no-chaos] [--no-verify]\n"
-            << "                  [--quiet]\n";
+            << "                  [--quiet] [--trace-sample N] [--trace-out FILE]\n";
   return 2;
 }
 
@@ -50,6 +59,7 @@ int main(int argc, char** argv) try {
   std::string out_path = "BENCH_fleet.json";
   defa::fleet::OrchestratorOptions options;
   int shards_override = 0;
+  int trace_sample = 0;
   // Default the shard binary to defa_serve next to this binary, so
   // "./build/defa_fleet ..." works from any cwd.
   {
@@ -85,6 +95,18 @@ int main(int argc, char** argv) try {
         std::cerr << "--shards must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--trace-sample") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      trace_sample = std::stoi(v);
+      if (trace_sample <= 0) {
+        std::cerr << "--trace-sample N must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.trace_out = v;
     } else if (arg == "--no-chaos") {
       options.chaos = false;
     } else if (arg == "--no-verify") {
@@ -103,6 +125,13 @@ int main(int argc, char** argv) try {
 
   defa::fleet::FleetConfig config = defa::fleet::load_fleet_config(config_path);
   if (shards_override > 0) config.shards = shards_override;
+  if (!options.trace_out.empty()) {
+    // Client-side sampling drives the cross-process correlation: sampled
+    // requests carry their id over the wire and the traced shards record
+    // under it.
+    config.load.trace_sample_every = trace_sample > 0 ? trace_sample : 1;
+    defa::obs::Tracer::instance().set_enabled(true);
+  }
 
   const defa::fleet::FleetReport report =
       defa::fleet::run_fleet(config, options);

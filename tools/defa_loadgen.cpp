@@ -7,6 +7,15 @@
 //                [--policy fifo|locality] [--locality-window N]
 //                [--max-contexts N] [--max-memo N] [--no-memo]
 //                [--backend NAME] [--out FILE] [--smoke] [--quiet]
+//                [--trace-sample N] [--trace-out FILE]
+//
+// Tracing (docs/OBSERVABILITY.md): --trace-sample N stamps every Nth
+// generated request with a trace id; --trace-out FILE writes the recorded
+// spans as Chrome trace-event JSON after the run (defaults the sample
+// rate to 1 when not given).  In-process runs produce one process lane;
+// --connect runs additionally pull the server's spans over the protocol
+// `trace` method (the server must run with --trace) and merge both lanes
+// into a single timeline, client and server spans joined by trace_id.
 //
 // Drives a serve::Server with a weighted scenario mix and prints a
 // latency/throughput summary; --out writes the full report (raw latency
@@ -50,7 +59,11 @@
 #include "client/client.h"
 #include "client/remote_loadgen.h"
 #include "kernels/backend.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/scenario.h"
+
+#include <unistd.h>
 
 namespace {
 
@@ -62,7 +75,8 @@ int usage() {
       << "                    [--mix smoke|default] [--workers N] [--queue-capacity N]\n"
       << "                    [--policy fifo|locality] [--locality-window N]\n"
       << "                    [--max-contexts N] [--max-memo N] [--no-memo]\n"
-      << "                    [--backend NAME] [--out FILE] [--smoke] [--quiet]\n";
+      << "                    [--backend NAME] [--out FILE] [--smoke] [--quiet]\n"
+      << "                    [--trace-sample N] [--trace-out FILE]\n";
   return 2;
 }
 
@@ -81,7 +95,8 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
       << "achieved        " << r.achieved_qps << " qps\n"
       << "latency (ms)    p50 " << r.latency_ms.percentile(50) << "   p95 "
       << r.latency_ms.percentile(95) << "   p99 " << r.latency_ms.percentile(99)
-      << "   max " << r.latency_ms.max() << "\n"
+      << "   p99.9 " << r.latency_ms.percentile(99.9) << "   max "
+      << r.latency_ms.max() << "\n"
       << "queue wait (ms) p50 " << r.queue_ms.percentile(50) << "   p99 "
       << r.queue_ms.percentile(99) << "\n"
       << "context cache   hit rate " << r.server_metrics.context_hit_rate()
@@ -117,6 +132,7 @@ void print_sweep_summary(const defa::serve::SweepReport& r, std::ostream& out) {
 int main(int argc, char** argv) try {
   defa::serve::ScenarioFile scenario;  // .base drives single runs
   std::string out_path;
+  std::string trace_out_path;
   std::string connect_endpoint;  // --connect: drive a remote defa_serve
   std::string mix = "smoke";
   bool have_scenario_file = false;
@@ -215,6 +231,16 @@ int main(int argc, char** argv) try {
     } else if (arg == "--out") {
       if ((v = value()) == nullptr) return usage();
       out_path = v;
+    } else if (arg == "--trace-sample") {
+      if ((v = value()) == nullptr) return usage();
+      options.trace_sample_every = std::stoi(v);
+      if (options.trace_sample_every <= 0) {
+        std::cerr << "--trace-sample N must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--trace-out") {
+      if ((v = value()) == nullptr) return usage();
+      trace_out_path = v;
     } else if (arg == "--smoke") {
       options.mode = defa::serve::LoadGenOptions::Mode::kClosed;
       options.requests = 64;
@@ -259,7 +285,18 @@ int main(int argc, char** argv) try {
     }
   }
 
+  if (!trace_out_path.empty() && scenario.base.trace_sample_every <= 0) {
+    scenario.base.trace_sample_every = 1;  // a trace dump implies sampling
+  }
+  if (scenario.base.trace_sample_every > 0) {
+    defa::obs::Tracer::instance().set_enabled(true);
+  }
+
   if (sweep) {
+    if (!trace_out_path.empty()) {
+      std::cerr << "--trace-out applies to single runs, not --sweep\n";
+      return 2;
+    }
     if (!scenario.has_sweep) {
       std::cerr << "--sweep needs a --scenario file with a \"sweep\" block\n";
       return 2;
@@ -300,6 +337,7 @@ int main(int argc, char** argv) try {
   }
 
   defa::serve::LoadReport report;
+  defa::api::Json server_trace;  // null unless fetched over the wire
   if (!connect_endpoint.empty()) {
     if (have_scenario_file && !quiet) {
       std::cerr << "note: --connect ignores the scenario file's \"server\" "
@@ -307,6 +345,7 @@ int main(int argc, char** argv) try {
     }
     defa::client::Client client = defa::client::Client::connect(connect_endpoint);
     report = defa::client::run_remote_loadgen(scenario.base, client);
+    if (!trace_out_path.empty()) server_trace = client.trace();
   } else {
     report = defa::serve::run_loadgen(scenario.base);
   }
@@ -314,6 +353,28 @@ int main(int argc, char** argv) try {
   if (!out_path.empty()) {
     defa::api::write_json_file(out_path, report.to_json());
     if (!quiet) std::cout << "wrote " << out_path << "\n";
+  }
+  if (!trace_out_path.empty()) {
+    // One lane for this process; --connect adds the server's lane, spans
+    // joined by trace_id on the shared monotonic timeline.
+    std::vector<defa::obs::TraceProcess> lanes;
+    defa::obs::TraceProcess own;
+    own.pid = static_cast<int>(::getpid());
+    own.name = connect_endpoint.empty() ? "defa_loadgen (inproc server)"
+                                        : "defa_loadgen";
+    own.events = defa::obs::trace_events_json(
+        defa::obs::Tracer::instance().collect(), own.pid, own.name);
+    lanes.push_back(std::move(own));
+    if (!server_trace.is_null()) {
+      defa::obs::TraceProcess srv;
+      srv.pid = static_cast<int>(server_trace.at("pid").as_int());
+      srv.name = server_trace.at("process").as_string();
+      srv.events = server_trace.at("traceEvents");
+      lanes.push_back(std::move(srv));
+    }
+    defa::obs::write_trace_file(trace_out_path,
+                                defa::obs::merge_trace_processes(lanes));
+    if (!quiet) std::cout << "wrote " << trace_out_path << "\n";
   }
   // Traffic that never completed anything signals a broken setup to CI.
   return report.completed_ok > 0 ? 0 : 1;

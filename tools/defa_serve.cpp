@@ -4,8 +4,19 @@
 //              [--workers N] [--queue-capacity N] [--policy fifo|locality]
 //              [--locality-window N] [--max-contexts N] [--max-memo N]
 //              [--no-memo] [--backend NAME] [--metrics]
+//              [--metrics-interval SEC] [--metrics-out FILE]
+//              [--trace] [--trace-sample N] [--trace-out FILE]
 //              [--shard-id N] [--shard-count N] [--shard-name NAME]
 //              [--virtual-nodes N]
+//
+// Observability (docs/OBSERVABILITY.md): --metrics-interval emits one
+// MetricsSnapshot JSON line per interval to stderr (or --metrics-out
+// FILE), with a final line flushed on drain.  --trace enables the span
+// recorder (client-sampled requests are honored); --trace-sample N
+// additionally self-samples every Nth untraced admission; --trace-out
+// FILE dumps the recorded spans as Chrome trace-event JSON at exit
+// (implies --trace).  Clients can also pull spans live via the protocol
+// `trace` method.
 //
 // The --shard-* flags stamp a fleet identity (docs/FLEET.md) onto the
 // server, reported by the protocol `shard_info` method; scheduling itself
@@ -44,9 +55,13 @@
 #include <vector>
 
 #include "kernels/backend.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/server_loop.h"
 #include "serve/transport.h"
+
+#include <unistd.h>
 
 namespace {
 
@@ -56,7 +71,10 @@ int usage() {
             << "                  [--queue-capacity N] [--policy fifo|locality]\n"
             << "                  [--locality-window N] [--max-contexts N]\n"
             << "                  [--max-memo N] [--no-memo] [--backend NAME]\n"
-            << "                  [--metrics] [--shard-id N] [--shard-count N]\n"
+            << "                  [--metrics] [--metrics-interval SEC]\n"
+            << "                  [--metrics-out FILE] [--trace]\n"
+            << "                  [--trace-sample N] [--trace-out FILE]\n"
+            << "                  [--shard-id N] [--shard-count N]\n"
             << "                  [--shard-name NAME] [--virtual-nodes N]\n";
   return 2;
 }
@@ -73,6 +91,13 @@ extern "C" void handle_term_signal(int) {
 int run_listen(int port, const std::string& port_file,
                const defa::serve::ServeLoopOptions& options) {
   defa::serve::Server server(options.server);
+  std::unique_ptr<defa::serve::MetricsEmitter> emitter;
+  if (options.metrics_interval_sec > 0) {
+    emitter = std::make_unique<defa::serve::MetricsEmitter>(
+        server,
+        options.metrics_stream != nullptr ? *options.metrics_stream : std::cerr,
+        options.metrics_interval_sec);
+  }
   defa::serve::TcpListener listener(port);
   g_listener.store(&listener, std::memory_order_release);
   std::signal(SIGTERM, handle_term_signal);
@@ -153,6 +178,7 @@ int run_listen(int port, const std::string& port_file,
   for (std::thread& t : to_join) t.join();
   reap();  // sessions that self-retired between collection and join
   g_listener.store(nullptr, std::memory_order_release);
+  emitter.reset();  // final metrics line reflects the drained server
 
   if (options.emit_metrics) {
     defa::api::Json m = defa::api::Json::object();
@@ -168,6 +194,8 @@ int run_listen(int port, const std::string& port_file,
 
 int main(int argc, char** argv) try {
   std::string in_path, out_path, port_file;
+  std::string metrics_out_path, trace_out_path;
+  bool trace = false;
   int listen_port = -1;  // -1 = stdio mode
   defa::serve::ServeLoopOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -253,6 +281,34 @@ int main(int argc, char** argv) try {
       options.server.ring_virtual_nodes = std::stoi(v);
     } else if (arg == "--metrics") {
       options.emit_metrics = true;
+    } else if (arg == "--metrics-interval") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.metrics_interval_sec = std::stod(v);
+      if (options.metrics_interval_sec <= 0) {
+        std::cerr << "--metrics-interval SEC must be > 0\n";
+        return 2;
+      }
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      metrics_out_path = v;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-sample") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.server.trace_sample_every = std::stoi(v);
+      if (options.server.trace_sample_every <= 0) {
+        std::cerr << "--trace-sample N must be > 0\n";
+        return 2;
+      }
+      trace = true;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      trace_out_path = v;
+      trace = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -262,12 +318,48 @@ int main(int argc, char** argv) try {
     }
   }
 
+  if (trace) defa::obs::Tracer::instance().set_enabled(true);
+
+  std::ofstream metrics_file;
+  if (!metrics_out_path.empty()) {
+    if (options.metrics_interval_sec <= 0) {
+      std::cerr << "--metrics-out requires --metrics-interval SEC\n";
+      return 2;
+    }
+    metrics_file.open(metrics_out_path);
+    if (!metrics_file.good()) {
+      std::cerr << "error: cannot open '" << metrics_out_path << "' for writing\n";
+      return 1;
+    }
+    options.metrics_stream = &metrics_file;
+  }
+
+  // The tracer is process-global, so the dump works the same for both
+  // wire modes; spans recorded by any session land in one file.
+  const auto dump_trace = [&] {
+    if (trace_out_path.empty()) return;
+    const std::vector<defa::obs::Span> spans =
+        defa::obs::Tracer::instance().collect();
+    std::string process = "defa_serve";
+    if (!options.server.shard_name.empty()) {
+      process += " " + options.server.shard_name;
+    }
+    defa::obs::write_trace_file(
+        trace_out_path,
+        defa::obs::trace_document(defa::obs::trace_events_json(
+            spans, static_cast<int>(::getpid()), process)));
+    std::cerr << "defa_serve: wrote " << spans.size() << " trace event(s) to "
+              << trace_out_path << "\n";
+  };
+
   if (listen_port >= 0) {
     if (!in_path.empty() || !out_path.empty()) {
       std::cerr << "--listen serves TCP clients; --in/--out apply to stdio mode\n";
       return 2;
     }
-    return run_listen(listen_port, port_file, options);
+    const int rc = run_listen(listen_port, port_file, options);
+    dump_trace();
+    return rc;
   }
 
   std::ifstream in_file;
@@ -291,6 +383,7 @@ int main(int argc, char** argv) try {
       in_path.empty() ? std::cin : in_file, out_path.empty() ? std::cout : out_file,
       options);
   if (bad > 0) std::cerr << bad << " malformed request line(s)\n";
+  dump_trace();
   return 0;
 } catch (const std::exception& e) {
   // Also covers std::stoi/stoul on malformed flag values.
