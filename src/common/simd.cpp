@@ -1,0 +1,63 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+
+namespace defa::simd {
+
+const char* isa_name(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kNeon: return "neon";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kScalar: break;
+  }
+  return "scalar";
+}
+
+bool cpu_supports(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      // Advanced SIMD is architecturally mandatory on AArch64; on 32-bit
+      // ARM trust the compile-time baseline (no portable runtime probe).
+#if defined(__aarch64__) || defined(__ARM_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa best_cpu_isa() noexcept {
+  if (cpu_supports(Isa::kAvx2)) return Isa::kAvx2;
+  if (cpu_supports(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+IsaRequest requested_isa() {
+  IsaRequest req;
+  const char* env = std::getenv("DEFA_SIMD");
+  if (env == nullptr || *env == '\0') return req;
+  req.raw = env;
+  if (req.raw == "auto") return req;
+  req.forced = true;
+  if (req.raw == "scalar") {
+    req.isa = Isa::kScalar;
+  } else if (req.raw == "neon") {
+    req.isa = Isa::kNeon;
+  } else if (req.raw == "avx2") {
+    req.isa = Isa::kAvx2;
+  } else {
+    req.valid = false;
+  }
+  return req;
+}
+
+}  // namespace defa::simd

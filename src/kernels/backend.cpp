@@ -19,6 +19,8 @@ RegistryState& state() {
     auto* st = new RegistryState;
     st->backends.push_back(detail::make_reference_backend());
     st->backends.push_back(detail::make_fused_backend());
+    st->backends.push_back(detail::make_simd_backend());
+    st->backends.push_back(detail::make_tiled_backend());
     return st;
   }();
   return *s;

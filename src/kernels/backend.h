@@ -12,7 +12,7 @@
 /// or adding new ones (threaded-tile, INTn fast paths, GPU offload) —
 /// never touches the callers.
 ///
-/// Two backends ship built in:
+/// Four backends ship built in:
 ///  * `reference` — bit-identical to the historical scalar code paths
 ///    (nn::matmul/linear/softmax_lastdim and the pre-refactor core/msgs
 ///    loops).  The correctness anchor.
@@ -21,9 +21,17 @@
 ///    value-buffer offsets), skips PAP-pruned points with one predictable
 ///    branch and zero arithmetic, and keeps a compile-time-`d_head`
 ///    register accumulator tile so the per-point channel loop is a
-///    branchless, vectorizable gather.  Produces bit-identical results to
-///    `reference` in fp32 and on the INTn datapath (enforced by
-///    tests/test_kernels.cpp).
+///    branchless, vectorizable gather.
+///  * `simd` — explicit vectorization of the fused hot loop: AVX2 / NEON
+///    intrinsics selected by runtime ISA dispatch (src/common/simd.h) with
+///    a portable scalar fallback, including a vector INTn quantized path.
+///  * `tiled` — intra-request parallelism: per-level work lists executed
+///    on the shared `defa::ThreadPool` inside one run_msgs call, with a
+///    deterministic per-query reduction so one large request saturates
+///    the machine without changing a single output bit.
+/// All are bit-identical to `reference` in fp32 and exactly equal on the
+/// INTn datapath (enforced by tests/test_kernels.cpp and the differential
+/// harness in tests/test_backend_differential.cpp).
 ///
 /// The contract every backend must honor (docs/KERNELS.md):
 ///  * deterministic — results are a pure function of the inputs;
@@ -69,6 +77,14 @@ class Backend {
   /// Does run_msgs consume `MsgsSpec::plan`?  Callers that cache plans
   /// (EncoderPipeline) skip building them for backends that don't.
   [[nodiscard]] virtual bool wants_plan() const noexcept { return false; }
+
+  /// Empty when the backend can run on this host right now; otherwise a
+  /// human-readable reason it cannot (e.g. "DEFA_SIMD=avx2 but the CPU
+  /// lacks AVX2").  Registration is unconditional — the registry describes
+  /// what the binary *contains* — so measurement tools (the microbench
+  /// backend matrix) skip unavailable backends with the reason instead of
+  /// erroring, and `run_msgs` rejects them with the same message.
+  [[nodiscard]] virtual std::string unavailable_reason() const { return {}; }
 
   /// C = A (MxK) * B (KxN).
   [[nodiscard]] virtual Tensor matmul(const Tensor& a, const Tensor& b) const = 0;
@@ -121,6 +137,8 @@ namespace detail {
 /// Factories implemented by the built-in backend translation units.
 [[nodiscard]] std::unique_ptr<Backend> make_reference_backend();
 [[nodiscard]] std::unique_ptr<Backend> make_fused_backend();
+[[nodiscard]] std::unique_ptr<Backend> make_simd_backend();
+[[nodiscard]] std::unique_ptr<Backend> make_tiled_backend();
 }  // namespace detail
 
 }  // namespace defa::kernels

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file simd_kernels.h
+/// Internal interface between the `simd` backend and its per-ISA kernel
+/// translation units.  Not part of the public kernels API.
+///
+/// Each ISA tier implements the same two entry points — the fp32 and the
+/// INTn fused MSGS + aggregation loops over a `SamplingPlan` — against the
+/// flat argument views below.  The AVX2 tier lives in its own TU
+/// (simd_avx2.cpp) so it can be compiled with `-mavx2` without raising the
+/// ISA floor of the rest of the binary; whether that TU contains real
+/// kernels or stubs is reported by `*_compiled()` and decided by the
+/// `DEFA_KERNELS_SIMD` CMake knob.  The scalar tier (simd_backend.cpp) is
+/// the always-available portable fallback and the semantic model the
+/// vector tiers must match bit-for-bit.
+///
+/// Bit-exactness rule for implementers: every lane must execute exactly
+/// the scalar operation chain — `nn::bi_horner` for fp32,
+/// `quant::bi_horner_int` / `quant::ag_weight_int` for INTn — on the same
+/// operands in the same order.  Elementwise vector mul/add are IEEE-754
+/// identical to their scalar forms, so vectorizing across *channels* is
+/// safe; reassociating across *points* is not.
+
+#include <cstdint>
+
+#include "config/model_config.h"
+#include "prune/masks.h"
+
+namespace defa::kernels {
+
+class SamplingPlan;
+
+namespace simd_detail {
+
+/// Flat argument view of one fp32 fused MSGS + aggregation call.
+struct Fp32Args {
+  const ModelConfig* m = nullptr;
+  const float* values = nullptr;        ///< (N_in x D) row-major
+  const float* probs = nullptr;         ///< (N, H, L*P) row-major
+  const SamplingPlan* plan = nullptr;   ///< matches `m`, built from the locs
+  const prune::PointMask* mask = nullptr;  ///< nullable
+  float* out = nullptr;                 ///< (N, D), zero-initialized
+};
+
+/// Flat argument view of one INTn fused MSGS + aggregation call.  The
+/// caller quantizes values once (QTensor) and passes the code buffer.
+struct QuantArgs {
+  const ModelConfig* m = nullptr;
+  const std::int16_t* codes = nullptr;  ///< INTn value codes, (N_in x D)
+  const float* probs = nullptr;
+  const SamplingPlan* plan = nullptr;
+  const prune::PointMask* mask = nullptr;
+  float* out = nullptr;
+  float out_scale = 1.0f;               ///< value-code scale for the output
+  int frac_bits = 12;                   ///< t0/t1 and probability width
+};
+
+// ---- scalar tier (simd_backend.cpp; always compiled) ----------------------
+void run_fp32_scalar(const Fp32Args& a);
+void run_quant_scalar(const QuantArgs& a);
+
+// ---- AVX2 tier (simd_avx2.cpp; real iff avx2_compiled()) ------------------
+[[nodiscard]] bool avx2_compiled() noexcept;
+void run_fp32_avx2(const Fp32Args& a);
+void run_quant_avx2(const QuantArgs& a);
+
+// ---- NEON tier (simd_neon.cpp; real iff neon_compiled()) ------------------
+[[nodiscard]] bool neon_compiled() noexcept;
+void run_fp32_neon(const Fp32Args& a);
+void run_quant_neon(const QuantArgs& a);
+
+/// Largest `act_bits + frac_bits` for which the vectorized INTn path's
+/// int32 intermediates provably cannot overflow (|bi| <= 9*2^(act_bits-1),
+/// times a Q0.frac probability plus the rounding half must stay under
+/// 2^31).  Wider configurations fall back to the scalar tier, which does
+/// its fraction multiplies in int64 like the reference backend.
+inline constexpr int kMaxVectorQuantBits = 28;
+
+}  // namespace simd_detail
+}  // namespace defa::kernels
