@@ -911,6 +911,137 @@ Json run_tiled_scaling(std::ostream& os) {
   return out;
 }
 
+/// Locality section: the MSGS kernel of every backend across scene sizes
+/// whose value memory ranges from cache-resident to several times L2 —
+/// the regime the quill backend exists for.  Per cell: ns/query with the
+/// cached plans (steady state), speedup against `fused` (the fastest
+/// non-reordering CPU path and the baseline the quill win is judged
+/// against).  quill cells additionally report the one-time locality-plan
+/// build cost (amortized per query) and the reorder on/off delta via the
+/// DEFA_QUILL_REORDER knob — the control isolating the query-reorder win
+/// from the level-sequential restructuring.
+Json run_locality_matrix(std::ostream& os) {
+  // Pyramid scenes: level-0 halved (rounding up) per level, the FPN shape
+  // of the real presets.  small == the `small` preset; large == the
+  // deformable_detr COCO shape (~18 MB of value memory, >> L2).
+  const auto pyramid_model = [](const char* name, int h0, int w0) {
+    ModelConfig m;
+    m.name = name;
+    int h = h0, w = w0;
+    for (int l = 0; l < 4; ++l) {
+      m.levels.push_back(LevelShape{h, w});
+      h = (h + 1) / 2;
+      w = (w + 1) / 2;
+    }
+    m.n_layers = 1;
+    m.baseline_ap = 45.0;
+    m.seed = 11;
+    m.validate();
+    return m;
+  };
+  const ModelConfig scenes[] = {
+      pyramid_model("small", 32, 40),     // 1700 queries, ~1.7 MB values
+      pyramid_model("medium", 64, 80),    // 6800 queries, ~7.0 MB
+      pyramid_model("large", 100, 134),   // 17821 queries, ~18.2 MB
+  };
+
+  const std::int64_t tile_elems = kernels::locality_tile_elems();
+  std::vector<std::string> ordered{"fused"};
+  for (const std::string& name : kernels::backend_names()) {
+    if (name != "fused") ordered.push_back(name);
+  }
+
+  const char* saved = std::getenv("DEFA_QUILL_REORDER");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  TextTable t({"scene", "queries", "value MB", "backend", "ns/query",
+               "speedup vs fused"});
+  Json scene_rows = Json::array();
+  double sink = 0.0;
+  for (const ModelConfig& m : scenes) {
+    workload::SceneParams sp;
+    sp.seed = m.seed;
+    const workload::SceneWorkload wl(m, sp);
+    Rng rng(8);
+    const Tensor values = Tensor::randn({m.n_in(), m.d_model}, rng);
+    const nn::MsdaFields f = wl.layer_fields(0);
+    const Tensor probs = nn::softmax_lastdim(f.logits);
+    const kernels::SamplingPlan plan = kernels::SamplingPlan::build(m, f.locs);
+    const kernels::LocalityPlan loc = kernels::LocalityPlan::build(m, plan, tile_elems);
+    const double n_queries = static_cast<double>(m.n_in());
+    const double value_mb = static_cast<double>(m.n_in()) * m.d_model * 4.0 / 1048576.0;
+
+    Json rows = Json::array();
+    double fused_ns = 0.0;
+    for (const std::string& name : ordered) {
+      const kernels::Backend& backend = kernels::backend(name);
+      if (const std::string reason = backend.unavailable_reason(); !reason.empty()) {
+        t.new_row().add(m.name).add_num(n_queries, 0).add_num(value_mb, 1)
+            .add(name).add("skipped").add(reason);
+        Json row = Json::object();
+        row["backend"] = name;
+        row["skipped"] = true;
+        row["note"] = reason;
+        rows.push_back(std::move(row));
+        continue;
+      }
+      kernels::MsgsSpec spec;
+      spec.plan = &plan;
+      if (backend.wants_locality()) spec.locality = &loc;
+      const double ns = min_ns_per_op([&] {
+        sink += backend.run_msgs(m, values, probs, f.locs, spec)(0, 0);
+      });
+      if (name == "fused") fused_ns = ns;
+      const double speedup = fused_ns > 0.0 ? fused_ns / ns : 0.0;
+      t.new_row().add(m.name).add_num(n_queries, 0).add_num(value_mb, 1)
+          .add(name).add_num(ns / n_queries, 1).add_num(speedup, 2);
+      Json row = Json::object();
+      row["backend"] = name;
+      row["ns_per_op"] = ns;
+      row["ns_per_query"] = ns / n_queries;
+      row["speedup_vs_fused"] = speedup;
+      if (backend.wants_locality()) {
+        // One-time planning cost, and the reorder on/off control.
+        const double plan_ns = time_ns_per_op([&] {
+          sink += static_cast<double>(
+              kernels::LocalityPlan::build(m, plan, tile_elems).order(0)[0]);
+        });
+        row["plan_build_ns"] = plan_ns;
+        row["plan_build_ns_per_query"] = plan_ns / n_queries;
+        setenv("DEFA_QUILL_REORDER", "off", 1);
+        const double off_ns = min_ns_per_op([&] {
+          sink += backend.run_msgs(m, values, probs, f.locs, spec)(0, 0);
+        });
+        if (saved != nullptr) {
+          setenv("DEFA_QUILL_REORDER", restore.c_str(), 1);
+        } else {
+          unsetenv("DEFA_QUILL_REORDER");
+        }
+        row["reorder_off_ns_per_query"] = off_ns / n_queries;
+        row["reorder_speedup"] = ns > 0.0 ? off_ns / ns : 0.0;
+      }
+      rows.push_back(std::move(row));
+    }
+    Json scene = Json::object();
+    scene["scene"] = m.name;
+    scene["n_queries"] = static_cast<double>(m.n_in());
+    scene["value_mb"] = value_mb;
+    scene["rows"] = std::move(rows);
+    scene_rows.push_back(std::move(scene));
+  }
+
+  os << "Locality matrix (one layer, cached plans; value-memory size vs the\n"
+        "gather working set — quill reorders queries into cache-sized tiles,\n"
+        "DEFA_L2_KB tile size; 'fused' rows define speedup 1.0)\n\n";
+  os << t.str() << "\n";
+  os << fmt("(checksum %.3g — ignore; defeats dead-code elimination)\n\n", sink);
+
+  Json out = Json::object();
+  out["tile_kb"] = static_cast<double>(tile_elems * 4 / 1024);
+  out["scenes"] = std::move(scene_rows);
+  return out;
+}
+
 Json run_microbench_exp(Engine&, std::ostream& os) {
   os << "Kernel microbenchmarks (wall-clock; coarse, relative costs)\n\n";
 
@@ -995,6 +1126,7 @@ Json run_microbench_exp(Engine&, std::ostream& os) {
   out["rows"] = std::move(rows);
   out["backend_matrix"] = run_backend_matrix(os);
   out["tiled_scaling"] = run_tiled_scaling(os);
+  out["locality"] = run_locality_matrix(os);
   return out;
 }
 

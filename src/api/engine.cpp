@@ -5,6 +5,7 @@
 #include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "kernels/backend.h"
+#include "kernels/plan.h"
 #include "obs/trace.h"
 
 namespace defa::api {
@@ -66,6 +67,7 @@ void Engine::reconfigure(const Reconfig& rc) {
 
 void Engine::reset_stats() {
   pool_.reset_stats();
+  kernels::PlanCache::reset_global_counters();
   const std::lock_guard<std::mutex> lock(memo_mu_);
   memo_hits_ = 0;
   memo_misses_ = 0;
@@ -81,6 +83,10 @@ void Engine::clear_caches() {
 Engine::CacheStats Engine::cache_stats() const {
   CacheStats s;
   s.context = pool_.stats();
+  const kernels::PlanCache::GlobalStats plans = kernels::PlanCache::global_stats();
+  s.plan_hits = plans.hits;
+  s.plan_misses = plans.misses;
+  s.plan_entries = plans.entries;
   const std::lock_guard<std::mutex> lock(memo_mu_);
   s.memo_hits = memo_hits_;
   s.memo_misses = memo_misses_;

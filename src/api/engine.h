@@ -73,8 +73,9 @@ class Engine {
   void reconfigure(const Reconfig& rc);
 
   /// Zero every cache counter (context hits/misses/evictions, memo
-  /// hits/misses/evictions).  Cached entries are untouched; pair with
-  /// `clear_caches()` for a cold, fresh-process-like engine.
+  /// hits/misses/evictions, process-wide plan hits/misses).  Cached
+  /// entries are untouched; pair with `clear_caches()` for a cold,
+  /// fresh-process-like engine.
   void reset_stats();
 
   /// Evaluate one request.  Throws defa::CheckError on validation errors.
@@ -101,11 +102,17 @@ class Engine {
   void clear_caches();
 
   /// Monotonic cache-effectiveness counters (serve/metrics exports them).
+  /// The plan counters are process-wide PlanCache totals (plan caches live
+  /// per-pipeline inside pooled contexts — see kernels::PlanCache); the
+  /// entries field is a live gauge of resident sampling/locality plans.
   struct CacheStats {
     core::ContextPool::CacheStats context;  ///< (model, scene) context cache
     std::uint64_t memo_hits = 0;            ///< run() served from the memo
     std::uint64_t memo_misses = 0;          ///< run() had to evaluate
     std::uint64_t memo_evictions = 0;       ///< LRU entries dropped (max_memo)
+    std::uint64_t plan_hits = 0;            ///< PlanCache::get*() resident
+    std::uint64_t plan_misses = 0;          ///< PlanCache::get*() built fresh
+    std::uint64_t plan_entries = 0;         ///< resident plans (gauge)
   };
   [[nodiscard]] CacheStats cache_stats() const;
 

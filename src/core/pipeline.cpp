@@ -156,6 +156,12 @@ namespace {
 /// Plan-cache key of one layer's dense geometry.
 std::string layer_plan_key(int layer) { return "layer" + std::to_string(layer); }
 
+/// Key of the locality schedule derived from that geometry.  tile_elems is
+/// part of the key: the DEFA_L2_KB knob can change between calls.
+std::string layer_locality_key(int layer, std::int64_t tile_elems) {
+  return layer_plan_key(layer) + "#loc" + std::to_string(tile_elems);
+}
+
 }  // namespace
 
 void EncoderPipeline::build_reference(const kernels::Backend* backend_opt) const {
@@ -170,12 +176,19 @@ void EncoderPipeline::build_reference(const kernels::Backend* backend_opt) const
     lr.probs = backend.softmax_lastdim(lr.fields.logits);
     const Tensor v_ref = backend.matmul(x_ref, layer_value_weights(m, layer));
     std::shared_ptr<const kernels::SamplingPlan> plan;
+    std::shared_ptr<const kernels::LocalityPlan> locality;
     if (backend.wants_plan()) {
       plan = plan_cache_.get(layer_plan_key(layer), m, lr.fields.locs);
+      if (backend.wants_locality()) {
+        const std::int64_t tile_elems = kernels::locality_tile_elems();
+        locality = plan_cache_.get_locality(layer_locality_key(layer, tile_elems), m,
+                                            *plan, tile_elems);
+      }
     }
     MsgsOptions opt;
     opt.backend = &backend;
     opt.plan = plan.get();
+    opt.locality = locality.get();
     lr.out_ref = run_msgs(m, v_ref, lr.probs, lr.fields.locs, opt);
     x_ref.add_(lr.out_ref);
     nn::rms_norm_rows(x_ref);
@@ -264,9 +277,15 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg,
     // only plan-consuming backends need one at all.
     const bool dense_geometry = !cfg.quantize && !cfg.narrow;
     std::shared_ptr<const kernels::SamplingPlan> plan;
+    std::shared_ptr<const kernels::LocalityPlan> locality;
     if (dense_geometry && backend.wants_plan()) {
       DEFA_TRACE_SPAN_ARG("plan_build", "kernel", "layer", layer);
       plan = plan_cache_.get(layer_plan_key(layer), m, locs);
+      if (backend.wants_locality()) {
+        const std::int64_t tile_elems = kernels::locality_tile_elems();
+        locality = plan_cache_.get_locality(layer_locality_key(layer, tile_elems), m,
+                                            *plan, tile_elems);
+      }
     }
 
     // (2) PAP point mask from the (hardware) softmax probabilities
@@ -304,6 +323,7 @@ EncoderResult EncoderPipeline::run(const PruneConfig& cfg,
       opt.frac_bits = cfg.bits;
       opt.backend = &backend;
       opt.plan = plan.get();
+      opt.locality = locality.get();
       out = run_msgs(m, v, probs_hw, locs, opt);
     }
 

@@ -21,6 +21,7 @@ RegistryState& state() {
     st->backends.push_back(detail::make_fused_backend());
     st->backends.push_back(detail::make_simd_backend());
     st->backends.push_back(detail::make_tiled_backend());
+    st->backends.push_back(detail::make_quill_backend());
     return st;
   }();
   return *s;

@@ -12,7 +12,7 @@
 /// or adding new ones (threaded-tile, INTn fast paths, GPU offload) —
 /// never touches the callers.
 ///
-/// Four backends ship built in:
+/// Five backends ship built in:
 ///  * `reference` — bit-identical to the historical scalar code paths
 ///    (nn::matmul/linear/softmax_lastdim and the pre-refactor core/msgs
 ///    loops).  The correctness anchor.
@@ -29,6 +29,11 @@
 ///    on the shared `defa::ThreadPool` inside one run_msgs call, with a
 ///    deterministic per-query reduction so one large request saturates
 ///    the machine without changing a single output bit.
+///  * `quill` — cache-local execution for large scenes: queries reordered
+///    by the value-memory tile their sampling footprint first touches
+///    (a cached `LocalityPlan`), levels walked sequentially so each
+///    query's accumulation chain is untouched, inner gathers on the simd
+///    tiers.  The QUILL co-design (PAPERS.md) in software.
 /// All are bit-identical to `reference` in fp32 and exactly equal on the
 /// INTn datapath (enforced by tests/test_kernels.cpp and the differential
 /// harness in tests/test_backend_differential.cpp).
@@ -50,6 +55,7 @@
 namespace defa::kernels {
 
 class SamplingPlan;
+class LocalityPlan;
 
 /// Per-call configuration of the fused MSGS + aggregation kernel.
 struct MsgsSpec {
@@ -65,6 +71,10 @@ struct MsgsSpec {
   /// corners; backends that don't (reference) ignore it.  Must have been
   /// built from exactly the `locs` tensor passed alongside.
   const SamplingPlan* plan = nullptr;
+  /// Optional gather-locality schedule for `plan` (the quill backend's
+  /// query-visit permutation).  Must have been derived from exactly the
+  /// sampling plan above; backends that don't reorder ignore it.
+  const LocalityPlan* locality = nullptr;
 };
 
 /// One compute-backend implementation of the numeric hot path.
@@ -77,6 +87,11 @@ class Backend {
   /// Does run_msgs consume `MsgsSpec::plan`?  Callers that cache plans
   /// (EncoderPipeline) skip building them for backends that don't.
   [[nodiscard]] virtual bool wants_plan() const noexcept { return false; }
+
+  /// Does run_msgs consume `MsgsSpec::locality`?  Only meaningful when
+  /// wants_plan() is also true; callers derive and cache the locality
+  /// schedule alongside the sampling plan for such backends (quill).
+  [[nodiscard]] virtual bool wants_locality() const noexcept { return false; }
 
   /// Empty when the backend can run on this host right now; otherwise a
   /// human-readable reason it cannot (e.g. "DEFA_SIMD=avx2 but the CPU
@@ -139,6 +154,7 @@ namespace detail {
 [[nodiscard]] std::unique_ptr<Backend> make_fused_backend();
 [[nodiscard]] std::unique_ptr<Backend> make_simd_backend();
 [[nodiscard]] std::unique_ptr<Backend> make_tiled_backend();
+[[nodiscard]] std::unique_ptr<Backend> make_quill_backend();
 }  // namespace detail
 
 }  // namespace defa::kernels

@@ -140,30 +140,109 @@ void run_quant_scalar(const QuantArgs& a) {
   });
 }
 
-}  // namespace simd_detail
+// --------------------------------------------------- level-scoped scalar tier
+//
+// The quill backend's inner loops (see simd_kernels.h): one level's points
+// for every query, visited in `order`.  fp32 resumes the accumulator chain
+// through the output row (load, add the level's points, implicit store per
+// add) — bit-identical to the one-pass chain because fp32 memory
+// round-trips bits; INTn accumulates into the caller's int32 scratch.
+
+void run_fp32_level_scalar(const Fp32Args& a, int level, const std::int32_t* order) {
+  const ModelConfig& m = *a.m;
+  const int dh = m.d_head();
+  const int lp = m.points_per_head();
+  const std::int32_t* offs = a.plan->offsets().data();
+  const float* t0s = a.plan->t0().data();
+  const float* t1s = a.plan->t1().data();
+  const std::vector<float> zero_row(static_cast<std::size_t>(dh), 0.0f);
+  const float* zero = zero_row.data();
+
+  parallel_for(0, m.n_in(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t q = order[i];
+      for (int h = 0; h < m.n_heads; ++h) {
+        const float* prow = a.probs + static_cast<std::size_t>((q * m.n_heads + h) * lp);
+        float* head_out = a.out + static_cast<std::size_t>(q * m.d_model + h * dh);
+        const std::int64_t base = a.plan->slot(level, q, h, 0);
+        for (int p = 0; p < m.n_points; ++p) {
+          if (a.mask != nullptr && !a.mask->keep(q, h, level, p)) continue;
+          const std::int64_t s = (base + p) * 4;
+          const float* r0 = offs[s + 0] >= 0 ? a.values + offs[s + 0] : zero;
+          const float* r1 = offs[s + 1] >= 0 ? a.values + offs[s + 1] : zero;
+          const float* r2 = offs[s + 2] >= 0 ? a.values + offs[s + 2] : zero;
+          const float* r3 = offs[s + 3] >= 0 ? a.values + offs[s + 3] : zero;
+          const float t0 = t0s[base + p];
+          const float t1 = t1s[base + p];
+          const float w = prow[level * m.n_points + p];
+          for (int c = 0; c < dh; ++c) {
+            head_out[c] += w * nn::bi_horner(r0[c], r1[c], r2[c], r3[c], t0, t1);
+          }
+        }
+      }
+    }
+  });
+}
+
+void run_quant_level_scalar(const QuantArgs& a, int level, const std::int32_t* order,
+                            std::int32_t* acc) {
+  const ModelConfig& m = *a.m;
+  const int dh = m.d_head();
+  const int lp = m.points_per_head();
+  const std::int32_t* offs = a.plan->offsets().data();
+  const float* t0s = a.plan->t0().data();
+  const float* t1s = a.plan->t1().data();
+  const std::vector<std::int16_t> zero_row(static_cast<std::size_t>(dh), 0);
+  const std::int16_t* zero = zero_row.data();
+
+  parallel_for(0, m.n_in(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t q = order[i];
+      for (int h = 0; h < m.n_heads; ++h) {
+        const float* prow = a.probs + static_cast<std::size_t>((q * m.n_heads + h) * lp);
+        std::int32_t* arow = acc + static_cast<std::size_t>(q * m.d_model + h * dh);
+        const std::int64_t base = a.plan->slot(level, q, h, 0);
+        for (int p = 0; p < m.n_points; ++p) {
+          if (a.mask != nullptr && !a.mask->keep(q, h, level, p)) continue;
+          const std::int32_t prob_q =
+              quant::to_fraction_code(prow[level * m.n_points + p], a.frac_bits);
+          if (prob_q == 0) continue;
+          const std::int64_t s = (base + p) * 4;
+          const std::int16_t* r0 = offs[s + 0] >= 0 ? a.codes + offs[s + 0] : zero;
+          const std::int16_t* r1 = offs[s + 1] >= 0 ? a.codes + offs[s + 1] : zero;
+          const std::int16_t* r2 = offs[s + 2] >= 0 ? a.codes + offs[s + 2] : zero;
+          const std::int16_t* r3 = offs[s + 3] >= 0 ? a.codes + offs[s + 3] : zero;
+          const std::int32_t t0_q = quant::to_fraction_code(t0s[base + p], a.frac_bits);
+          const std::int32_t t1_q = quant::to_fraction_code(t1s[base + p], a.frac_bits);
+          for (int c = 0; c < dh; ++c) {
+            const std::int32_t bi = quant::bi_horner_int(r0[c], r1[c], r2[c], r3[c],
+                                                         t0_q, t1_q, a.frac_bits);
+            arow[c] += quant::ag_weight_int(bi, prob_q, a.frac_bits);
+          }
+        }
+      }
+    }
+  });
+}
 
 namespace {
 
 using simd::Isa;
 
-/// Outcome of the three-layer dispatch decision for one call.
-struct Resolution {
-  Isa isa = Isa::kScalar;
-  std::string reason;  ///< nonempty => the backend is unavailable
-};
-
 bool tier_compiled(Isa isa) noexcept {
   switch (isa) {
-    case Isa::kAvx2: return simd_detail::avx2_compiled();
-    case Isa::kNeon: return simd_detail::neon_compiled();
+    case Isa::kAvx2: return avx2_compiled();
+    case Isa::kNeon: return neon_compiled();
     case Isa::kScalar: break;
   }
   return true;
 }
 
-Resolution resolve_isa() {
+}  // namespace
+
+TierResolution resolve_tier() {
   const simd::IsaRequest req = simd::requested_isa();
-  Resolution r;
+  TierResolution r;
   if (!req.valid) {
     r.reason = "unknown DEFA_SIMD value '" + req.raw +
                "' (known: auto, scalar, avx2, neon)";
@@ -193,6 +272,13 @@ Resolution resolve_isa() {
   return r;
 }
 
+}  // namespace simd_detail
+
+namespace {
+
+using simd::Isa;
+using simd_detail::TierResolution;
+
 class SimdBackend final : public Backend {
  public:
   [[nodiscard]] const std::string& name() const noexcept override {
@@ -203,7 +289,7 @@ class SimdBackend final : public Backend {
   [[nodiscard]] bool wants_plan() const noexcept override { return true; }
 
   [[nodiscard]] std::string unavailable_reason() const override {
-    return resolve_isa().reason;
+    return simd_detail::resolve_tier().reason;
   }
 
   [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b) const override {
@@ -225,7 +311,7 @@ class SimdBackend final : public Backend {
     // Resolved per call, like kernels::default_backend_name re-reads
     // DEFA_BACKEND: getenv cost is noise next to the kernel, and tests can
     // flip tiers without rebuilding process state.
-    const Resolution res = resolve_isa();
+    const TierResolution res = simd_detail::resolve_tier();
     DEFA_CHECK(res.reason.empty(), "simd backend unavailable: " + res.reason);
 
     SamplingPlan local;

@@ -22,7 +22,9 @@
 /// safe; reassociating across *points* is not.
 
 #include <cstdint>
+#include <string>
 
+#include "common/simd.h"
 #include "config/model_config.h"
 #include "prune/masks.h"
 
@@ -68,6 +70,39 @@ void run_quant_avx2(const QuantArgs& a);
 [[nodiscard]] bool neon_compiled() noexcept;
 void run_fp32_neon(const Fp32Args& a);
 void run_quant_neon(const QuantArgs& a);
+
+// ---- level-scoped entry points (the `quill` backend's inner loops) --------
+//
+// One call processes every query's points of a *single* level, visiting
+// queries in the order of the `order` permutation (n_in entries).  The
+// fp32 form resumes each (query, head) accumulator chain by loading the
+// current partial from the output row and storing it back after the
+// level's points — fp32 load/store round-trips bits, so running levels
+// 0..L-1 sequentially reproduces the one-pass chain exactly.  The INTn
+// form accumulates into a caller-owned (N_in x D) int32 scratch `acc`
+// (int32 partials do NOT round-trip through float); the caller converts
+// once, in fixed query order, after the last level.  Within one level the
+// permutation touches disjoint queries, so parallelizing over `order`
+// positions is race-free.
+
+void run_fp32_level_scalar(const Fp32Args& a, int level, const std::int32_t* order);
+void run_quant_level_scalar(const QuantArgs& a, int level, const std::int32_t* order,
+                            std::int32_t* acc);
+void run_fp32_level_avx2(const Fp32Args& a, int level, const std::int32_t* order);
+void run_quant_level_avx2(const QuantArgs& a, int level, const std::int32_t* order,
+                          std::int32_t* acc);
+void run_fp32_level_neon(const Fp32Args& a, int level, const std::int32_t* order);
+void run_quant_level_neon(const QuantArgs& a, int level, const std::int32_t* order,
+                          std::int32_t* acc);
+
+/// Outcome of the three-layer tier dispatch (DEFA_SIMD request x build x
+/// CPU) shared by the `simd` and `quill` backends.
+struct TierResolution {
+  simd::Isa isa = simd::Isa::kScalar;
+  std::string reason;  ///< nonempty => the vector backends are unavailable
+};
+
+[[nodiscard]] TierResolution resolve_tier();
 
 /// Largest `act_bits + frac_bits` for which the vectorized INTn path's
 /// int32 intermediates provably cannot overflow (|bi| <= 9*2^(act_bits-1),

@@ -104,6 +104,9 @@ struct MetricsSnapshot {
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
   std::uint64_t memo_evictions = 0;  ///< result-memo LRU drops (max_memo)
+  std::uint64_t plan_hits = 0;       ///< kernel PlanCache lookups, resident
+  std::uint64_t plan_misses = 0;     ///< kernel PlanCache lookups, built
+  std::uint64_t plan_entries = 0;    ///< resident sampling/locality plans (gauge)
   [[nodiscard]] double context_hit_rate() const noexcept {
     const std::uint64_t total = context_hits + context_misses;
     return total == 0 ? 0.0

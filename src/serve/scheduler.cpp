@@ -442,6 +442,9 @@ MetricsSnapshot Server::metrics() const {
   snap.memo_hits = cache.memo_hits;
   snap.memo_misses = cache.memo_misses;
   snap.memo_evictions = cache.memo_evictions;
+  snap.plan_hits = cache.plan_hits;
+  snap.plan_misses = cache.plan_misses;
+  snap.plan_entries = cache.plan_entries;
   return snap;
 }
 

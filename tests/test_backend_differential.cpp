@@ -51,6 +51,22 @@ TEST(KernelDifferential, TiledSingleThread) {
   difftest::run_kernel_differential("tiled");
 }
 
+TEST(KernelDifferential, Quill) { difftest::run_kernel_differential("quill"); }
+
+TEST(KernelDifferential, QuillScalarTier) {
+  // Forces the quill backend's scalar per-level kernels (the tier quill
+  // shares with the simd backend via simd_detail::resolve_tier()).
+  const ScopedEnv force("DEFA_SIMD", "scalar");
+  difftest::run_kernel_differential("quill");
+}
+
+TEST(KernelDifferential, QuillReorderDisabled) {
+  // DEFA_QUILL_REORDER=off replaces the locality permutation with the
+  // identity order (the bench control); the contract must hold either way.
+  const ScopedEnv off("DEFA_QUILL_REORDER", "off");
+  difftest::run_kernel_differential("quill");
+}
+
 // ------------------------------------------------------- simd ISA dispatch
 
 /// An ISA no current host supports alongside its own (x86 has no NEON,
@@ -94,7 +110,7 @@ TEST(SimdDispatch, AutoAlwaysAvailable) {
 }
 
 TEST(SimdDispatch, OtherBackendsAlwaysAvailable) {
-  for (const char* name : {"reference", "fused", "tiled"}) {
+  for (const char* name : {"reference", "fused", "tiled", "quill"}) {
     EXPECT_TRUE(kernels::backend(name).unavailable_reason().empty()) << name;
   }
 }
@@ -322,6 +338,67 @@ TEST(TiledDeterminism, LoadedPoolBatchMatchesSequentialReference) {
     ASSERT_TRUE(expect.functional.has_value() && got[i].functional.has_value());
     EXPECT_TRUE(*expect.functional == *got[i].functional)
         << "[tiled batch request " << i << "] diverges from sequential reference";
+  }
+}
+
+// ------------------------------------------------------ quill determinism
+
+// The quill backend executes queries in a locality-derived permutation,
+// so its determinism contract is tile-size invariance: the same bytes as
+// reference at *every* tile size, including the degenerate extremes —
+// tile_elems = 1 puts (nearly) every query in its own tile (the
+// permutation is maximally fragmented), an enormous tile_elems puts all
+// queries in a single tile per level (the permutation collapses back to
+// ascending order).  "small" (1700 queries, 4 levels) is big enough that
+// the per-level parallel sweeps genuinely interleave on the pool.
+TEST(QuillDeterminism, TileSizeInvariant) {
+  const ModelConfig m = ModelConfig::small();
+  const DiffInputs in = difftest::make_inputs(m, 33);
+  const kernels::SamplingPlan plan = kernels::SamplingPlan::build(m, in.locs);
+  const kernels::Backend& quill = kernels::backend("quill");
+  ASSERT_TRUE(quill.unavailable_reason().empty()) << quill.unavailable_reason();
+  const std::vector<std::int64_t> tile_sizes = {
+      1,                              // degenerate: one query per tile
+      std::int64_t{1} << 40,          // degenerate: all queries, one tile
+      kernels::locality_tile_elems()  // the production default
+  };
+  for (const bool quantized : {false, true}) {
+    kernels::MsgsSpec spec;
+    spec.quantized = quantized;
+    const Tensor expect =
+        kernels::backend("reference").run_msgs(m, in.values, in.probs, in.locs, spec);
+    for (const std::int64_t tile_elems : tile_sizes) {
+      const kernels::LocalityPlan loc = kernels::LocalityPlan::build(m, plan, tile_elems);
+      spec.plan = &plan;
+      spec.locality = &loc;
+      ASSERT_TRUE(difftest::expect_bits_equal(
+          expect, quill.run_msgs(m, in.values, in.probs, in.locs, spec),
+          "[quill tile_elems=" + std::to_string(tile_elems) +
+              (quantized ? " int12]" : " fp32]")));
+    }
+  }
+}
+
+// DEFA_L2_KB must steer the cached plan, not just freshly built ones: the
+// pipeline keys locality plans by tile size, so two engine runs under
+// different DEFA_L2_KB values exercise distinct cache entries yet must
+// produce identical functional results.
+TEST(QuillDeterminism, L2KnobInvariantThroughEngine) {
+  api::Engine engine(api::Engine::Options{.memoize_results = false});
+  api::EvalRequest req;
+  req.preset = "tiny";
+  req.outputs = api::kFunctional;
+  req.backend = "reference";
+  const api::EvalResult expect = engine.run(req);
+  ASSERT_TRUE(expect.functional.has_value());
+  req.backend = "quill";
+  for (const char* kb : {"1", "64", static_cast<const char*>(nullptr)}) {
+    const ScopedEnv env("DEFA_L2_KB", kb);
+    const api::EvalResult got = engine.run(req);
+    ASSERT_TRUE(got.functional.has_value());
+    EXPECT_TRUE(*expect.functional == *got.functional)
+        << "[quill DEFA_L2_KB=" << (kb != nullptr ? kb : "default")
+        << "] diverges from reference";
   }
 }
 

@@ -272,6 +272,105 @@ TEST(PlanCache, SecondGetHitsAndSharesThePlan) {
   EXPECT_EQ(cache.stats().misses, 2u);  // counters survive clear()
 }
 
+TEST(LocalityPlan, PermutationPartitionsEveryLevel) {
+  Fixture fx;
+  const kernels::SamplingPlan plan = kernels::SamplingPlan::build(fx.m, fx.locs);
+  for (const std::int64_t tile_elems : {std::int64_t{1}, std::int64_t{64},
+                                        std::int64_t{1} << 40}) {
+    const kernels::LocalityPlan loc =
+        kernels::LocalityPlan::build(fx.m, plan, tile_elems);
+    EXPECT_EQ(loc.tile_elems(), tile_elems);
+    for (int l = 0; l < fx.m.n_levels; ++l) {
+      // order(l) is a permutation of [0, n_in).
+      std::vector<bool> seen(static_cast<std::size_t>(fx.m.n_in()), false);
+      for (std::int64_t i = 0; i < fx.m.n_in(); ++i) {
+        const std::int32_t q = loc.order(l)[i];
+        ASSERT_GE(q, 0);
+        ASSERT_LT(q, fx.m.n_in());
+        ASSERT_FALSE(seen[static_cast<std::size_t>(q)]) << "duplicate query " << q;
+        seen[static_cast<std::size_t>(q)] = true;
+      }
+      // tiles(l) is a contiguous partition of [0, n_in), keys ascending,
+      // and within each run query ids ascend (stable sort keeps ties in
+      // submission order — the determinism anchor).
+      std::int64_t cursor = 0;
+      std::int32_t prev_key = -1;
+      for (const kernels::LocalityPlan::TileRange& t : loc.tiles(l)) {
+        EXPECT_EQ(t.begin, cursor);
+        EXPECT_LT(t.begin, t.end);
+        EXPECT_GT(t.key, prev_key);
+        for (std::int64_t i = t.begin + 1; i < t.end; ++i) {
+          EXPECT_LT(loc.order(l)[i - 1], loc.order(l)[i]);
+        }
+        prev_key = t.key;
+        cursor = t.end;
+      }
+      EXPECT_EQ(cursor, fx.m.n_in());
+      // The everything-one-tile degenerate schedule collapses to at most
+      // two runs: tile 0 plus the trailing all-out-of-bounds bucket.
+      if (tile_elems == std::int64_t{1} << 40) {
+        EXPECT_LE(loc.tiles(l).size(), 2u);
+        EXPECT_EQ(loc.tiles(l).front().key, 0);
+      }
+    }
+  }
+}
+
+TEST(PlanCache, LocalityGetHitsAndFeedsGlobalCounters) {
+  Fixture fx;
+  const kernels::PlanCache::GlobalStats before = kernels::PlanCache::global_stats();
+  kernels::PlanCache cache;
+  const auto plan = cache.get("layer0", fx.m, fx.locs);
+  const auto a = cache.get_locality("layer0#loc64", fx.m, *plan, 64);
+  const auto b = cache.get_locality("layer0#loc64", fx.m, *plan, 64);
+  EXPECT_EQ(a.get(), b.get());  // same shared locality plan
+  // Different tile size under a different key is a distinct entry.
+  const auto c = cache.get_locality("layer0#loc128", fx.m, *plan, 128);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 3u);  // one sampling plan + two locality plans
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Instance traffic is mirrored into the process-wide counters the
+  // engine's metrics read (plan caches live inside pooled contexts).
+  kernels::PlanCache::GlobalStats now = kernels::PlanCache::global_stats();
+  EXPECT_EQ(now.hits - before.hits, 1u);
+  EXPECT_EQ(now.misses - before.misses, 3u);
+  EXPECT_EQ(now.entries - before.entries, 3u);
+  cache.clear();
+  now = kernels::PlanCache::global_stats();
+  EXPECT_EQ(now.entries, before.entries);  // the gauge drops on clear()
+  EXPECT_EQ(now.misses - before.misses, 3u);  // counters survive clear()
+}
+
+TEST(PlanCache, GlobalCountersSurfaceThroughEngineStats) {
+  api::Engine engine(api::Engine::Options{.memoize_results = false});
+  engine.reset_stats();
+  api::EvalRequest req;
+  req.preset = "tiny";
+  req.outputs = api::kFunctional;
+  req.backend = "quill";  // wants_plan + wants_locality -> both cache kinds
+  // PAP-only keeps the sampling locations dense, so run() reuses the
+  // cached per-layer plans (the default defa config narrows + quantizes,
+  // which moves geometry and bypasses the cache).
+  req.prune = PruneConfig::only_pap();
+  (void)engine.run(req);
+  const api::Engine::CacheStats first = engine.cache_stats();
+  EXPECT_GT(first.plan_misses, 0u);
+  EXPECT_GT(first.plan_entries, 0u);
+  // The same workload again only hits (dense geometry is cached per layer).
+  (void)engine.run(req);
+  const api::Engine::CacheStats second = engine.cache_stats();
+  EXPECT_EQ(second.plan_misses, first.plan_misses);
+  EXPECT_GT(second.plan_hits, first.plan_hits);
+  // reset_stats zeroes the counters but not the resident-entries gauge.
+  engine.reset_stats();
+  const api::Engine::CacheStats reset = engine.cache_stats();
+  EXPECT_EQ(reset.plan_hits, 0u);
+  EXPECT_EQ(reset.plan_misses, 0u);
+  EXPECT_EQ(reset.plan_entries, second.plan_entries);
+}
+
 TEST(PlanCache, PipelineReusesLayerPlansAcrossConfigs) {
   const ModelConfig m = ModelConfig::tiny();
   workload::SceneParams sp;
