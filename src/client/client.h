@@ -47,10 +47,29 @@ class RpcError : public std::runtime_error {
   serve::ErrorCode code_;
 };
 
+/// Per-connection client behavior: which wire to speak and how deep to
+/// pipeline.
+struct ClientOptions {
+  enum class Wire {
+    kAuto,  ///< send `hello`; fall back to v1 when the server declines
+    kV1,    ///< never send `hello` (byte-for-byte the pre-v2 client)
+    kV2,    ///< require the binary wire; construction throws RpcError
+            ///< (kVersion) when the server cannot negotiate it
+  };
+  Wire wire = Wire::kAuto;
+  /// Pipelining depth: at most this many request frames on the wire at
+  /// once — further submits queue client-side (pre-encoded) and flush as
+  /// responses complete.  0 = unlimited (the pre-v2 behavior).
+  int max_inflight = 0;
+};
+
 class Client {
  public:
   /// Adopt an established connection (tests hand in loopback sockets).
-  explicit Client(std::unique_ptr<serve::Connection> conn);
+  /// Negotiation (per `options.wire`) runs synchronously here, before the
+  /// reader thread starts.
+  explicit Client(std::unique_ptr<serve::Connection> conn,
+                  const ClientOptions& options = {});
   ~Client();  ///< fails pending calls, joins the reader, closes
   Client(Client&&) noexcept;
   Client& operator=(Client&&) noexcept;
@@ -63,12 +82,15 @@ class Client {
   using ResponseCallback = std::function<void(const serve::ServeResponse&)>;
 
   /// TCP-connect to "HOST:PORT" (":PORT"/"PORT" default to loopback).
-  [[nodiscard]] static Client connect(const std::string& endpoint);
-  [[nodiscard]] static Client connect_tcp(const std::string& host, int port);
+  [[nodiscard]] static Client connect(const std::string& endpoint,
+                                      const ClientOptions& options = {});
+  [[nodiscard]] static Client connect_tcp(const std::string& host, int port,
+                                          const ClientOptions& options = {});
   /// Spawn `argv` (e.g. {"./build/defa_serve"}) as a child process and
-  /// speak Protocol v1 over its stdin/stdout.  The child is terminated
-  /// (stdin closed, then waited) when the Client is destroyed.
-  [[nodiscard]] static Client spawn(const std::vector<std::string>& argv);
+  /// speak the negotiated protocol over its stdin/stdout.  The child is
+  /// terminated (stdin closed, then waited) when the Client is destroyed.
+  [[nodiscard]] static Client spawn(const std::vector<std::string>& argv,
+                                    const ClientOptions& options = {});
 
   // ---- pipelined eval ----------------------------------------------------
   /// Send one eval frame; the future resolves when its response arrives
@@ -100,6 +122,22 @@ class Client {
   /// come back as statuses.
   [[nodiscard]] std::vector<serve::ServeResponse> eval_batch(
       const std::vector<api::EvalRequest>& requests,
+      serve::Priority priority = serve::Priority::kNormal, double timeout_ms = 0);
+
+  /// Per-item sink for `eval_batch_stream`; invoked on the reader thread
+  /// in strict index order (0, 1, 2, ...).
+  using BatchItemCallback =
+      std::function<void(std::size_t index, const serve::ServeResponse&)>;
+
+  /// Streaming flavor of `eval_batch`: on the v2 wire each item's
+  /// response is a separate chunk frame, so `on_item` fires as items
+  /// complete server-side — the first result arrives while the tail of a
+  /// large batch is still running, and neither side buffers the whole
+  /// batch.  On a v1 session the server answers in one frame, so the
+  /// callbacks all fire when it lands (same order, no early delivery).
+  /// Returns the full in-order response vector either way.
+  [[nodiscard]] std::vector<serve::ServeResponse> eval_batch_stream(
+      const std::vector<api::EvalRequest>& requests, BatchItemCallback on_item,
       serve::Priority priority = serve::Priority::kNormal, double timeout_ms = 0);
 
   // ---- admin methods -----------------------------------------------------
@@ -135,6 +173,10 @@ class Client {
 
   /// "tcp" | "stdio" — stamped into remote load reports.
   [[nodiscard]] const char* transport_name() const noexcept;
+
+  /// The negotiated wire version of this connection: 2 after a successful
+  /// hello upgrade, else 1.  Stamped into remote load reports.
+  [[nodiscard]] int wire_version() const noexcept;
 
  private:
   struct Impl;

@@ -138,7 +138,8 @@ struct Pool::Impl : std::enable_shared_from_this<Pool::Impl> {
       reaped.clear();
       std::shared_ptr<Client> fresh;
       try {
-        fresh = std::make_shared<Client>(Client::connect(shards[i].endpoint));
+        fresh = std::make_shared<Client>(
+            Client::connect(shards[i].endpoint, options.client));
       } catch (const std::exception&) {
         fresh = nullptr;
       }

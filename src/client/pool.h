@@ -52,6 +52,10 @@ struct PoolOptions {
   /// When false a shard that dies stays down (tests pin failover paths
   /// without racing the reconnector).
   bool reconnect = true;
+  /// Per-shard connection options: wire-version policy (auto / forced v1
+  /// / required v2) and pipelining depth, applied to every connect and
+  /// reconnect uniformly so the fleet speaks one protocol flavor.
+  ClientOptions client;
 };
 
 /// Per-shard routing/health counters (`Pool::stats`).

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/wire/stats.h"
 
 namespace defa::client {
 
@@ -32,7 +33,25 @@ serve::LoadReport run_remote_loadgen(const serve::LoadGenOptions& options,
   const api::Json info = client.ping();
   target.policy = info.at("server").at("policy").as_string();
   target.backend = info.at("server").at("backend").as_string();
-  return serve::run_loadgen_against(options, target);
+  // Serialization accounting (docs/BENCH_SCHEMA.md#serialization): diff
+  // the client-side SerStats and the server's exported wire counters
+  // around the run, so the report attributes only this run's traffic.
+  // Both are process-wide, so concurrent clients would cross-pollute —
+  // the loadgen is the only traffic source in the benchmark flow.
+  const int wire_version = client.wire_version();
+  const serve::wire::SerSnapshot client_before =
+      serve::wire::SerStats::instance().snapshot(wire_version);
+  const serve::MetricsSnapshot server_before = client.metrics();
+  serve::LoadReport report = serve::run_loadgen_against(options, target);
+  report.wire_version = wire_version;
+  report.ser_client =
+      serve::wire::SerStats::instance().snapshot(wire_version).minus(client_before);
+  const serve::wire::SerSnapshot& server_after =
+      wire_version >= 2 ? report.server_metrics.wire_v2
+                        : report.server_metrics.wire_v1;
+  report.ser_server = server_after.minus(
+      wire_version >= 2 ? server_before.wire_v2 : server_before.wire_v1);
+  return report;
 }
 
 serve::SweepReport run_remote_sweep(const serve::ScenarioFile& file,

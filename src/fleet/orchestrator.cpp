@@ -292,6 +292,7 @@ FleetRunReport run_one(const FleetConfig& config, int shard_count,
     for (const ShardProc& s : shards) endpoints.push_back(s.endpoint);
     client::PoolOptions pool_options;
     pool_options.virtual_nodes = config.virtual_nodes;
+    pool_options.client = options.client;
     client::Pool pool(endpoints, pool_options);
     DEFA_CHECK(pool.wait_connected(options.spawn_timeout_ms),
                "fleet: not every shard became reachable");

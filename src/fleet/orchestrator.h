@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "client/client.h"
 #include "serve/loadgen.h"
 #include "serve/metrics.h"
 
@@ -154,6 +155,9 @@ struct OrchestratorOptions {
   /// `defa_fleet --trace-out` sets all three.  Sweep runs are not traced.
   /// A chaos-killed shard writes no dump and is simply absent.
   std::string trace_out;
+  /// Per-shard connection options forwarded to the routing Pool: wire
+  /// version policy and pipelining depth (`defa_fleet --wire/--pipeline`).
+  client::ClientOptions client;
 };
 
 /// Run the whole fleet benchmark: the main `config.shards`-sized run (with

@@ -137,6 +137,30 @@ api::Json LoadReport::to_json() const {
   }
   j["per_scenario"] = std::move(per);
   j["server_metrics"] = server_metrics.to_json();
+  const auto ser_block = [](const wire::SerSnapshot& s) {
+    api::Json b = api::Json::object();
+    b["encode_ms"] = s.encode_ms;
+    b["decode_ms"] = s.decode_ms;
+    b["encode_frames"] = static_cast<double>(s.encode_frames);
+    b["decode_frames"] = static_cast<double>(s.decode_frames);
+    b["encode_bytes"] = static_cast<double>(s.encode_bytes);
+    b["decode_bytes"] = static_cast<double>(s.decode_bytes);
+    return b;
+  };
+  api::Json ser = api::Json::object();
+  ser["wire_version"] = wire_version;
+  ser["client"] = ser_block(ser_client);
+  ser["server"] = ser_block(ser_server);
+  const double total = ser_client.total_ms() + ser_server.total_ms();
+  const double per_request =
+      completed_ok > 0 ? total / static_cast<double>(completed_ok) : 0.0;
+  ser["total_ms"] = total;
+  ser["ms_per_request"] = per_request;
+  // The share of the end-to-end p50 a request spends in serialization —
+  // the headline number the v1 vs v2 comparison is judged on.
+  const double p50 = latency_ms.percentile(50);
+  ser["share_of_p50"] = p50 > 0 ? per_request / p50 : 0.0;
+  j["serialization"] = std::move(ser);
   return j;
 }
 

@@ -92,6 +92,17 @@ struct LoadReport {
   std::vector<PerScenario> per_scenario;
   MetricsSnapshot server_metrics;
 
+  /// Negotiated wire version of the client connection for `--connect`
+  /// runs; 0 for in-process targets (no wire, serialization stays zero).
+  int wire_version = 0;
+  /// Serialization time/bytes spent on this run's traffic, client side
+  /// (this process) and server side (from the server's metrics export),
+  /// diffed around the run by `run_remote_loadgen`.  The report derives
+  /// ms-per-request and the share of p50 latency from these —
+  /// docs/BENCH_SCHEMA.md#serialization.
+  wire::SerSnapshot ser_client;
+  wire::SerSnapshot ser_server;
+
   [[nodiscard]] api::Json to_json() const;
 };
 

@@ -161,6 +161,20 @@ api::Json MetricsSnapshot::to_json() const {
   cache["plan_misses"] = static_cast<double>(plan_misses);
   cache["plan_entries"] = static_cast<double>(plan_entries);
   j["cache"] = std::move(cache);
+  const auto ser = [](const wire::SerSnapshot& s) {
+    api::Json b = api::Json::object();
+    b["encode_ms"] = s.encode_ms;
+    b["decode_ms"] = s.decode_ms;
+    b["encode_frames"] = static_cast<double>(s.encode_frames);
+    b["decode_frames"] = static_cast<double>(s.decode_frames);
+    b["encode_bytes"] = static_cast<double>(s.encode_bytes);
+    b["decode_bytes"] = static_cast<double>(s.decode_bytes);
+    return b;
+  };
+  api::Json wire_block = api::Json::object();
+  wire_block["v1"] = ser(wire_v1);
+  wire_block["v2"] = ser(wire_v2);
+  j["wire"] = std::move(wire_block);
   return j;
 }
 
@@ -202,6 +216,21 @@ MetricsSnapshot MetricsSnapshot::from_json(const api::Json& j) {
     s.plan_misses = static_cast<std::uint64_t>(cache.at("plan_misses").as_int());
     s.plan_entries = static_cast<std::uint64_t>(cache.at("plan_entries").as_int());
   }
+  // Absent in exports from builds before the v2 wire subsystem; default 0.
+  if (j.contains("wire")) {
+    const auto ser = [](const api::Json& b) {
+      wire::SerSnapshot w;
+      w.encode_ms = b.at("encode_ms").as_number();
+      w.decode_ms = b.at("decode_ms").as_number();
+      w.encode_frames = static_cast<std::uint64_t>(b.at("encode_frames").as_int());
+      w.decode_frames = static_cast<std::uint64_t>(b.at("decode_frames").as_int());
+      w.encode_bytes = static_cast<std::uint64_t>(b.at("encode_bytes").as_int());
+      w.decode_bytes = static_cast<std::uint64_t>(b.at("decode_bytes").as_int());
+      return w;
+    };
+    s.wire_v1 = ser(j.at("wire").at("v1"));
+    s.wire_v2 = ser(j.at("wire").at("v2"));
+  }
   return s;
 }
 
@@ -240,6 +269,16 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
     merged.plan_hits += p.plan_hits;
     merged.plan_misses += p.plan_misses;
     merged.plan_entries += p.plan_entries;
+    const auto add = [](wire::SerSnapshot& a, const wire::SerSnapshot& b) {
+      a.encode_ms += b.encode_ms;
+      a.decode_ms += b.decode_ms;
+      a.encode_frames += b.encode_frames;
+      a.decode_frames += b.decode_frames;
+      a.encode_bytes += b.encode_bytes;
+      a.decode_bytes += b.decode_bytes;
+    };
+    add(merged.wire_v1, p.wire_v1);
+    add(merged.wire_v2, p.wire_v2);
   }
   merged.qps = merged.uptime_ms > 0 ? static_cast<double>(merged.completed_ok) /
                                           (merged.uptime_ms / 1e3)

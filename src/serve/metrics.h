@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/result_io.h"
+#include "serve/wire/stats.h"
 
 namespace defa::serve {
 
@@ -107,6 +108,13 @@ struct MetricsSnapshot {
   std::uint64_t plan_hits = 0;       ///< kernel PlanCache lookups, resident
   std::uint64_t plan_misses = 0;     ///< kernel PlanCache lookups, built
   std::uint64_t plan_entries = 0;    ///< resident sampling/locality plans (gauge)
+
+  /// Process-wide serialization accounting per wire version (filled from
+  /// `wire::SerStats` by Server::metrics(), zero for a bare
+  /// ServerMetrics::snapshot()) — the server side of the
+  /// serialization-share comparison in docs/BENCH_SCHEMA.md.
+  wire::SerSnapshot wire_v1;
+  wire::SerSnapshot wire_v2;
   [[nodiscard]] double context_hit_rate() const noexcept {
     const std::uint64_t total = context_hits + context_misses;
     return total == 0 ? 0.0

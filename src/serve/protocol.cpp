@@ -1,6 +1,8 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <memory>
@@ -19,6 +21,9 @@
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "serve/server_loop.h"
+#include "serve/wire/format.h"
+#include "serve/wire/session.h"
+#include "serve/wire/stats.h"
 
 namespace defa::serve {
 
@@ -248,6 +253,13 @@ api::Json reconfig_params(const ServerReconfig& rc) {
 
 namespace {
 
+/// Milliseconds elapsed since `t0` (serialization accounting).
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 /// Shared state of one protocol session.  Completion callbacks fire on
 /// evaluator threads, so writes are serialized under `write_mu` and the
 /// session loop waits for `pending == 0` before returning — the state
@@ -256,11 +268,16 @@ struct SessionState {
   explicit SessionState(Connection& c) : conn(&c) {}
 
   void write(const api::Json& frame) {
+    // Serialize outside the write lock; the dump is the v1 encode cost the
+    // serialization share in BENCH_serve.json compares against v2.
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string text = frame.dump();
+    wire::SerStats::instance().add_encode(1, ms_since(t0), text.size() + 1);
     const std::lock_guard<std::mutex> lock(write_mu);
     // A vanished peer (disconnect mid-batch) makes write_frame return
     // false; evaluation still completes and the response is dropped —
     // that is the peer's choice, not an error.
-    conn->write_frame(frame.dump());
+    conn->write_frame(text);
   }
 
   void add_pending() {
@@ -332,8 +349,35 @@ api::Json batch_item_error(ErrorCode code, const std::string& message) {
 }
 
 const char* const kKnownMethods =
-    "eval, eval_batch, metrics, backends, experiments, experiment, ping, "
-    "reconfigure, shard_info, trace, drain";
+    "hello, eval, eval_batch, metrics, backends, experiments, experiment, "
+    "ping, reconfigure, shard_info, trace, drain";
+
+/// The `hello` handshake result: the negotiated wire version for this
+/// session.  `upgrade` is set when the session should switch to the
+/// binary v2 framing after the ok response goes out.
+api::Json handle_hello(const api::Json& params, const ProtocolOptions& options,
+                       bool& upgrade) {
+  int client_max = 1;
+  if (!params.is_null()) {
+    DEFA_CHECK(params.is_object(), "protocol: hello params must be an object");
+    for (const auto& [key, value] : params.members()) {
+      DEFA_CHECK(key == "max_version",
+                 "protocol: unknown hello params key '" + key + "'");
+    }
+    if (const api::Json* v = params.find("max_version")) {
+      const std::int64_t m = v->as_int();
+      DEFA_CHECK(m >= 1, "protocol: 'max_version' must be >= 1");
+      client_max = static_cast<int>(std::min<std::int64_t>(m, wire::kWireVersion));
+    }
+  }
+  const int negotiated =
+      std::max(1, std::min(client_max, options.max_wire_version));
+  upgrade = negotiated >= 2;
+  api::Json j = api::Json::object();
+  j["version"] = negotiated;
+  j["max_frame_bytes"] = static_cast<double>(options.max_frame_bytes);
+  return j;
+}
 
 void handle_eval(const std::string& id, const api::Json& params, Server& server,
                  const std::shared_ptr<SessionState>& state,
@@ -561,31 +605,62 @@ api::Json handle_experiment(const api::Json& params, Server& server) {
 
 }  // namespace
 
+api::Json dispatch_admin_method(const std::string& method,
+                                const api::Json& params, Server& server,
+                                bool& known) {
+  known = true;
+  if (method == "metrics") return server.metrics().to_json();
+  if (method == "trace") return handle_trace(params, server);
+  if (method == "backends") return handle_backends(server);
+  if (method == "experiments") return handle_experiments();
+  if (method == "experiment") return handle_experiment(params, server);
+  if (method == "ping") return handle_ping(server);
+  // Inline on the session thread: Server::reconfigure takes the scheduling
+  // lock, so the change lands between dispatches and the response is
+  // written only once it is fully applied.
+  if (method == "reconfigure") return handle_reconfigure(params, server);
+  if (method == "shard_info") return handle_shard_info(server);
+  known = false;
+  return {};
+}
+
 SessionResult run_protocol_session(Connection& conn, Server& server,
                                    const ProtocolOptions& options,
                                    const std::string* first_frame) {
   SessionResult out;
   auto state = std::make_shared<SessionState>(conn);
 
-  // Returns false when the session should end (drain).
-  const auto handle_frame = [&](const std::string& text) -> bool {
-    if (text.find_first_not_of(" \t\r") == std::string::npos) return true;
+  // What one frame decided about the rest of the session.
+  enum class FrameOutcome { kContinue, kStop, kUpgrade };
+  // Frames that reached method dispatch — `hello` is only legal as the
+  // session's first one, so a frame count of 1 at dispatch time is the
+  // handshake window.
+  int dispatched = 0;
+
+  const auto handle_frame = [&](const std::string& text) -> FrameOutcome {
+    if (text.find_first_not_of(" \t\r") == std::string::npos) {
+      return FrameOutcome::kContinue;
+    }
     if (text.size() > options.max_frame_bytes) {
       ++out.bad_frames;
       state->write(make_error_frame(
           "", ErrorCode::kOversized,
           "frame of " + std::to_string(text.size()) + " bytes exceeds the " +
               std::to_string(options.max_frame_bytes) + "-byte limit"));
-      return true;
+      return FrameOutcome::kContinue;
     }
     api::Json frame;
+    [[maybe_unused]] const std::int64_t parse_ts_us = obs::now_us();
+    const auto parse_t0 = std::chrono::steady_clock::now();
     try {
       frame = api::Json::parse(text);
     } catch (const std::exception& e) {
       ++out.bad_frames;
       state->write(make_error_frame("", ErrorCode::kParse, e.what()));
-      return true;
+      return FrameOutcome::kContinue;
     }
+    const double parse_ms = ms_since(parse_t0);
+    wire::SerStats::instance().add_decode(1, parse_ms, text.size() + 1);
 
     std::string id;
     try {
@@ -603,6 +678,14 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
         trace_id = obs::trace_id_from_hex(t->as_string());
         if (!obs::Tracer::instance().enabled()) trace_id = 0;
       }
+#if DEFA_TRACE
+      if (trace_id != 0) {
+        obs::record_span("wire_decode", "wire", parse_ts_us,
+                         static_cast<std::int64_t>(parse_ms * 1000.0), trace_id,
+                         {{"version", "1"},
+                          {"bytes", std::to_string(text.size() + 1)}});
+      }
+#endif
       const api::Json* v = frame.find("v");
       if (v == nullptr || v->as_int() != kProtocolVersion) {
         ++out.bad_frames;
@@ -613,40 +696,37 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
                          : "unsupported protocol version " +
                                std::to_string(v->as_int()) + " (this server speaks v" +
                                std::to_string(kProtocolVersion) + ")"));
-        return true;
+        return FrameOutcome::kContinue;
       }
       const std::string method = frame.at("method").as_string();
       const api::Json* params = frame.find("params");
       static const api::Json kNull;
+      ++dispatched;
 
+      if (method == "hello") {
+        // Only legal as the very first frame: the answer is the session's
+        // last v1 line when an upgrade is negotiated, and mid-session
+        // re-negotiation would tear frame boundaries out from under
+        // responses already in flight.
+        if (dispatched != 1) {
+          ++out.bad_frames;
+          state->write(make_error_frame(
+              id, ErrorCode::kValidation,
+              "hello must be the first frame of a session"));
+          return FrameOutcome::kContinue;
+        }
+        bool upgrade = false;
+        const api::Json result =
+            handle_hello(params == nullptr ? kNull : *params, options, upgrade);
+        state->write(make_ok_frame(id, result));
+        return upgrade ? FrameOutcome::kUpgrade : FrameOutcome::kContinue;
+      }
       if (method == "eval") {
         handle_eval(id, params == nullptr ? kNull : *params, server, state,
                     trace_id);
       } else if (method == "eval_batch") {
         handle_eval_batch(id, params == nullptr ? kNull : *params, server,
                           state, trace_id);
-      } else if (method == "trace") {
-        state->write(make_ok_frame(
-            id, handle_trace(params == nullptr ? kNull : *params, server)));
-      } else if (method == "metrics") {
-        state->write(make_ok_frame(id, server.metrics().to_json()));
-      } else if (method == "backends") {
-        state->write(make_ok_frame(id, handle_backends(server)));
-      } else if (method == "experiments") {
-        state->write(make_ok_frame(id, handle_experiments()));
-      } else if (method == "experiment") {
-        state->write(make_ok_frame(
-            id, handle_experiment(params == nullptr ? kNull : *params, server)));
-      } else if (method == "ping") {
-        state->write(make_ok_frame(id, handle_ping(server)));
-      } else if (method == "reconfigure") {
-        // Inline on the session thread: Server::reconfigure takes the
-        // scheduling lock, so the change lands between dispatches and the
-        // response is written only once it is fully applied.
-        state->write(make_ok_frame(
-            id, handle_reconfigure(params == nullptr ? kNull : *params, server)));
-      } else if (method == "shard_info") {
-        state->write(make_ok_frame(id, handle_shard_info(server)));
       } else if (method == "drain") {
         server.drain();  // stop admitting, finish in-flight
         api::Json payload = api::Json::object();
@@ -655,27 +735,44 @@ SessionResult run_protocol_session(Connection& conn, Server& server,
         state->write(make_ok_frame(id, std::move(payload)));
         out.drained = true;
         if (options.on_drain) options.on_drain();
-        return false;
+        return FrameOutcome::kStop;
       } else {
-        ++out.bad_frames;
-        state->write(make_error_frame(id, ErrorCode::kUnknownMethod,
-                                      "unknown method '" + method + "' (known: " +
-                                          std::string(kKnownMethods) + ")"));
+        bool known = true;
+        api::Json result = dispatch_admin_method(
+            method, params == nullptr ? kNull : *params, server, known);
+        if (known) {
+          state->write(make_ok_frame(id, std::move(result)));
+        } else {
+          ++out.bad_frames;
+          state->write(make_error_frame(
+              id, ErrorCode::kUnknownMethod,
+              "unknown method '" + method + "' (known: " +
+                  std::string(kKnownMethods) + ")"));
+        }
       }
     } catch (const std::exception& e) {
       ++out.bad_frames;
       state->write(make_error_frame(id, ErrorCode::kValidation, e.what()));
     }
-    return true;
+    return FrameOutcome::kContinue;
   };
 
-  bool keep_going = first_frame == nullptr || handle_frame(*first_frame);
+  FrameOutcome oc = first_frame == nullptr ? FrameOutcome::kContinue
+                                           : handle_frame(*first_frame);
   std::string text;
-  while (keep_going && conn.read_frame(text)) keep_going = handle_frame(text);
+  while (oc == FrameOutcome::kContinue && conn.read_frame(text)) {
+    oc = handle_frame(text);
+  }
   // EOF or drain with evals still in flight (including a peer that
   // disconnected mid-batch): wait for their callbacks so `state`'s writes
   // are done before the caller tears the connection down.
   state->wait_idle();
+  if (oc == FrameOutcome::kUpgrade) {
+    // The hello ok above was the session's last JSON line; everything the
+    // peer sends from here on is binary v2 frames.
+    wire::run_wire_session(conn, server, options, out);
+    return out;
+  }
   // A drained session is over: shut the connection so the peer sees EOF
   // instead of waiting on a socket nobody reads anymore.
   if (out.drained) conn.shutdown();

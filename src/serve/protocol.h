@@ -14,12 +14,19 @@
 ///   <- {"v": 1, "id": "r2", "ok": false,
 ///       "error": {"code": "overload", "message": "..."}}
 ///
-/// Methods: `eval`, `eval_batch`, `metrics`, `backends`, `experiments`,
-/// `experiment`, `ping`, `reconfigure`, `shard_info`, `trace`, `drain`.
-/// Failures carry typed error codes (`ErrorCode` below) instead of
-/// free-form strings.  Request envelopes may carry an optional
-/// `trace_id` field correlating client- and server-side trace spans
-/// (docs/OBSERVABILITY.md).
+/// Methods: `hello`, `eval`, `eval_batch`, `metrics`, `backends`,
+/// `experiments`, `experiment`, `ping`, `reconfigure`, `shard_info`,
+/// `trace`, `drain`.  Failures carry typed error codes (`ErrorCode`
+/// below) instead of free-form strings.  Request envelopes may carry an
+/// optional `trace_id` field correlating client- and server-side trace
+/// spans (docs/OBSERVABILITY.md).
+///
+/// `hello` — sent as the *first* frame of a session — negotiates the wire
+/// version: when both sides speak Protocol v2, the ok response is the
+/// session's last JSON line and the connection switches to the binary
+/// frame format of `serve/wire/` (docs/PROTOCOL.md#protocol-v2).  Old
+/// servers answer `unknown_method` and old clients never send hello, so
+/// both directions fall back to v1 JSON byte-for-byte.
 ///
 /// The pre-v1 JSON-lines mode (bare EvalRequest / `{"id", "priority",
 /// "timeout_ms", "request"}` lines answered in arrival order) is preserved
@@ -120,7 +127,15 @@ enum class ErrorCode {
 struct ProtocolOptions {
   /// Frames longer than this are refused with an `oversized` error
   /// (the line itself is still consumed, so the session keeps going).
+  /// Applies to v1 lines and v2 binary payloads alike.
   std::size_t max_frame_bytes = 4u << 20;
+  /// The highest wire version `hello` may negotiate (1 pins the session
+  /// to JSON framing — `defa_serve --max-wire 1` forces the fallback).
+  int max_wire_version = 2;
+  /// v2 streaming eval_batch: how many items may be in flight or buffered
+  /// ahead of the next in-order chunk flush.  Bounds the per-batch result
+  /// memory by the window, not the batch size.
+  std::size_t stream_window = 32;
   /// Invoked after a `drain` method completed (server idle, response
   /// written).  `defa_serve --listen` closes its accept loop here so one
   /// client's drain stops the whole process.
@@ -132,6 +147,7 @@ struct SessionResult {
   int bad_frames = 0;   ///< frames answered with a protocol-level error
   bool drained = false; ///< session ended via the `drain` method
   bool legacy = false;  ///< auto-detection chose the legacy JSON-lines loop
+  int wire_version = 1; ///< 2 once a hello handshake upgraded the session
 };
 
 /// Serve one Protocol v1 session until EOF or `drain`.  Eval responses
@@ -143,6 +159,17 @@ struct SessionResult {
 SessionResult run_protocol_session(Connection& conn, Server& server,
                                    const ProtocolOptions& options,
                                    const std::string* first_frame = nullptr);
+
+/// Dispatch one inline admin method — everything except the async eval
+/// paths (`eval`, `eval_batch`), the session-terminating `drain` and the
+/// handshake `hello` — and return its ok-result payload.  Sets `known` to
+/// false (and returns null) on an unrecognized name.  Shared by the v1
+/// session loop and the v2 binary session (`serve/wire/session.h`), so
+/// both protocol versions answer admin calls from one implementation.
+/// Throws defa::CheckError on malformed params.
+[[nodiscard]] api::Json dispatch_admin_method(const std::string& method,
+                                              const api::Json& params,
+                                              Server& server, bool& known);
 
 /// Serve one connection in whichever mode its first frame selects:
 /// Protocol v1 (`"v"` key present) or the legacy arrival-order JSON-lines

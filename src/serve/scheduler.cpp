@@ -418,6 +418,7 @@ void Server::reconfigure(const ServerReconfig& rc) {
     engine_.clear_caches();
     engine_.reset_stats();
     metrics_.reset();
+    wire::SerStats::instance().reset();
   }
 }
 
@@ -445,6 +446,8 @@ MetricsSnapshot Server::metrics() const {
   snap.plan_hits = cache.plan_hits;
   snap.plan_misses = cache.plan_misses;
   snap.plan_entries = cache.plan_entries;
+  snap.wire_v1 = wire::SerStats::instance().snapshot(1);
+  snap.wire_v2 = wire::SerStats::instance().snapshot(2);
   return snap;
 }
 

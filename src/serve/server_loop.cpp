@@ -173,7 +173,9 @@ int run_serve_loop(std::istream& in, std::ostream& out,
         options.metrics_interval_sec);
   }
   StreamConnection conn(in, out);
-  const SessionResult session = run_serve_connection(conn, server);
+  ProtocolOptions protocol;
+  protocol.max_wire_version = options.max_wire_version;
+  const SessionResult session = run_serve_connection(conn, server, protocol);
   server.drain();  // settle gauges before the final metrics line
   emitter.reset();  // final metrics line reflects the drained server
 

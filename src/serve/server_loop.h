@@ -79,6 +79,9 @@ struct ServeLoopOptions {
   /// `*metrics_stream` (nullptr = stderr).
   double metrics_interval_sec = 0;
   std::ostream* metrics_stream = nullptr;
+  /// Highest wire version the server offers in the `hello` handshake
+  /// (`defa_serve --max-wire`); 1 pins every session to v1 JSON.
+  int max_wire_version = 2;
 };
 
 /// Serve `in` until EOF on a fresh Server, auto-detecting the mode from

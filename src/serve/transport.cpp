@@ -46,6 +46,18 @@ bool StreamConnection::write_frame(const std::string& frame) {
   return out_.good();
 }
 
+bool StreamConnection::read_exact(void* buf, std::size_t n) {
+  if (shutdown_) return false;
+  in_.read(static_cast<char*>(buf), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(in_.gcount()) == n;
+}
+
+bool StreamConnection::write_bytes(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  out_.flush();
+  return out_.good();
+}
+
 void StreamConnection::shutdown() { shutdown_ = true; }
 
 // --------------------------------------------------------------- FdConnection
@@ -63,12 +75,23 @@ FdConnection::~FdConnection() {
 
 bool FdConnection::read_frame(std::string& frame) {
   while (true) {
-    const std::size_t nl = buffer_.find('\n');
+    const std::size_t nl = buffer_.find('\n', pos_);
     if (nl != std::string::npos) {
-      frame.assign(buffer_, 0, nl);
-      buffer_.erase(0, nl + 1);
+      frame.assign(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ == buffer_.size()) {  // fully consumed: rewind, keep capacity
+        buffer_.clear();
+        pos_ = 0;
+      }
       strip_eol(frame);
       return true;
+    }
+    // Refill.  The consumed prefix is erased in place first (capacity is
+    // kept), so the buffer never grows beyond the largest frame plus one
+    // read chunk and steady-state reads do not allocate.
+    if (pos_ > 0) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
     }
     char chunk[4096];
     const ssize_t r = is_socket_ ? ::recv(read_fd_, chunk, sizeof(chunk), 0)
@@ -81,6 +104,7 @@ bool FdConnection::read_frame(std::string& frame) {
       if (buffer_.empty()) return false;
       frame = std::move(buffer_);
       buffer_.clear();
+      pos_ = 0;
       strip_eol(frame);
       return true;
     }
@@ -88,25 +112,68 @@ bool FdConnection::read_frame(std::string& frame) {
   }
 }
 
-bool FdConnection::write_frame(const std::string& frame) {
+bool FdConnection::read_exact(void* buf, std::size_t n) {
+  char* dst = static_cast<char*>(buf);
+  // Serve from bytes a previous read_frame buffered past its newline (the
+  // v1 -> v2 handshake switch can leave the first binary frame there).
+  const std::size_t buffered = buffer_.size() - pos_;
+  if (buffered > 0) {
+    const std::size_t take = buffered < n ? buffered : n;
+    std::memcpy(dst, buffer_.data() + pos_, take);
+    pos_ += take;
+    if (pos_ == buffer_.size()) {
+      buffer_.clear();
+      pos_ = 0;
+    }
+    dst += take;
+    n -= take;
+  }
+  // Remaining bytes read straight into the caller's buffer — no
+  // intermediate copy for large binary payloads.
+  while (n > 0) {
+    const ssize_t r = is_socket_ ? ::recv(read_fd_, dst, n, 0)
+                                 : ::read(read_fd_, dst, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-frame
+    dst += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool FdConnection::write_all(const void* data, std::size_t n) {
   if (write_fd_ < 0) return false;
-  const std::string line = frame + "\n";
-  const char* data = line.data();
-  std::size_t n = line.size();
+  const char* p = static_cast<const char*>(data);
   // Write-all with EINTR retry.  A vanished peer surfaces as EPIPE
   // (MSG_NOSIGNAL on sockets; the tools ignore SIGPIPE for pipes) and is
   // reported as false, never as a signal or an exception.
   while (n > 0) {
-    const ssize_t w = is_socket_ ? ::send(write_fd_, data, n, MSG_NOSIGNAL)
-                                 : ::write(write_fd_, data, n);
+    const ssize_t w = is_socket_ ? ::send(write_fd_, p, n, MSG_NOSIGNAL)
+                                 : ::write(write_fd_, p, n);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
     }
-    data += w;
+    p += w;
     n -= static_cast<std::size_t>(w);
   }
   return true;
+}
+
+bool FdConnection::write_frame(const std::string& frame) {
+  // One reused buffer so frame + terminator leave in a single transport
+  // write (one TCP segment for small frames) without a per-frame
+  // allocation after warm-up.
+  write_buf_.assign(frame);
+  write_buf_.push_back('\n');
+  return write_all(write_buf_.data(), write_buf_.size());
+}
+
+bool FdConnection::write_bytes(const void* data, std::size_t n) {
+  return write_all(data, n);
 }
 
 void FdConnection::shutdown() {

@@ -43,12 +43,28 @@ class Connection {
   /// ordinary end-of-session, not an error.
   virtual bool write_frame(const std::string& frame) = 0;
 
+  /// Blocking read of exactly `n` raw bytes into `buf` (Protocol v2
+  /// binary framing — docs/PROTOCOL.md#protocol-v2).  Bytes already
+  /// buffered by a previous `read_frame` are consumed first, so a session
+  /// can switch from line framing to binary mid-stream (the `hello`
+  /// handshake does exactly that).  Returns false on EOF or a transport
+  /// error before `n` bytes arrived.
+  [[nodiscard]] virtual bool read_exact(void* buf, std::size_t n) = 0;
+
+  /// Write exactly `n` raw bytes (no terminator) and flush.  Same
+  /// broken-pipe contract as `write_frame`.
+  virtual bool write_bytes(const void* data, std::size_t n) = 0;
+
   /// Interrupt a blocked `read_frame` from another thread; subsequent
   /// reads return false.  Used for server-initiated shutdown.
   virtual void shutdown() = 0;
 
   /// Transport label stamped into load reports ("stdio" | "tcp").
   [[nodiscard]] virtual const char* transport_name() const noexcept = 0;
+
+  /// The underlying read descriptor for socket-option introspection
+  /// (tests assert TCP_NODELAY on both ends); -1 when not fd-backed.
+  [[nodiscard]] virtual int native_handle() const noexcept { return -1; }
 };
 
 /// `Connection` over caller-owned streams (stdio, pipes, stringstreams).
@@ -57,6 +73,8 @@ class StreamConnection : public Connection {
   StreamConnection(std::istream& in, std::ostream& out);
   [[nodiscard]] bool read_frame(std::string& frame) override;
   bool write_frame(const std::string& frame) override;
+  [[nodiscard]] bool read_exact(void* buf, std::size_t n) override;
+  bool write_bytes(const void* data, std::size_t n) override;
   void shutdown() override;
   [[nodiscard]] const char* transport_name() const noexcept override {
     return "stdio";
@@ -83,18 +101,32 @@ class FdConnection : public Connection {
 
   [[nodiscard]] bool read_frame(std::string& frame) override;
   bool write_frame(const std::string& frame) override;
+  [[nodiscard]] bool read_exact(void* buf, std::size_t n) override;
+  bool write_bytes(const void* data, std::size_t n) override;
   /// Socket: ::shutdown both directions (wakes a blocked reader).
   /// Pipe pair: close the write end — the peer's read side sees EOF.
   void shutdown() override;
   [[nodiscard]] const char* transport_name() const noexcept override {
     return is_socket_ ? "tcp" : "stdio";
   }
+  [[nodiscard]] int native_handle() const noexcept override { return read_fd_; }
 
  protected:
+  /// Write-all with EINTR retry; false on a vanished peer.
+  bool write_all(const void* data, std::size_t n);
+
   int read_fd_ = -1;
   int write_fd_ = -1;
   bool is_socket_ = false;
-  std::string buffer_;  ///< bytes read past the last frame boundary
+  /// Receive buffer, reused across frames: `pos_` marks the consumed
+  /// prefix and the prefix is erased in place before refilling, so a
+  /// steady-state `read_frame`/`read_exact` loop performs no per-frame
+  /// allocation (asserted by a micro-test in tests/test_protocol.cpp).
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  /// Reused outgoing line buffer of `write_frame` (frame + '\n' in one
+  /// transport write, so small responses stay one TCP segment).
+  std::string write_buf_;
 };
 
 /// `Connection` over a connected TCP socket (takes ownership of `fd`).

@@ -1,0 +1,568 @@
+#include "serve/wire/codec.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+#include "serve/wire/stats.h"
+
+namespace defa::serve::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             Clock::now() - t0)
+      .count();
+}
+
+/// Caps on decoded element counts: well below any real payload, far below
+/// anything that could make an adversarial frame allocate out of bounds
+/// (each element also consumes payload bytes, so Reader's bounds checks
+/// are the hard stop — this just fails fast with a clearer error).
+constexpr std::uint32_t kMaxRows = 1u << 20;
+
+void check_rows(std::uint32_t n, const char* what) {
+  if (n > kMaxRows) {
+    throw DecodeError(DecodeError::Kind::kLimit,
+                      std::string("wire: implausible ") + what + " count " +
+                          std::to_string(n));
+  }
+}
+
+void record_wire_span(const char* name, std::uint64_t trace_id, double ms,
+                      std::size_t bytes) {
+#if DEFA_TRACE
+  if (trace_id != 0 && obs::Tracer::instance().enabled()) {
+    const std::int64_t dur_us = static_cast<std::int64_t>(ms * 1e3);
+    obs::record_span(name, "wire", obs::now_us() - dur_us, dur_us, trace_id,
+                     {{"bytes", std::to_string(bytes)}, {"wire", "v2"}});
+  }
+#else
+  (void)name;
+  (void)trace_id;
+  (void)ms;
+  (void)bytes;
+#endif
+}
+
+// ---------------------------------------------------------- EvalResult layout
+
+void encode_functional(Writer& w, const api::FunctionalStats& f) {
+  w.str(f.config_label);
+  w.f64(f.point_reduction);
+  w.f64(f.pixel_reduction);
+  w.f64(f.flop_reduction);
+  w.f64(f.final_nrmse);
+  w.f64(f.dense_gflops);
+  w.f64(f.actual_gflops);
+  w.u32(static_cast<std::uint32_t>(f.layers.size()));
+  for (const api::LayerFunctionalRow& row : f.layers) {
+    w.i32(row.layer);
+    w.f64(row.pap_pruned_frac);
+    w.f64(row.fwp_mask_out_frac);
+    w.f64(row.pixels_pruned_frac);
+    w.f64(row.clamped_frac);
+    w.f64(row.flops_saved_frac);
+    w.f64(row.out_nrmse);
+    w.f64(row.total_points);
+    w.f64(row.kept_points);
+    w.f64(row.total_pixels);
+    w.f64(row.kept_pixels);
+  }
+}
+
+api::FunctionalStats decode_functional(Reader& r) {
+  api::FunctionalStats f;
+  f.config_label = r.str();
+  f.point_reduction = r.f64();
+  f.pixel_reduction = r.f64();
+  f.flop_reduction = r.f64();
+  f.final_nrmse = r.f64();
+  f.dense_gflops = r.f64();
+  f.actual_gflops = r.f64();
+  const std::uint32_t n = r.u32();
+  check_rows(n, "functional layer");
+  f.layers.resize(n);
+  for (api::LayerFunctionalRow& row : f.layers) {
+    row.layer = r.i32();
+    row.pap_pruned_frac = r.f64();
+    row.fwp_mask_out_frac = r.f64();
+    row.pixels_pruned_frac = r.f64();
+    row.clamped_frac = r.f64();
+    row.flops_saved_frac = r.f64();
+    row.out_nrmse = r.f64();
+    row.total_points = r.f64();
+    row.kept_points = r.f64();
+    row.total_pixels = r.f64();
+    row.kept_pixels = r.f64();
+  }
+  return f;
+}
+
+void encode_phases(Writer& w, const std::vector<api::PhaseRow>& phases) {
+  w.u32(static_cast<std::uint32_t>(phases.size()));
+  for (const api::PhaseRow& p : phases) {
+    w.str(p.name);
+    w.f64(p.cycles);
+    w.f64(p.stall_cycles);
+    w.f64(p.macs);
+    w.f64(p.sram_read_bytes);
+    w.f64(p.sram_write_bytes);
+    w.f64(p.dram_read_bytes);
+    w.f64(p.dram_write_bytes);
+  }
+}
+
+std::vector<api::PhaseRow> decode_phases(Reader& r) {
+  const std::uint32_t n = r.u32();
+  check_rows(n, "phase row");
+  std::vector<api::PhaseRow> phases(n);
+  for (api::PhaseRow& p : phases) {
+    p.name = r.str();
+    p.cycles = r.f64();
+    p.stall_cycles = r.f64();
+    p.macs = r.f64();
+    p.sram_read_bytes = r.f64();
+    p.sram_write_bytes = r.f64();
+    p.dram_read_bytes = r.f64();
+    p.dram_write_bytes = r.f64();
+  }
+  return phases;
+}
+
+void encode_latency(Writer& w, const api::LatencyStats& l) {
+  w.f64(l.wall_cycles);
+  w.f64(l.time_ms);
+  w.f64(l.effective_gops);
+  w.f64(l.msgs_groups);
+  w.f64(l.msgs_conflict_groups);
+  w.f64(l.msgs_points_per_cycle);
+  w.i32(l.steady_state_layer);
+  encode_phases(w, l.steady_phases);
+  encode_phases(w, l.total_phases);
+}
+
+api::LatencyStats decode_latency(Reader& r) {
+  api::LatencyStats l;
+  l.wall_cycles = r.f64();
+  l.time_ms = r.f64();
+  l.effective_gops = r.f64();
+  l.msgs_groups = r.f64();
+  l.msgs_conflict_groups = r.f64();
+  l.msgs_points_per_cycle = r.f64();
+  l.steady_state_layer = r.i32();
+  l.steady_phases = decode_phases(r);
+  l.total_phases = decode_phases(r);
+  return l;
+}
+
+void encode_energy(Writer& w, const api::EnergyStats& e) {
+  w.f64(e.pe_pj);
+  w.f64(e.softmax_pj);
+  w.f64(e.sram_pj);
+  w.f64(e.other_logic_pj);
+  w.f64(e.dram_pj);
+  w.f64(e.area_sram_mm2);
+  w.f64(e.area_pe_softmax_mm2);
+  w.f64(e.area_others_mm2);
+  w.f64(e.chip_power_mw);
+  w.f64(e.system_power_mw);
+  w.f64(e.gops_per_w);
+  w.u32(static_cast<std::uint32_t>(e.sram_macros.size()));
+  for (const api::SramMacroRow& m : e.sram_macros) {
+    w.str(m.name);
+    w.f64(m.capacity_bytes);
+    w.f64(m.count);
+    w.f64(m.word_bytes);
+  }
+}
+
+api::EnergyStats decode_energy(Reader& r) {
+  api::EnergyStats e;
+  e.pe_pj = r.f64();
+  e.softmax_pj = r.f64();
+  e.sram_pj = r.f64();
+  e.other_logic_pj = r.f64();
+  e.dram_pj = r.f64();
+  e.area_sram_mm2 = r.f64();
+  e.area_pe_softmax_mm2 = r.f64();
+  e.area_others_mm2 = r.f64();
+  e.chip_power_mw = r.f64();
+  e.system_power_mw = r.f64();
+  e.gops_per_w = r.f64();
+  const std::uint32_t n = r.u32();
+  check_rows(n, "sram macro");
+  e.sram_macros.resize(n);
+  for (api::SramMacroRow& m : e.sram_macros) {
+    m.name = r.str();
+    m.capacity_bytes = r.f64();
+    m.count = r.f64();
+    m.word_bytes = r.f64();
+  }
+  return e;
+}
+
+void encode_accuracy(Writer& w, const api::AccuracyStats& a) {
+  w.f64(a.baseline_ap);
+  w.f64(a.proxy_ap);
+  w.u32(static_cast<std::uint32_t>(a.drops.size()));
+  for (const api::TechniqueDrop& d : a.drops) {
+    w.str(d.technique);
+    w.f64(d.measured_error);
+    w.f64(d.ap_drop);
+  }
+}
+
+api::AccuracyStats decode_accuracy(Reader& r) {
+  api::AccuracyStats a;
+  a.baseline_ap = r.f64();
+  a.proxy_ap = r.f64();
+  const std::uint32_t n = r.u32();
+  check_rows(n, "technique drop");
+  a.drops.resize(n);
+  for (api::TechniqueDrop& d : a.drops) {
+    d.technique = r.str();
+    d.measured_error = r.f64();
+    d.ap_drop = r.f64();
+  }
+  return a;
+}
+
+// ----------------------------------------------------------- shared sections
+
+void write_timing(Writer& w, const ServeResponse& r) {
+  w.begin_section(SectionType::kTiming);
+  w.f64(r.queue_ms);
+  w.f64(r.run_ms);
+  w.f64(r.total_ms);
+  w.i64(r.dispatch_index);
+  w.end_section();
+}
+
+void read_timing(Reader& body, ServeResponse& r) {
+  r.queue_ms = body.f64();
+  r.run_ms = body.f64();
+  r.total_ms = body.f64();
+  r.dispatch_index = body.i64();
+}
+
+void write_error_section(Writer& w, ErrorCode code, const std::string& message,
+                         double queue_ms, double total_ms) {
+  w.begin_section(SectionType::kError);
+  w.u16(error_code_to_wire(code));
+  w.u16(0);
+  w.f64(queue_ms);
+  w.f64(total_ms);
+  w.str(message);
+  w.end_section();
+}
+
+void read_error_section(Reader& body, ServeResponse& r) {
+  const std::uint16_t raw = body.u16();
+  (void)body.u16();
+  r.queue_ms = body.f64();
+  r.total_ms = body.f64();
+  const std::string message = body.str();
+  const std::optional<ErrorCode> code = error_code_from_wire(raw);
+  // An unknown number (a newer peer) degrades to internal, mirroring the
+  // v1 JSON decoder's treatment of unknown code names.
+  r.status = status_for(code.value_or(ErrorCode::kInternal));
+  r.error_code = error_code_name(code.value_or(ErrorCode::kInternal));
+  r.error = message;
+}
+
+/// Eval-path payload sections shared by kResponse and kBatchChunk frames.
+void write_eval_sections(Writer& w, const ServeResponse& r) {
+  if (r.status == ResponseStatus::kOk) {
+    DEFA_CHECK(r.result.has_value(), "wire: ok response without a result");
+    write_timing(w, r);
+    w.begin_section(SectionType::kEvalResult);
+    encode_eval_result(w, *r.result);
+    w.end_section();
+  } else {
+    write_error_section(w, error_code_for(r.status), r.error, r.queue_ms,
+                        r.total_ms);
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------- error code numbers
+
+std::uint16_t error_code_to_wire(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kParse: return 1;
+    case ErrorCode::kValidation: return 2;
+    case ErrorCode::kVersion: return 3;
+    case ErrorCode::kUnknownMethod: return 4;
+    case ErrorCode::kOversized: return 5;
+    case ErrorCode::kOverload: return 6;
+    case ErrorCode::kDeadline: return 7;
+    case ErrorCode::kShutdown: return 8;
+    case ErrorCode::kInternal: return 9;
+    case ErrorCode::kTransport: return 10;
+  }
+  return 9;
+}
+
+std::optional<ErrorCode> error_code_from_wire(std::uint16_t v) noexcept {
+  switch (v) {
+    case 1: return ErrorCode::kParse;
+    case 2: return ErrorCode::kValidation;
+    case 3: return ErrorCode::kVersion;
+    case 4: return ErrorCode::kUnknownMethod;
+    case 5: return ErrorCode::kOversized;
+    case 6: return ErrorCode::kOverload;
+    case 7: return ErrorCode::kDeadline;
+    case 8: return ErrorCode::kShutdown;
+    case 9: return ErrorCode::kInternal;
+    case 10: return ErrorCode::kTransport;
+    default: return std::nullopt;
+  }
+}
+
+// ------------------------------------------------------- EvalResult sections
+
+void encode_eval_result(Writer& w, const api::EvalResult& r) {
+  w.str(r.benchmark);
+  w.str(r.workload_key);
+  w.u32(r.outputs);
+  w.u8(r.functional.has_value() ? 1 : 0);
+  if (r.functional) encode_functional(w, *r.functional);
+  w.u8(r.latency.has_value() ? 1 : 0);
+  if (r.latency) encode_latency(w, *r.latency);
+  w.u8(r.energy.has_value() ? 1 : 0);
+  if (r.energy) encode_energy(w, *r.energy);
+  w.u8(r.accuracy.has_value() ? 1 : 0);
+  if (r.accuracy) encode_accuracy(w, *r.accuracy);
+}
+
+api::EvalResult decode_eval_result(Reader& r) {
+  api::EvalResult out;
+  out.benchmark = r.str();
+  out.workload_key = r.str();
+  out.outputs = r.u32();
+  const auto presence = [&r](const char* what) {
+    const std::uint8_t p = r.u8();
+    if (p > 1) {
+      throw DecodeError(DecodeError::Kind::kBadValue,
+                        std::string("wire: bad ") + what + " presence byte");
+    }
+    return p == 1;
+  };
+  if (presence("functional")) out.functional = decode_functional(r);
+  if (presence("latency")) out.latency = decode_latency(r);
+  if (presence("energy")) out.energy = decode_energy(r);
+  if (presence("accuracy")) out.accuracy = decode_accuracy(r);
+  return out;
+}
+
+// ------------------------------------------------------------ request frames
+
+std::string encode_request(const std::string& id, const std::string& method,
+                           const std::string& params_text,
+                           std::uint64_t trace_id) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kRequest);
+  w.section(SectionType::kId, id);
+  w.section(SectionType::kMethod, method);
+  if (!params_text.empty()) w.section(SectionType::kJson, params_text);
+  if (trace_id != 0) {
+    w.begin_section(SectionType::kTraceId);
+    w.u64(trace_id);
+    w.end_section();
+  }
+  w.end_frame();
+  std::string bytes = w.take();
+  const double ms = ms_since(t0);
+  SerStats::instance().add_encode(kWireVersion, ms, bytes.size());
+  record_wire_span("wire_encode", trace_id, ms, bytes.size());
+  return bytes;
+}
+
+DecodedRequest decode_request(const FrameHeader& h, const char* payload,
+                              std::size_t len) {
+  const Clock::time_point t0 = Clock::now();
+  if (h.type != FrameType::kRequest) {
+    throw DecodeError(DecodeError::Kind::kCorrupt,
+                      "wire: expected a request frame");
+  }
+  DecodedRequest out;
+  bool has_method = false;
+  Reader r(payload, len);
+  while (!r.done()) {
+    Reader::Section s = r.section();
+    switch (s.type) {
+      case SectionType::kId:
+        out.id = s.body.rest();
+        break;
+      case SectionType::kMethod:
+        out.method = s.body.rest();
+        has_method = true;
+        break;
+      case SectionType::kJson:
+        out.params_text = s.body.rest();
+        break;
+      case SectionType::kTraceId:
+        out.trace_id = s.body.u64();
+        break;
+      default:
+        // Unknown sections are skipped (append-only forward compat).
+        break;
+    }
+  }
+  if (!has_method) {
+    throw DecodeError(DecodeError::Kind::kBadValue,
+                      "wire: request frame without a method section");
+  }
+  const double ms = ms_since(t0);
+  SerStats::instance().add_decode(kWireVersion, ms, kHeaderBytes + len);
+  record_wire_span("wire_decode", out.trace_id, ms, kHeaderBytes + len);
+  return out;
+}
+
+// ----------------------------------------------------------- response frames
+
+std::string encode_eval_response(const std::string& id, const ServeResponse& r,
+                                 std::uint64_t trace_id) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kResponse,
+                r.status == ResponseStatus::kOk ? kFlagOk : 0);
+  w.section(SectionType::kId, id);
+  write_eval_sections(w, r);
+  w.end_frame();
+  std::string bytes = w.take();
+  const double ms = ms_since(t0);
+  SerStats::instance().add_encode(kWireVersion, ms, bytes.size());
+  record_wire_span("wire_encode", trace_id, ms, bytes.size());
+  return bytes;
+}
+
+std::string encode_admin_ok(const std::string& id, const api::Json& result) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kResponse, kFlagOk);
+  w.section(SectionType::kId, id);
+  w.section(SectionType::kJson, result.dump());
+  w.end_frame();
+  std::string bytes = w.take();
+  SerStats::instance().add_encode(kWireVersion, ms_since(t0), bytes.size());
+  return bytes;
+}
+
+std::string encode_error(const std::string& id, ErrorCode code,
+                         const std::string& message, double queue_ms,
+                         double total_ms) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kResponse, 0);
+  w.section(SectionType::kId, id);
+  write_error_section(w, code, message, queue_ms, total_ms);
+  w.end_frame();
+  std::string bytes = w.take();
+  SerStats::instance().add_encode(kWireVersion, ms_since(t0), bytes.size());
+  return bytes;
+}
+
+std::string encode_batch_chunk(const std::string& id, std::uint32_t index,
+                               const ServeResponse& r, std::uint64_t trace_id) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kBatchChunk,
+                r.status == ResponseStatus::kOk ? kFlagOk : 0);
+  w.section(SectionType::kId, id);
+  w.begin_section(SectionType::kBatchItem);
+  w.u32(index);
+  w.u8(r.status == ResponseStatus::kOk ? 1 : 0);
+  w.end_section();
+  write_eval_sections(w, r);
+  w.end_frame();
+  std::string bytes = w.take();
+  const double ms = ms_since(t0);
+  SerStats::instance().add_encode(kWireVersion, ms, bytes.size());
+  record_wire_span("wire_encode", trace_id, ms, bytes.size());
+  return bytes;
+}
+
+std::string encode_batch_end(const std::string& id, std::uint32_t total) {
+  const Clock::time_point t0 = Clock::now();
+  Writer w;
+  w.begin_frame(FrameType::kBatchEnd, kFlagOk);
+  w.section(SectionType::kId, id);
+  w.begin_section(SectionType::kBatchMeta);
+  w.u32(total);
+  w.end_section();
+  w.end_frame();
+  std::string bytes = w.take();
+  SerStats::instance().add_encode(kWireVersion, ms_since(t0), bytes.size());
+  return bytes;
+}
+
+DecodedResponse decode_response(const FrameHeader& h, const char* payload,
+                                std::size_t len, std::uint64_t trace_id) {
+  const Clock::time_point t0 = Clock::now();
+  if (h.type == FrameType::kRequest) {
+    throw DecodeError(DecodeError::Kind::kCorrupt,
+                      "wire: got a request frame where a response was expected");
+  }
+  DecodedResponse out;
+  out.type = h.type;
+  out.ok = (h.flags & kFlagOk) != 0;
+  bool saw_result = false;
+  Reader r(payload, len);
+  while (!r.done()) {
+    Reader::Section s = r.section();
+    switch (s.type) {
+      case SectionType::kId:
+        out.id = s.body.rest();
+        break;
+      case SectionType::kJson:
+        out.json_text = s.body.rest();
+        break;
+      case SectionType::kTiming:
+        read_timing(s.body, out.eval);
+        out.has_eval = true;
+        break;
+      case SectionType::kEvalResult:
+        out.eval.result = decode_eval_result(s.body);
+        out.eval.status = ResponseStatus::kOk;
+        out.has_eval = true;
+        saw_result = true;
+        break;
+      case SectionType::kError:
+        read_error_section(s.body, out.eval);
+        out.has_eval = true;
+        break;
+      case SectionType::kBatchItem:
+        out.item_index = s.body.u32();
+        (void)s.body.u8();  // ok flag; authoritative state is the sections
+        break;
+      case SectionType::kBatchMeta:
+        out.batch_total = s.body.u32();
+        break;
+      default:
+        break;  // append-only forward compat
+    }
+  }
+  if (out.ok && out.type != FrameType::kBatchEnd && !saw_result &&
+      out.json_text.empty()) {
+    throw DecodeError(DecodeError::Kind::kBadValue,
+                      "wire: ok response without a result or json section");
+  }
+  if (!out.ok && out.type != FrameType::kBatchEnd && !out.has_eval) {
+    throw DecodeError(DecodeError::Kind::kBadValue,
+                      "wire: error response without an error section");
+  }
+  const double ms = ms_since(t0);
+  SerStats::instance().add_decode(kWireVersion, ms, kHeaderBytes + len);
+  record_wire_span("wire_decode", trace_id, ms, kHeaderBytes + len);
+  return out;
+}
+
+}  // namespace defa::serve::wire

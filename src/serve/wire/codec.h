@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file wire/codec.h
+/// Protocol v2 frame codecs: the struct <-> bytes layer over
+/// `wire::format.h`.  Result payloads (`api::EvalResult` and its nested
+/// stats rows) are encoded as little-endian POD — strings as u32 length +
+/// bytes, doubles as raw IEEE bit patterns — so a result round-trips
+/// bit-exactly with no intermediate JSON text.  Small control payloads
+/// (request params, admin results) ride as UTF-8 JSON sections: they are
+/// a few hundred bytes of configuration, and reusing the strict v1
+/// parsers keeps one validation surface for both protocol versions.
+///
+/// Every encode_*/decode_* call times itself into `wire::SerStats`
+/// (version 2 bucket) and, when the payload carries a trace id and the
+/// process tracer is enabled, records a `wire_encode`/`wire_decode` span
+/// (docs/OBSERVABILITY.md) — the instrumentation BENCH_serve.json's
+/// serialization-share block is built from.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/wire/format.h"
+
+namespace defa::serve::wire {
+
+// -------------------------------------------------------- error code numbers
+
+/// Stable u16 wire numbering of the protocol error codes (kError
+/// sections).  Append-only: renumbering would break cross-version peers.
+[[nodiscard]] std::uint16_t error_code_to_wire(ErrorCode c) noexcept;
+/// nullopt on an unknown number (a newer peer's code).
+[[nodiscard]] std::optional<ErrorCode> error_code_from_wire(std::uint16_t v) noexcept;
+
+// ------------------------------------------------------- EvalResult sections
+
+/// Append the binary EvalResult layout to `w` (inside an open section).
+void encode_eval_result(Writer& w, const api::EvalResult& r);
+/// Bounds-checked inverse; throws DecodeError.
+[[nodiscard]] api::EvalResult decode_eval_result(Reader& r);
+
+// ------------------------------------------------------------ request frames
+
+struct DecodedRequest {
+  std::string id;
+  std::string method;
+  /// UTF-8 JSON params text; empty = no params section.
+  std::string params_text;
+  std::uint64_t trace_id = 0;
+};
+
+/// One client -> server call frame.  `params_text` empty omits the
+/// section.  Returns the complete frame (header + payload).
+[[nodiscard]] std::string encode_request(const std::string& id,
+                                         const std::string& method,
+                                         const std::string& params_text,
+                                         std::uint64_t trace_id = 0);
+
+/// Server-side inverse; throws DecodeError on anything malformed.
+[[nodiscard]] DecodedRequest decode_request(const FrameHeader& h,
+                                            const char* payload, std::size_t len);
+
+// ----------------------------------------------------------- response frames
+
+/// One decoded server -> client frame of any response type.
+struct DecodedResponse {
+  FrameType type = FrameType::kResponse;
+  std::string id;
+  bool ok = false;
+  /// Admin result JSON text (ok responses carrying a kJson section).
+  std::string json_text;
+  /// Eval-path payload: set for ok responses carrying kEvalResult and for
+  /// every error (status/error_code/error/queue_ms/total_ms filled).
+  bool has_eval = false;
+  ServeResponse eval;
+  std::uint32_t item_index = 0;   ///< kBatchChunk: which request this answers
+  std::uint32_t batch_total = 0;  ///< kBatchEnd: total item count
+};
+
+/// Eval response: ok -> kTiming + binary kEvalResult; else a kError
+/// section carrying the mapped code, message and queue/total timings.
+[[nodiscard]] std::string encode_eval_response(const std::string& id,
+                                               const ServeResponse& r,
+                                               std::uint64_t trace_id = 0);
+/// Admin ok response: the result dumped as one kJson section.
+[[nodiscard]] std::string encode_admin_ok(const std::string& id,
+                                          const api::Json& result);
+/// Protocol-level error response (parse/validation/oversized/...).
+[[nodiscard]] std::string encode_error(const std::string& id, ErrorCode code,
+                                       const std::string& message,
+                                       double queue_ms = 0, double total_ms = 0);
+/// One streamed eval_batch item (strictly increasing `index` on the wire).
+[[nodiscard]] std::string encode_batch_chunk(const std::string& id,
+                                             std::uint32_t index,
+                                             const ServeResponse& r,
+                                             std::uint64_t trace_id = 0);
+/// Terminates a streamed eval_batch response.
+[[nodiscard]] std::string encode_batch_end(const std::string& id,
+                                           std::uint32_t total);
+
+/// Client-side inverse of all of the above; throws DecodeError.
+[[nodiscard]] DecodedResponse decode_response(const FrameHeader& h,
+                                              const char* payload, std::size_t len,
+                                              std::uint64_t trace_id = 0);
+
+}  // namespace defa::serve::wire

@@ -1,0 +1,202 @@
+#include "serve/wire/format.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+
+namespace defa::serve::wire {
+
+namespace {
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  buf.append(b, 2);
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(b, 4);
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf.append(b, 8);
+}
+
+void patch_u32(std::string& buf, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[at + static_cast<std::size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- Writer
+
+void Writer::begin_frame(FrameType type, std::uint8_t flags) {
+  DEFA_CHECK(!in_frame_, "wire: begin_frame inside an open frame");
+  in_frame_ = true;
+  frame_start_ = buf_.size();
+  put_u32(buf_, kMagic);
+  buf_.push_back(static_cast<char>(type));
+  buf_.push_back(static_cast<char>(flags));
+  put_u16(buf_, 0);  // reserved
+  put_u32(buf_, 0);  // payload_len, patched by end_frame
+}
+
+void Writer::end_frame() {
+  DEFA_CHECK(in_frame_ && !in_section_, "wire: end_frame without an open frame");
+  in_frame_ = false;
+  const std::size_t payload = buf_.size() - frame_start_ - kHeaderBytes;
+  DEFA_CHECK(payload <= std::numeric_limits<std::uint32_t>::max(),
+             "wire: frame payload exceeds u32");
+  patch_u32(buf_, frame_start_ + 8, static_cast<std::uint32_t>(payload));
+}
+
+void Writer::section(SectionType type, const void* data, std::size_t len) {
+  DEFA_CHECK(len <= std::numeric_limits<std::uint32_t>::max(),
+             "wire: section exceeds u32");
+  put_u16(buf_, static_cast<std::uint16_t>(type));
+  put_u16(buf_, 0);
+  put_u32(buf_, static_cast<std::uint32_t>(len));
+  buf_.append(static_cast<const char*>(data), len);
+}
+
+void Writer::begin_section(SectionType type) {
+  DEFA_CHECK(!in_section_, "wire: begin_section inside an open section");
+  in_section_ = true;
+  put_u16(buf_, static_cast<std::uint16_t>(type));
+  put_u16(buf_, 0);
+  section_start_ = buf_.size();
+  put_u32(buf_, 0);  // length, patched by end_section
+}
+
+void Writer::end_section() {
+  DEFA_CHECK(in_section_, "wire: end_section without an open section");
+  in_section_ = false;
+  const std::size_t len = buf_.size() - section_start_ - 4;
+  DEFA_CHECK(len <= std::numeric_limits<std::uint32_t>::max(),
+             "wire: section exceeds u32");
+  patch_u32(buf_, section_start_, static_cast<std::uint32_t>(len));
+}
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void Writer::u16(std::uint16_t v) { put_u16(buf_, v); }
+void Writer::u32(std::uint32_t v) { put_u32(buf_, v); }
+void Writer::u64(std::uint64_t v) { put_u64(buf_, v); }
+
+void Writer::f64(double v) { put_u64(buf_, std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  DEFA_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max(),
+             "wire: string exceeds u32");
+  put_u32(buf_, static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+// --------------------------------------------------------------------- Reader
+
+const char* Reader::need(std::size_t n) {
+  if (size_ - pos_ < n) {
+    throw DecodeError(DecodeError::Kind::kTruncated,
+                      "wire: truncated payload (need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(size_ - pos_) + ")");
+  }
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() {
+  return static_cast<std::uint8_t>(*need(1));
+}
+
+std::uint16_t Reader::u16() {
+  const char* p = need(2);
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const char* p = need(4);
+  return get_u32(p);
+}
+
+std::uint64_t Reader::u64() {
+  const char* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  // Length validated against the remaining bytes before allocating: a
+  // corrupt 4 GB length must fail with kTruncated, not reserve 4 GB.
+  const char* p = need(len);
+  return std::string(p, len);
+}
+
+std::string Reader::rest() {
+  const std::size_t n = size_ - pos_;
+  const char* p = need(n);
+  return std::string(p, n);
+}
+
+Reader::Section Reader::section() {
+  const std::uint16_t type = u16();
+  (void)u16();  // reserved
+  const std::uint32_t len = u32();
+  const char* p = need(len);
+  return Section{static_cast<SectionType>(type), Reader(p, len)};
+}
+
+// --------------------------------------------------------------------- header
+
+FrameHeader decode_header(const char* data, std::size_t size) {
+  if (size < kHeaderBytes) {
+    throw DecodeError(DecodeError::Kind::kTruncated, "wire: truncated frame header");
+  }
+  if (get_u32(data) != kMagic) {
+    throw DecodeError(DecodeError::Kind::kCorrupt,
+                      "wire: bad frame magic (stream desynced)");
+  }
+  FrameHeader h;
+  const auto type = static_cast<std::uint8_t>(data[4]);
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kBatchEnd)) {
+    throw DecodeError(DecodeError::Kind::kCorrupt,
+                      "wire: unknown frame type " + std::to_string(type));
+  }
+  h.type = static_cast<FrameType>(type);
+  h.flags = static_cast<std::uint8_t>(data[5]);
+  h.payload_len = get_u32(data + 8);
+  return h;
+}
+
+void encode_header(std::string& out, const FrameHeader& h) {
+  put_u32(out, kMagic);
+  out.push_back(static_cast<char>(h.type));
+  out.push_back(static_cast<char>(h.flags));
+  put_u16(out, 0);
+  put_u32(out, h.payload_len);
+}
+
+}  // namespace defa::serve::wire

@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file wire/format.h
+/// Protocol v2 binary frame format (docs/PROTOCOL.md#protocol-v2): the
+/// byte-level layer under the negotiated binary wire.  A frame is a fixed
+/// 12-byte header followed by `payload_len` bytes of typed sections:
+///
+///   header:   "DFW2" magic | type u8 | flags u8 | reserved u16 | len u32
+///   section:  type u16 | reserved u16 | len u32 | len bytes
+///
+/// All integers are little-endian; doubles are 8-byte IEEE-754 bit
+/// patterns (also little-endian), so a value round-trips bit-exactly
+/// without ever being printed as text.  `Writer` appends sections to a
+/// reusable byte buffer; `Reader` is a bounds-checked cursor whose every
+/// read either succeeds or throws a typed `DecodeError` — a malformed or
+/// adversarial frame can never read out of bounds or crash the session.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace defa::serve::wire {
+
+/// The binary protocol version the v2 subsystem speaks (the `hello`
+/// handshake negotiates min(client, server) and falls back to 1 = JSON).
+inline constexpr int kWireVersion = 2;
+
+/// Frame header magic: the bytes "DFW2" read as a little-endian u32.
+inline constexpr std::uint32_t kMagic = 0x32574644u;
+inline constexpr std::size_t kHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,     ///< client -> server call
+  kResponse = 2,    ///< one response frame (eval, admin, or error)
+  kBatchChunk = 3,  ///< one streamed eval_batch item (strictly index order)
+  kBatchEnd = 4,    ///< terminates a streamed eval_batch response
+};
+
+/// Frame flag bits.
+inline constexpr std::uint8_t kFlagOk = 0x01;  ///< response carries a result
+
+enum class SectionType : std::uint16_t {
+  kId = 1,          ///< correlation id, UTF-8 bytes
+  kMethod = 2,      ///< method name, UTF-8 bytes
+  kJson = 3,        ///< UTF-8 JSON text (request params / admin results)
+  kTraceId = 4,     ///< u64 trace context (docs/OBSERVABILITY.md)
+  kEvalResult = 5,  ///< binary api::EvalResult (wire/codec.h layout)
+  kError = 6,       ///< u16 code, f64 queue_ms, f64 total_ms, message bytes
+  kTiming = 7,      ///< f64 queue_ms, run_ms, total_ms, i64 dispatch_index
+  kBatchItem = 8,   ///< u32 item index, u8 ok
+  kBatchMeta = 9,   ///< u32 total item count (kBatchEnd frames)
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  std::uint8_t flags = 0;
+  std::uint32_t payload_len = 0;
+};
+
+// ---------------------------------------------------------------- DecodeError
+
+/// Typed decode failure.  `kind` maps onto the protocol error codes: a
+/// kTruncated/kCorrupt frame is answered with `parse`, kLimit with
+/// `oversized`, kBadValue with `validation` (wire/session.cpp).
+class DecodeError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kTruncated,  ///< a read ran past the end of the payload
+    kCorrupt,    ///< bad magic / unknown type / malformed structure
+    kLimit,      ///< a declared length exceeds the frame or a sanity cap
+    kBadValue,   ///< structurally valid but semantically out of range
+  };
+
+  DecodeError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+// --------------------------------------------------------------------- Writer
+
+/// Appends little-endian primitives and sections to a caller-visible byte
+/// buffer.  `begin_frame`/`end_frame` bracket one frame: the header's
+/// payload length is back-patched on end_frame, so sections are written
+/// straight through with no intermediate buffer.
+class Writer {
+ public:
+  void clear() { buf_.clear(); }
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+  void begin_frame(FrameType type, std::uint8_t flags = 0);
+  /// Back-patches the payload length; throws defa::CheckError if the
+  /// payload outgrew u32 (no real frame does).
+  void end_frame();
+
+  /// One whole section: header + `len` bytes.
+  void section(SectionType type, const void* data, std::size_t len);
+  void section(SectionType type, const std::string& data) {
+    section(type, data.data(), data.size());
+  }
+
+  /// Open a section whose body is streamed via the u8/u32/f64/str calls
+  /// below; the section length is back-patched on `end_section`.
+  void begin_section(SectionType type);
+  void end_section();
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// u32 byte length + bytes.
+  void str(const std::string& s);
+
+ private:
+  std::string buf_;
+  std::size_t frame_start_ = 0;    ///< offset of the current frame header
+  std::size_t section_start_ = 0;  ///< offset of the open section header
+  bool in_frame_ = false;
+  bool in_section_ = false;
+};
+
+// --------------------------------------------------------------------- Reader
+
+/// Bounds-checked cursor over one frame payload (or one section body).
+/// Every accessor throws DecodeError{kTruncated} instead of reading past
+/// `size`; declared lengths are validated against the remaining bytes
+/// before any allocation, so an adversarial length can not trigger a
+/// huge reserve.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  /// u32 byte length + bytes; the length is checked against remaining().
+  std::string str();
+  /// Every byte from the cursor to the end (section bodies whose whole
+  /// content is one string, e.g. kId/kMethod/kJson).
+  std::string rest();
+
+  /// Read the next section header; the returned Reader covers exactly the
+  /// section body and the cursor advances past it.  (Defined out-of-line:
+  /// it holds a Reader by value, so it needs the complete type.)
+  struct Section;
+  Section section();
+
+ private:
+  const char* need(std::size_t n);
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+struct Reader::Section {
+  SectionType type;
+  Reader body;
+};
+
+/// Parse and validate a 12-byte frame header.  Throws
+/// DecodeError{kCorrupt} on bad magic or an unknown frame type — magic
+/// failure means the byte stream is desynced and the session must close.
+[[nodiscard]] FrameHeader decode_header(const char* data, std::size_t size);
+
+/// Append a 12-byte header to `out` (used by tests building raw frames;
+/// Writer::begin_frame is the production path).
+void encode_header(std::string& out, const FrameHeader& h);
+
+}  // namespace defa::serve::wire

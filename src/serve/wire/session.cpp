@@ -1,0 +1,323 @@
+#include "serve/wire/session.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/trace.h"
+#include "serve/wire/codec.h"
+
+namespace defa::serve::wire {
+
+namespace {
+
+/// Shared state of one v2 session: binary writes serialized under one
+/// mutex, plus the pending-response counter the session loop waits on
+/// before returning (identical contract to the v1 SessionState).
+struct WireState {
+  explicit WireState(Connection& c) : conn(&c) {}
+
+  void write(const std::string& bytes) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    // A vanished peer makes write_bytes return false; the response is
+    // dropped — the peer's choice, not an error (same as v1).
+    conn->write_bytes(bytes.data(), bytes.size());
+  }
+
+  void add_pending() {
+    const std::lock_guard<std::mutex> lock(pending_mu);
+    ++pending;
+  }
+  void done_pending() {
+    const std::lock_guard<std::mutex> lock(pending_mu);
+    if (--pending == 0) pending_cv.notify_all();
+  }
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(pending_mu);
+    pending_cv.wait(lock, [this] { return pending == 0; });
+  }
+
+  Connection* conn;
+  std::mutex write_mu;
+  std::mutex pending_mu;
+  std::condition_variable pending_cv;
+  int pending = 0;
+};
+
+void handle_eval(const DecodedRequest& req, const api::Json& params,
+                 Server& server, const std::shared_ptr<WireState>& state) {
+  ServeRequest sr = eval_request_from_params(params);
+  sr.trace_id = req.trace_id;
+  state->add_pending();
+  const std::string id = req.id;
+  const std::uint64_t trace_id = req.trace_id;
+  server.submit_async(std::move(sr),
+                      [id, trace_id, state](const ServeResponse& resp) {
+                        state->write(encode_eval_response(id, resp, trace_id));
+                        state->done_pending();
+                      });
+}
+
+// ----------------------------------------------------- streaming eval_batch
+
+/// One streamed eval_batch in flight.  Invariants (under `mu`):
+///   * `slots[i]` holds item i's response between completion and flush;
+///     at most `window` slots are ever occupied.
+///   * items are submitted in order; `next_submit` never runs more than
+///     `window` items ahead of `next_flush`, so when the first chunk is
+///     flushed at most window + 1 items have been admitted — a large
+///     batch's first response leaves while the tail has not even been
+///     submitted.
+///   * exactly one thread drives flushing/submission at a time
+///     (`driving`); chunk frames therefore leave in strict index order.
+struct StreamBatch {
+  std::string id;
+  std::uint64_t trace_id = 0;
+  std::shared_ptr<WireState> session;
+  Server* server = nullptr;
+  std::size_t window = 1;
+
+  std::vector<std::optional<ServeRequest>> requests;  // consumed on submit
+  std::vector<std::optional<ServeResponse>> slots;
+  std::size_t next_flush = 0;
+  std::size_t next_submit = 0;
+  std::mutex mu;
+  bool driving = false;
+};
+
+void pump(const std::shared_ptr<StreamBatch>& b);
+
+void store_result(const std::shared_ptr<StreamBatch>& b, std::size_t i,
+                  ServeResponse resp) {
+  {
+    const std::lock_guard<std::mutex> lock(b->mu);
+    b->slots[i] = std::move(resp);
+  }
+  pump(b);
+}
+
+/// Drain loop: flush every ready in-order chunk, then top the submission
+/// window back up; repeat until neither makes progress.  Writes and
+/// submit_async happen outside `mu` — a fast engine (or a scheduler
+/// rejection) can invoke the completion callback inline on this very
+/// thread, which would self-deadlock under the lock.  The `driving` flag
+/// makes such re-entrant calls store-and-return, and clearing it under
+/// the same lock hold that found no work closes the lost-wakeup window.
+void pump(const std::shared_ptr<StreamBatch>& b) {
+  const std::size_t total = b->slots.size();
+  std::unique_lock<std::mutex> lock(b->mu);
+  if (b->driving) return;
+  b->driving = true;
+  while (true) {
+    std::vector<std::pair<std::size_t, ServeResponse>> flush;
+    while (b->next_flush < total && b->slots[b->next_flush].has_value()) {
+      flush.emplace_back(b->next_flush, std::move(*b->slots[b->next_flush]));
+      b->slots[b->next_flush].reset();
+      ++b->next_flush;
+    }
+    std::vector<std::size_t> submit;
+    while (b->next_submit < total &&
+           b->next_submit < b->next_flush + b->window) {
+      const std::size_t i = b->next_submit++;
+      // Items that failed validation were answered at parse time (their
+      // slot is already filled) and are never submitted.
+      if (b->requests[i].has_value()) submit.push_back(i);
+    }
+    const bool done = b->next_flush == total;
+    if (flush.empty() && submit.empty() && !done) {
+      b->driving = false;
+      return;
+    }
+    lock.unlock();
+    for (auto& [index, resp] : flush) {
+      b->session->write(encode_batch_chunk(
+          b->id, static_cast<std::uint32_t>(index), resp, b->trace_id));
+    }
+    if (done) {
+      b->session->write(
+          encode_batch_end(b->id, static_cast<std::uint32_t>(total)));
+      b->session->done_pending();
+      return;
+    }
+    for (const std::size_t i : submit) {
+      ServeRequest req = std::move(*b->requests[i]);
+      b->requests[i].reset();
+      b->server->submit_async(std::move(req), [b, i](const ServeResponse& resp) {
+        store_result(b, i, resp);
+      });
+    }
+    lock.lock();
+  }
+}
+
+void handle_eval_batch(const DecodedRequest& req, const api::Json& params,
+                       Server& server, const ProtocolOptions& options,
+                       const std::shared_ptr<WireState>& state) {
+  DEFA_CHECK(params.is_object(), "protocol: eval_batch params must be an object");
+  for (const auto& [key, value] : params.members()) {
+    DEFA_CHECK(key == "requests" || key == "priority" || key == "timeout_ms",
+               "protocol: unknown eval_batch params key '" + key + "'");
+  }
+  Priority batch_priority = Priority::kNormal;
+  double batch_timeout = 0;
+  if (const api::Json* p = params.find("priority")) {
+    const std::optional<Priority> pri = priority_from_name(p->as_string());
+    DEFA_CHECK(pri.has_value(), "protocol: unknown priority '" + p->as_string() + "'");
+    batch_priority = *pri;
+  }
+  if (const api::Json* t = params.find("timeout_ms")) batch_timeout = t->as_number();
+  const api::Json& reqs = params.at("requests");
+  DEFA_CHECK(reqs.is_array() && reqs.size() > 0,
+             "protocol: 'requests' must be a non-empty array");
+
+  auto batch = std::make_shared<StreamBatch>();
+  batch->id = req.id;
+  batch->trace_id = req.trace_id;
+  batch->session = state;
+  batch->server = &server;
+  batch->window = options.stream_window < 1 ? 1 : options.stream_window;
+  batch->requests.resize(reqs.size());
+  batch->slots.resize(reqs.size());
+
+  // Parse every item up front (items are small control JSON).  Invalid
+  // items become ready error slots — they flush through the same in-order
+  // stream, so item k's chunk is the k-th on the wire either way.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const api::Json& item = reqs.at(i);
+    try {
+      ServeRequest r = eval_request_from_params(item);
+      r.trace_id = req.trace_id;
+      if (!(item.is_object() && item.contains("priority"))) {
+        r.priority = batch_priority;
+      }
+      if (!(item.is_object() && item.contains("timeout_ms"))) {
+        r.timeout_ms = batch_timeout;
+      }
+      batch->requests[i] = std::move(r);
+    } catch (const std::exception& e) {
+      ServeResponse bad;
+      bad.status = ResponseStatus::kBadRequest;
+      bad.error_code = error_code_name(ErrorCode::kValidation);
+      bad.error = e.what();
+      batch->slots[i] = std::move(bad);
+      batch->requests[i].reset();
+    }
+  }
+  state->add_pending();
+  pump(batch);
+}
+
+}  // namespace
+
+void run_wire_session(Connection& conn, Server& server,
+                      const ProtocolOptions& options, SessionResult& out) {
+  out.wire_version = kWireVersion;
+  auto state = std::make_shared<WireState>(conn);
+
+  std::string payload;
+  char header_buf[kHeaderBytes];
+  bool keep_going = true;
+   while (keep_going && conn.read_exact(header_buf, kHeaderBytes)) {    FrameHeader header;
+    try {
+      header = decode_header(header_buf, kHeaderBytes);
+    } catch (const DecodeError& e) {
+      // Bad magic or unknown type: the byte stream is desynced and frame
+      // boundaries are lost — answer once, then close the session.
+      ++out.bad_frames;
+      state->write(encode_error("", ErrorCode::kParse, e.what()));
+      break;
+    }
+    if (header.payload_len > options.max_frame_bytes) {      // Length-prefixed framing keeps the stream in sync: skip exactly the
+      // declared payload and answer with the same typed `oversized` error
+      // v1 gives, leaving the session alive.
+      ++out.bad_frames;
+      std::size_t to_skip = header.payload_len;
+      char sink[4096];
+      bool ok = true;
+      while (ok && to_skip > 0) {
+        const std::size_t n = to_skip < sizeof(sink) ? to_skip : sizeof(sink);
+        ok = conn.read_exact(sink, n);
+        to_skip -= n;
+      }
+      if (!ok) break;
+      state->write(encode_error(
+          "", ErrorCode::kOversized,
+          "frame of " + std::to_string(header.payload_len) +
+              " bytes exceeds the " + std::to_string(options.max_frame_bytes) +
+              "-byte limit"));
+      continue;
+    }
+    payload.resize(header.payload_len);
+    if (header.payload_len > 0 &&
+        !conn.read_exact(payload.data(), header.payload_len)) {
+      break;  // EOF mid-frame
+    }
+
+    DecodedRequest req;
+    try {
+      req = decode_request(header, payload.data(), payload.size());
+    } catch (const DecodeError& e) {
+      // Framing is intact (the length prefix was honored), so the session
+      // survives a malformed payload — but without a decoded id the error
+      // is unattributable, mirroring v1's oversized/parse answers.
+      ++out.bad_frames;
+      const ErrorCode code = e.kind() == DecodeError::Kind::kBadValue
+                                 ? ErrorCode::kValidation
+                                 : ErrorCode::kParse;
+      state->write(encode_error("", code, e.what()));
+      continue;
+    }
+    if (req.trace_id != 0 && !obs::Tracer::instance().enabled()) {
+      req.trace_id = 0;  // tracing is opt-in per process, not client-forced
+    }
+
+    try {
+      api::Json params;
+      if (!req.params_text.empty()) params = api::Json::parse(req.params_text);
+
+      if (req.method == "eval") {
+        handle_eval(req, params, server, state);
+      } else if (req.method == "eval_batch") {
+        handle_eval_batch(req, params, server, options, state);
+      } else if (req.method == "hello") {
+        ++out.bad_frames;
+        state->write(encode_error(req.id, ErrorCode::kValidation,
+                                  "hello: session already negotiated"));
+      } else if (req.method == "drain") {
+        server.drain();  // stop admitting, finish in-flight
+        api::Json result = api::Json::object();
+        result["drained"] = true;
+        result["metrics"] = server.metrics().to_json();
+        state->write(encode_admin_ok(req.id, result));
+        out.drained = true;
+        if (options.on_drain) options.on_drain();
+        keep_going = false;
+      } else {
+        bool known = true;
+        const api::Json result =
+            dispatch_admin_method(req.method, params, server, known);
+        if (known) {
+          state->write(encode_admin_ok(req.id, result));
+        } else {
+          ++out.bad_frames;
+          state->write(encode_error(
+              req.id, ErrorCode::kUnknownMethod,
+              "unknown method '" + req.method + "'"));
+        }
+      }
+    } catch (const std::exception& e) {
+      ++out.bad_frames;
+      state->write(encode_error(req.id, ErrorCode::kValidation, e.what()));
+    }
+  }
+  // EOF or drain with evals still in flight: wait for their callbacks so
+  // `state`'s writes are done before the caller tears the connection down.
+  state->wait_idle();
+  if (out.drained) conn.shutdown();
+}
+
+}  // namespace defa::serve::wire

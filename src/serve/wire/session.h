@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file wire/session.h
+/// Server side of a negotiated Protocol v2 session: after
+/// `run_protocol_session` answers a `hello` that settles on wire
+/// version 2, it hands the connection here and the rest of the session is
+/// binary frames (wire/format.h).  Semantics mirror v1 — completion-order
+/// eval responses from evaluator threads, inline admin methods, typed
+/// errors, the same oversized-frame limit — with one addition: eval_batch
+/// responses *stream*.  Items are submitted through a bounded in-flight
+/// window and each result is flushed as its own kBatchChunk frame in
+/// strict item-index order as soon as it (and everything before it)
+/// completes, so the client sees the first result while later items are
+/// still running and the server never buffers more than
+/// `ProtocolOptions::stream_window` results per batch.
+
+#include "serve/protocol.h"
+
+namespace defa::serve::wire {
+
+/// Serve binary frames on `conn` until EOF or `drain`.  `out` is the
+/// session result the v1 loop started filling (bad_frames accumulates
+/// across the handshake); `wire_version` is set to 2.  Returns after
+/// every in-flight response has been written or dropped.
+void run_wire_session(Connection& conn, Server& server,
+                      const ProtocolOptions& options, SessionResult& out);
+
+}  // namespace defa::serve::wire

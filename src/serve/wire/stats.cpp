@@ -1,0 +1,61 @@
+#include "serve/wire/stats.h"
+
+namespace defa::serve::wire {
+
+SerSnapshot SerSnapshot::minus(const SerSnapshot& other) const {
+  SerSnapshot d;
+  d.encode_ms = encode_ms - other.encode_ms;
+  d.decode_ms = decode_ms - other.decode_ms;
+  d.encode_frames = encode_frames - other.encode_frames;
+  d.decode_frames = decode_frames - other.decode_frames;
+  d.encode_bytes = encode_bytes - other.encode_bytes;
+  d.decode_bytes = decode_bytes - other.decode_bytes;
+  return d;
+}
+
+SerStats& SerStats::instance() {
+  static SerStats stats;
+  return stats;
+}
+
+void SerStats::add_encode(int version, double ms, std::size_t bytes) noexcept {
+  Bucket* b = bucket(version);
+  if (b == nullptr) return;
+  b->encode_ns.fetch_add(static_cast<std::uint64_t>(ms * 1e6), std::memory_order_relaxed);
+  b->encode_frames.fetch_add(1, std::memory_order_relaxed);
+  b->encode_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void SerStats::add_decode(int version, double ms, std::size_t bytes) noexcept {
+  Bucket* b = bucket(version);
+  if (b == nullptr) return;
+  b->decode_ns.fetch_add(static_cast<std::uint64_t>(ms * 1e6), std::memory_order_relaxed);
+  b->decode_frames.fetch_add(1, std::memory_order_relaxed);
+  b->decode_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+SerSnapshot SerStats::snapshot(int version) const noexcept {
+  SerSnapshot s;
+  const Bucket* b = bucket(version);
+  if (b == nullptr) return s;
+  s.encode_ms = static_cast<double>(b->encode_ns.load(std::memory_order_relaxed)) / 1e6;
+  s.decode_ms = static_cast<double>(b->decode_ns.load(std::memory_order_relaxed)) / 1e6;
+  s.encode_frames = b->encode_frames.load(std::memory_order_relaxed);
+  s.decode_frames = b->decode_frames.load(std::memory_order_relaxed);
+  s.encode_bytes = b->encode_bytes.load(std::memory_order_relaxed);
+  s.decode_bytes = b->decode_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SerStats::reset() noexcept {
+  for (Bucket* b : {&v1_, &v2_}) {
+    b->encode_ns.store(0, std::memory_order_relaxed);
+    b->decode_ns.store(0, std::memory_order_relaxed);
+    b->encode_frames.store(0, std::memory_order_relaxed);
+    b->decode_frames.store(0, std::memory_order_relaxed);
+    b->encode_bytes.store(0, std::memory_order_relaxed);
+    b->decode_bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace defa::serve::wire

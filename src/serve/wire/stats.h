@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file wire/stats.h
+/// Process-global serialization accounting: every wire encode/decode —
+/// the v1 JSON paths (Json::dump / Json::parse + struct conversion) and
+/// the v2 binary codec alike — adds its duration and byte count to a
+/// per-version bucket here.  `Server::metrics()` exports the buckets in
+/// its snapshot and `run_remote_loadgen` diffs client- and server-side
+/// snapshots around a run, which is how BENCH_serve.json reports the
+/// serialization share of end-to-end latency for v1 vs v2
+/// (docs/BENCH_SCHEMA.md#serialization).
+///
+/// Counters are relaxed atomics: the hot path is two fetch_adds per
+/// frame, and snapshots only need per-counter (not cross-counter)
+/// consistency.
+
+#include <atomic>
+#include <cstdint>
+
+namespace defa::serve::wire {
+
+/// Frozen per-version serialization counters (one direction pair).
+struct SerSnapshot {
+  double encode_ms = 0;
+  double decode_ms = 0;
+  std::uint64_t encode_frames = 0;
+  std::uint64_t decode_frames = 0;
+  std::uint64_t encode_bytes = 0;
+  std::uint64_t decode_bytes = 0;
+
+  /// Element-wise a - b (for before/after deltas around a load run).
+  [[nodiscard]] SerSnapshot minus(const SerSnapshot& other) const;
+  /// Total serialization time, both directions.
+  [[nodiscard]] double total_ms() const noexcept { return encode_ms + decode_ms; }
+};
+
+/// One process-wide instance; buckets indexed by wire version (1 or 2).
+class SerStats {
+ public:
+  static SerStats& instance();
+
+  void add_encode(int version, double ms, std::size_t bytes) noexcept;
+  void add_decode(int version, double ms, std::size_t bytes) noexcept;
+
+  [[nodiscard]] SerSnapshot snapshot(int version) const noexcept;
+
+  /// Zero every bucket (Server reconfigure with reset_stats).
+  void reset() noexcept;
+
+ private:
+  struct Bucket {
+    std::atomic<std::uint64_t> encode_ns{0};
+    std::atomic<std::uint64_t> decode_ns{0};
+    std::atomic<std::uint64_t> encode_frames{0};
+    std::atomic<std::uint64_t> decode_frames{0};
+    std::atomic<std::uint64_t> encode_bytes{0};
+    std::atomic<std::uint64_t> decode_bytes{0};
+  };
+  [[nodiscard]] const Bucket* bucket(int version) const noexcept {
+    return version == 1 ? &v1_ : version == 2 ? &v2_ : nullptr;
+  }
+  [[nodiscard]] Bucket* bucket(int version) noexcept {
+    return version == 1 ? &v1_ : version == 2 ? &v2_ : nullptr;
+  }
+
+  Bucket v1_;
+  Bucket v2_;
+};
+
+}  // namespace defa::serve::wire

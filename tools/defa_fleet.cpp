@@ -3,6 +3,12 @@
 //   defa_fleet --config FILE [--serve-bin PATH] [--out FILE] [--shards N]
 //              [--no-chaos] [--no-verify] [--quiet]
 //              [--trace-sample N] [--trace-out FILE]
+//              [--wire auto|v1|v2] [--pipeline N]
+//
+// --wire picks the protocol flavor every pool->shard connection speaks
+// (auto negotiates binary v2 with transparent v1 fallback, docs/
+// PROTOCOL.md); --pipeline N caps each shard connection's in-flight
+// requests.  Both apply uniformly across the fleet, reconnects included.
 //
 // --trace-out runs the main-run shards with tracing on and merges their
 // span dumps plus this process's client-side spans into one Chrome
@@ -39,7 +45,8 @@ namespace {
 int usage() {
   std::cerr << "usage: defa_fleet --config FILE [--serve-bin PATH] [--out FILE]\n"
             << "                  [--shards N] [--no-chaos] [--no-verify]\n"
-            << "                  [--quiet] [--trace-sample N] [--trace-out FILE]\n";
+            << "                  [--quiet] [--trace-sample N] [--trace-out FILE]\n"
+            << "                  [--wire auto|v1|v2] [--pipeline N]\n";
   return 2;
 }
 
@@ -107,6 +114,28 @@ int main(int argc, char** argv) try {
       const char* v = value();
       if (v == nullptr) return usage();
       options.trace_out = v;
+    } else if (arg == "--wire") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      const std::string wire = v;
+      if (wire == "auto") {
+        options.client.wire = defa::client::ClientOptions::Wire::kAuto;
+      } else if (wire == "v1") {
+        options.client.wire = defa::client::ClientOptions::Wire::kV1;
+      } else if (wire == "v2") {
+        options.client.wire = defa::client::ClientOptions::Wire::kV2;
+      } else {
+        std::cerr << "unknown wire mode '" << wire << "' (auto|v1|v2)\n";
+        return 2;
+      }
+    } else if (arg == "--pipeline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.client.max_inflight = std::stoi(v);
+      if (options.client.max_inflight < 0) {
+        std::cerr << "--pipeline N must be >= 0 (0 = unlimited)\n";
+        return 2;
+      }
     } else if (arg == "--no-chaos") {
       options.chaos = false;
     } else if (arg == "--no-verify") {

@@ -8,6 +8,14 @@
 //                [--max-contexts N] [--max-memo N] [--no-memo]
 //                [--backend NAME] [--out FILE] [--smoke] [--quiet]
 //                [--trace-sample N] [--trace-out FILE]
+//                [--wire auto|v1|v2] [--pipeline N]
+//
+// Wire control (--connect only, docs/PROTOCOL.md): --wire picks the
+// protocol flavor — auto (default) negotiates v2 with a transparent v1
+// fallback, v1 never sends the hello, v2 fails fast when the server
+// refuses the upgrade.  --pipeline N caps the requests in flight on the
+// connection (0 = unlimited); the report's "serialization" block records
+// the encode/decode cost of whichever version was negotiated.
 //
 // Tracing (docs/OBSERVABILITY.md): --trace-sample N stamps every Nth
 // generated request with a trace id; --trace-out FILE writes the recorded
@@ -76,7 +84,8 @@ int usage() {
       << "                    [--policy fifo|locality] [--locality-window N]\n"
       << "                    [--max-contexts N] [--max-memo N] [--no-memo]\n"
       << "                    [--backend NAME] [--out FILE] [--smoke] [--quiet]\n"
-      << "                    [--trace-sample N] [--trace-out FILE]\n";
+      << "                    [--trace-sample N] [--trace-out FILE]\n"
+      << "                    [--wire auto|v1|v2] [--pipeline N]\n";
   return 2;
 }
 
@@ -87,7 +96,9 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
   } else {
     out << " (offered " << r.offered_qps << " qps)";
   }
-  out << ", policy " << r.policy << ", transport " << r.transport << "\n"
+  out << ", policy " << r.policy << ", transport " << r.transport;
+  if (r.wire_version > 0) out << " (wire v" << r.wire_version << ")";
+  out << "\n"
       << "requests        " << r.requests << "  (ok " << r.completed_ok
       << ", overload " << r.rejected_overload << ", deadline " << r.rejected_deadline
       << ", shutdown " << r.rejected_shutdown << ", error " << r.errors << ")\n"
@@ -103,6 +114,13 @@ void print_summary(const defa::serve::LoadReport& r, std::ostream& out) {
       << "  (hits " << r.server_metrics.context_hits << ", misses "
       << r.server_metrics.context_misses << ", evictions "
       << r.server_metrics.context_evictions << ")\n";
+  if (r.wire_version > 0 && r.completed_ok > 0) {
+    const double per_req = (r.ser_client.total_ms() + r.ser_server.total_ms()) /
+                           static_cast<double>(r.completed_ok);
+    const double p50 = r.latency_ms.percentile(50);
+    out << "serialization   " << per_req << " ms/req  (share of p50 "
+        << (p50 > 0 ? per_req / p50 : 0.0) << ")\n";
+  }
   for (const auto& s : r.per_scenario) {
     out << "  " << s.name << ": " << s.completed_ok << " ok, p50 "
         << s.latency_ms.percentile(50) << " ms\n";
@@ -135,9 +153,11 @@ int main(int argc, char** argv) try {
   std::string trace_out_path;
   std::string connect_endpoint;  // --connect: drive a remote defa_serve
   std::string mix = "smoke";
+  defa::client::ClientOptions client_options;  // --wire / --pipeline
   bool have_scenario_file = false;
   bool mix_flag_given = false;     // --mix/--smoke conflict with --scenario
   bool server_flag_given = false;  // server-config flags conflict with --connect
+  bool wire_flag_given = false;    // --wire/--pipeline require --connect
   bool sweep = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +248,28 @@ int main(int argc, char** argv) try {
         return 2;
       }
       options.server.engine.backend = v;
+    } else if (arg == "--wire") {
+      wire_flag_given = true;
+      if ((v = value()) == nullptr) return usage();
+      const std::string wire = v;
+      if (wire == "auto") {
+        client_options.wire = defa::client::ClientOptions::Wire::kAuto;
+      } else if (wire == "v1") {
+        client_options.wire = defa::client::ClientOptions::Wire::kV1;
+      } else if (wire == "v2") {
+        client_options.wire = defa::client::ClientOptions::Wire::kV2;
+      } else {
+        std::cerr << "unknown wire mode '" << wire << "' (auto|v1|v2)\n";
+        return 2;
+      }
+    } else if (arg == "--pipeline") {
+      wire_flag_given = true;
+      if ((v = value()) == nullptr) return usage();
+      client_options.max_inflight = std::stoi(v);
+      if (client_options.max_inflight < 0) {
+        std::cerr << "--pipeline N must be >= 0 (0 = unlimited)\n";
+        return 2;
+      }
     } else if (arg == "--out") {
       if ((v = value()) == nullptr) return usage();
       out_path = v;
@@ -263,6 +305,12 @@ int main(int argc, char** argv) try {
     // two would benchmark something the user didn't ask for.
     std::cerr << "--mix/--smoke cannot be combined with --scenario "
                  "(the scenario file defines the mix)\n";
+    return 2;
+  }
+  if (connect_endpoint.empty() && wire_flag_given) {
+    // The wire flags shape the client connection; there is none in-process.
+    std::cerr << "--wire/--pipeline configure the --connect client "
+                 "connection and need --connect HOST:PORT\n";
     return 2;
   }
   if (!connect_endpoint.empty() && server_flag_given) {
@@ -307,7 +355,7 @@ int main(int argc, char** argv) try {
       // switch + stats/cache reset) through the protocol instead of
       // constructing a fresh in-process Server.
       defa::client::Client client =
-          defa::client::Client::connect(connect_endpoint);
+          defa::client::Client::connect(connect_endpoint, client_options);
       report = defa::client::run_remote_sweep(scenario, client);
     } else {
       report = defa::serve::run_sweep(scenario);
@@ -343,7 +391,8 @@ int main(int argc, char** argv) try {
       std::cerr << "note: --connect ignores the scenario file's \"server\" "
                    "block (the remote process owns its configuration)\n";
     }
-    defa::client::Client client = defa::client::Client::connect(connect_endpoint);
+    defa::client::Client client =
+        defa::client::Client::connect(connect_endpoint, client_options);
     report = defa::client::run_remote_loadgen(scenario.base, client);
     if (!trace_out_path.empty()) server_trace = client.trace();
   } else {

@@ -7,7 +7,7 @@
 //              [--metrics-interval SEC] [--metrics-out FILE]
 //              [--trace] [--trace-sample N] [--trace-out FILE]
 //              [--shard-id N] [--shard-count N] [--shard-name NAME]
-//              [--virtual-nodes N]
+//              [--virtual-nodes N] [--max-wire N]
 //
 // Observability (docs/OBSERVABILITY.md): --metrics-interval emits one
 // MetricsSnapshot JSON line per interval to stderr (or --metrics-out
@@ -22,12 +22,15 @@
 // server, reported by the protocol `shard_info` method; scheduling itself
 // is shard-agnostic (routing lives in defa::client::Pool).
 //
-// Speaks two wire modes, auto-detected per session from the first frame
+// Speaks three wire modes, auto-detected per session from the first frame
 // (docs/PROTOCOL.md):
 //   * Protocol v1 — {"v":1,"id":...,"method":...,"params":...} envelopes,
 //     completion-order responses, typed error codes, and the
 //     eval/eval_batch/metrics/backends/experiments/experiment/ping/drain
 //     methods.  defa::client::Client speaks this.
+//   * Protocol v2 — negotiated per session via the v1 `hello` method:
+//     length-prefixed binary frames with streamed eval_batch chunks.
+//     --max-wire 1 refuses the upgrade, pinning every session to v1.
 //   * legacy JSON-lines — bare EvalRequest or {"id","priority",
 //     "timeout_ms","request"} lines answered in arrival order.
 //
@@ -60,6 +63,7 @@
 #include "serve/protocol.h"
 #include "serve/server_loop.h"
 #include "serve/transport.h"
+#include "serve/wire/format.h"
 
 #include <unistd.h>
 
@@ -75,7 +79,8 @@ int usage() {
             << "                  [--metrics-out FILE] [--trace]\n"
             << "                  [--trace-sample N] [--trace-out FILE]\n"
             << "                  [--shard-id N] [--shard-count N]\n"
-            << "                  [--shard-name NAME] [--virtual-nodes N]\n";
+            << "                  [--shard-name NAME] [--virtual-nodes N]\n"
+            << "                  [--max-wire N]\n";
   return 2;
 }
 
@@ -115,6 +120,7 @@ int run_listen(int port, const std::string& port_file,
   }
 
   defa::serve::ProtocolOptions protocol;
+  protocol.max_wire_version = options.max_wire_version;
   // A client-issued `drain` stops the whole process, not just its session.
   protocol.on_drain = [&listener] { listener.close(); };
 
@@ -279,6 +285,16 @@ int main(int argc, char** argv) try {
       const char* v = value();
       if (v == nullptr) return usage();
       options.server.ring_virtual_nodes = std::stoi(v);
+    } else if (arg == "--max-wire") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.max_wire_version = std::stoi(v);
+      if (options.max_wire_version < 1 ||
+          options.max_wire_version > defa::serve::wire::kWireVersion) {
+        std::cerr << "--max-wire N must be in [1, "
+                  << defa::serve::wire::kWireVersion << "]\n";
+        return 2;
+      }
     } else if (arg == "--metrics") {
       options.emit_metrics = true;
     } else if (arg == "--metrics-interval") {
